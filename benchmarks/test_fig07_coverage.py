@@ -1,0 +1,31 @@
+"""Fig 7: single-core coverage and overprediction per workload suite."""
+
+from conftest import COMPETITORS, SAMPLE_TRACES, once
+from repro.harness.rollup import coverage_rollup, format_table
+
+
+def test_fig07_coverage_overprediction(runner, benchmark):
+    def run():
+        return [
+            runner.run(trace, pf)
+            for traces in SAMPLE_TRACES.values()
+            for trace in traces
+            for pf in COMPETITORS
+        ]
+
+    records = once(benchmark, run)
+    rollup = coverage_rollup(records)
+    rows = []
+    for suite, by_pf in rollup.items():
+        for pf in COMPETITORS:
+            cov, over = by_pf[pf]
+            rows.append((suite, pf, f"{100 * cov:.1f}%", f"{100 * over:.1f}%"))
+    print("\nFig 7: coverage / overprediction per suite (1C)")
+    print(format_table(["suite", "prefetcher", "coverage", "overprediction"], rows))
+
+    # Paper shape: averaged across suites, Pythia overpredicts less than
+    # MLOP (the paper's 83.8% reduction claim, directionally).
+    def avg_over(pf):
+        return sum(rollup[s][pf][1] for s in rollup) / len(rollup)
+
+    assert avg_over("pythia") < avg_over("mlop")

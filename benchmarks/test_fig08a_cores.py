@@ -1,0 +1,45 @@
+"""Fig 8a: geomean speedup vs core count (1 → multi-core).
+
+The paper sweeps 1-12 cores with DRAM channels scaling 1/2/4; this bench
+runs 1- and 2-core points (4-core with REPRO_BENCH_LENGTH raised) and
+prints the speedup series per prefetcher.
+"""
+
+from conftest import BENCH_LENGTH, once
+from repro.harness.rollup import format_table
+from repro.sim.config import baseline_multi_core
+from repro.sim.metrics import geomean
+from repro.workloads import homogeneous_mix
+
+PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
+MIX_WORKLOADS = ["spec06/lbm", "ligra/cc"]
+CORE_COUNTS = [1, 2]
+
+
+def test_fig08a_core_scaling(runner, benchmark):
+    def run():
+        series: dict[str, list[float]] = {pf: [] for pf in PREFETCHERS}
+        for cores in CORE_COUNTS:
+            config = baseline_multi_core(cores)
+            per_pf: dict[str, list[float]] = {pf: [] for pf in PREFETCHERS}
+            for workload in MIX_WORKLOADS:
+                traces = homogeneous_mix(workload, cores, length=BENCH_LENGTH)
+                for pf in PREFETCHERS:
+                    result, baseline = runner.run_mix(traces, pf, config)
+                    per_pf[pf].append(result.ipc / baseline.ipc)
+            for pf in PREFETCHERS:
+                series[pf].append(geomean(per_pf[pf]))
+        return series
+
+    series = once(benchmark, run)
+    rows = [
+        (pf, *[f"{s:.3f}" for s in series[pf]]) for pf in PREFETCHERS
+    ]
+    print("\nFig 8a: geomean speedup vs core count")
+    print(format_table(["prefetcher", *[f"{c}C" for c in CORE_COUNTS]], rows))
+
+    # Paper shape: Pythia's advantage over MLOP grows with core count
+    # (shared bandwidth tightens); at minimum it must not collapse.
+    gap_1c = series["pythia"][0] - series["mlop"][0]
+    gap_nc = series["pythia"][-1] - series["mlop"][-1]
+    assert gap_nc >= gap_1c - 0.05

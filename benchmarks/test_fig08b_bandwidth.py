@@ -1,0 +1,43 @@
+"""Fig 8b: geomean speedup vs DRAM bandwidth (MTPS sweep).
+
+The paper's headline robustness result: aggressive prefetchers (MLOP,
+Bingo) lose their gains as per-core bandwidth shrinks toward server-like
+configurations, while Pythia's bandwidth-aware rewards keep it on top.
+"""
+
+from conftest import once
+from repro.harness.rollup import format_table
+from repro.sim.config import baseline_single_core
+from repro.sim.metrics import geomean
+
+PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
+TRACES = ["spec06/lbm-1", "ligra/cc-1", "parsec/canneal-1", "cloudsuite/cassandra-1"]
+MTPS_POINTS = [300, 1200, 2400, 9600]
+
+
+def test_fig08b_bandwidth_sweep(runner, benchmark):
+    def run():
+        series: dict[str, dict[int, float]] = {pf: {} for pf in PREFETCHERS}
+        for mtps in MTPS_POINTS:
+            config = baseline_single_core().with_mtps(mtps)
+            for pf in PREFETCHERS:
+                speedups = [
+                    runner.run(trace, pf, config).speedup for trace in TRACES
+                ]
+                series[pf][mtps] = geomean(speedups)
+        return series
+
+    series = once(benchmark, run)
+    rows = [
+        (pf, *[f"{series[pf][m]:.3f}" for m in MTPS_POINTS])
+        for pf in PREFETCHERS
+    ]
+    print("\nFig 8b: geomean speedup vs DRAM MTPS")
+    print(format_table(["prefetcher", *[str(m) for m in MTPS_POINTS]], rows))
+
+    # Paper shape: at the most constrained point Pythia beats MLOP and
+    # Bingo decisively; MLOP's gains collapse at low bandwidth.
+    low = MTPS_POINTS[0]
+    assert series["pythia"][low] > series["mlop"][low]
+    assert series["pythia"][low] > series["bingo"][low]
+    assert series["mlop"][low] < series["mlop"][MTPS_POINTS[-1]]

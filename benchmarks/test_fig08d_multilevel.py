@@ -1,0 +1,41 @@
+"""Fig 8d: multi-level schemes — Stride+Pythia vs Stride+Streamer vs IPCP."""
+
+from conftest import once
+from repro.harness.rollup import format_table
+from repro.sim.config import baseline_single_core
+from repro.sim.metrics import geomean
+
+TRACES = ["spec06/lbm-1", "spec06/leslie3d-1", "parsec/canneal-1"]
+MTPS_POINTS = [300, 2400]
+#: (label, l2 prefetcher, l1 prefetcher)
+SCHEMES = [
+    ("stride+streamer", "streamer", "stride"),
+    ("ipcp", "ipcp", None),
+    ("stride+pythia", "pythia", "stride"),
+]
+
+
+def test_fig08d_multilevel(runner, benchmark):
+    def run():
+        series: dict[str, dict[int, float]] = {label: {} for label, _, _ in SCHEMES}
+        for mtps in MTPS_POINTS:
+            config = baseline_single_core().with_mtps(mtps)
+            for label, l2, l1 in SCHEMES:
+                speedups = [
+                    runner.run(trace, l2, config, l1_prefetcher_name=l1).speedup
+                    for trace in TRACES
+                ]
+                series[label][mtps] = geomean(speedups)
+        return series
+
+    series = once(benchmark, run)
+    rows = [
+        (label, *[f"{series[label][m]:.3f}" for m in MTPS_POINTS])
+        for label, _, _ in SCHEMES
+    ]
+    print("\nFig 8d: multi-level prefetching vs DRAM MTPS")
+    print(format_table(["scheme", *[str(m) for m in MTPS_POINTS]], rows))
+
+    # Paper shape: Stride+Pythia leads at the constrained point.
+    low = MTPS_POINTS[0]
+    assert series["stride+pythia"][low] >= series["stride+streamer"][low] - 0.02

@@ -1,0 +1,57 @@
+"""Fig 9: single-core performance per suite, and prefetcher combinations.
+
+Panel (a): geomean speedup per workload suite for SPP/Bingo/MLOP/Pythia.
+Panel (b): Pythia against cumulative combinations Stride, Stride+SPP, …
+— the paper's demonstration that multi-feature learning beats bolting
+single-feature prefetchers together (combined coverage also combines
+overpredictions).
+"""
+
+from conftest import COMPETITORS, SAMPLE_TRACES, once
+from repro.harness.rollup import (
+    format_table,
+    per_prefetcher_geomean,
+    per_suite_geomean,
+)
+
+COMBOS = ["st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"]
+COMBO_TRACES = ["spec06/lbm-1", "ligra/cc-1", "parsec/canneal-1", "spec06/mcf-1"]
+
+
+def test_fig09a_per_suite(runner, benchmark):
+    def run():
+        return [
+            runner.run(trace, pf)
+            for traces in SAMPLE_TRACES.values()
+            for trace in traces
+            for pf in COMPETITORS
+        ]
+
+    records = once(benchmark, run)
+    rollup = per_suite_geomean(records)
+    rows = [
+        (suite, *[f"{rollup[suite][pf]:.3f}" for pf in COMPETITORS])
+        for suite in rollup
+    ]
+    print("\nFig 9a: geomean speedup per suite (1C)")
+    print(format_table(["suite", *COMPETITORS], rows))
+
+    overall = per_prefetcher_geomean(records)
+    print("overall:", {pf: round(s, 3) for pf, s in overall.items()})
+    # Sanity: Pythia improves over no-prefetching on aggregate.
+    assert overall["pythia"] > 1.0
+
+
+def test_fig09b_combinations(runner):
+    records = [runner.run(trace, pf) for trace in COMBO_TRACES for pf in COMBOS]
+    rollup = per_prefetcher_geomean(records)
+    rows = [(pf, f"{rollup[pf]:.3f}") for pf in COMBOS]
+    print("\nFig 9b: Pythia vs prefetcher combinations (1C)")
+    print(format_table(["scheme", "geomean speedup"], rows))
+
+    # Paper shape: stacking prefetchers stacks overpredictions — the
+    # full combo must overpredict more than Pythia on these traces.
+    by = {(r.trace_name, r.prefetcher): r for r in records}
+    combo_over = sum(by[(t, "st+s+b+d+m")].overprediction for t in COMBO_TRACES)
+    pythia_over = sum(by[(t, "pythia")].overprediction for t in COMBO_TRACES)
+    assert pythia_over < combo_over

@@ -1,0 +1,46 @@
+"""Fig 11: bandwidth-oblivious Pythia vs basic Pythia across MTPS.
+
+§6.3.3's ablation: collapsing the high/low-bandwidth reward variants
+costs performance when bandwidth is scarce and nothing when plentiful.
+"""
+
+from conftest import once
+from repro.harness.rollup import format_table
+from repro.sim.config import baseline_single_core
+from repro.sim.metrics import geomean
+
+TRACES = ["ligra/cc-1", "ligra/pagerankdelta-1", "cloudsuite/cassandra-1"]
+MTPS_POINTS = [300, 600, 2400, 9600]
+
+
+def test_fig11_bw_oblivious(runner, benchmark):
+    def run():
+        rows = []
+        for mtps in MTPS_POINTS:
+            config = baseline_single_core().with_mtps(mtps)
+            basic = geomean(
+                [runner.run(t, "pythia", config).speedup for t in TRACES]
+            )
+            oblivious = geomean(
+                [
+                    runner.run(t, "pythia_bw_oblivious", config).speedup
+                    for t in TRACES
+                ]
+            )
+            rows.append((mtps, basic, oblivious, 100 * (oblivious / basic - 1)))
+        return rows
+
+    rows = once(benchmark, run)
+    print("\nFig 11: BW-oblivious Pythia normalized to basic Pythia")
+    print(
+        format_table(
+            ["MTPS", "basic", "bw-oblivious", "delta %"],
+            [(m, f"{b:.3f}", f"{o:.3f}", f"{d:+.1f}%") for m, b, o, d in rows],
+        )
+    )
+
+    # Paper shape: the oblivious variant loses at the constrained end
+    # and roughly matches at the unconstrained end.
+    low_delta = rows[0][3]
+    high_delta = rows[-1][3]
+    assert low_delta <= high_delta + 2.0

@@ -1,0 +1,32 @@
+"""Fig 12: performance on unseen (CVP-2-like) traces, never used to tune."""
+
+from conftest import once
+from repro.harness.rollup import format_table, per_suite_geomean
+from repro.workloads import cvp_trace_names
+
+PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
+
+
+def test_fig12_unseen_traces(runner, benchmark):
+    traces = cvp_trace_names(per_workload=1)
+
+    def run():
+        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+
+    records = once(benchmark, run)
+    rollup = per_suite_geomean(records)
+    rows = [
+        (suite, *[f"{rollup[suite][pf]:.3f}" for pf in PREFETCHERS])
+        for suite in sorted(rollup)
+    ]
+    print("\nFig 12: geomean speedup on unseen traces (1C)")
+    print(format_table(["category", *PREFETCHERS], rows))
+
+    # Paper claim: Pythia, tuned elsewhere, still delivers benefits on
+    # traces it never saw (no catastrophic generalization failure).
+    from repro.sim.metrics import geomean
+
+    overall = geomean(
+        [r.speedup for r in records if r.prefetcher == "pythia"]
+    )
+    assert overall > 0.97

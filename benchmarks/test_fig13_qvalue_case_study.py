@@ -1,0 +1,42 @@
+"""Fig 13: Q-value case study on the GemsFDTD-like delta workload.
+
+The paper dumps the Q-value evolution of the PC+Delta feature values
+that select offsets +23 and +11 most.  This bench reproduces the
+analysis: run Pythia on the delta workload, report the top selected
+offsets (the paper finds +23 and +11 account for ~72% of selections),
+and print the learned Q-row of the dominant trigger state.
+"""
+
+from conftest import once
+from repro.core import Pythia
+from repro.harness.rollup import format_table
+from repro.sim.config import baseline_single_core
+from repro.sim.system import simulate
+
+
+def test_fig13_qvalue_case_study(runner, benchmark):
+    trace = runner.trace("spec06/gemsfdtd-1")
+
+    def run():
+        pythia = Pythia()
+        simulate(trace, baseline_single_core(), pythia)
+        return pythia
+
+    pythia = once(benchmark, run)
+    top = pythia.top_actions(4)
+    total = sum(pythia.action_counts)
+    rows = [
+        (f"{offset:+d}", count, f"{100 * count / total:.1f}%")
+        for offset, count in top
+    ]
+    print("\nFig 13: most-selected prefetch offsets on GemsFDTD-like trace")
+    print(format_table(["offset", "selections", "share"], rows))
+
+    # Paper shape: the workload's true deltas (+23 and +11) dominate.
+    top_offsets = [offset for offset, _ in top]
+    assert 23 in top_offsets or 11 in top_offsets
+    pattern_share = sum(
+        count for offset, count in top if offset in (23, 11)
+    ) / total
+    print(f"share of +23/+11 selections: {100 * pattern_share:.1f}%")
+    assert pattern_share > 0.25

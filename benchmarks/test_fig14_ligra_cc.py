@@ -1,0 +1,45 @@
+"""Fig 14: runtime-in-bandwidth-bucket histogram + IPC on Ligra-CC.
+
+Shows per prefetcher how much of the run is spent in each DRAM
+utilization quartile, alongside the IPC delta — the mechanism by which
+overprediction turns into slowdown on a bandwidth-hungry graph kernel.
+"""
+
+from conftest import once
+from repro.harness.rollup import format_table
+
+PREFETCHERS = ["none", "spp", "bingo", "mlop", "pythia", "pythia_strict"]
+
+
+def test_fig14_ligra_cc(runner, benchmark):
+    def run():
+        return {pf: runner.run("ligra/cc-1", pf) for pf in PREFETCHERS}
+
+    records = once(benchmark, run)
+    rows = []
+    for pf in PREFETCHERS:
+        record = records[pf]
+        buckets = record.result.bw_bucket_fractions
+        rows.append(
+            (
+                pf,
+                *[f"{100 * b:.0f}%" for b in buckets],
+                f"{100 * (record.speedup - 1):+.1f}%",
+            )
+        )
+    print("\nFig 14: bandwidth-usage buckets and performance on Ligra-CC")
+    print(
+        format_table(
+            ["prefetcher", "<25%", "25-50%", "50-75%", ">=75%", "IPC delta"],
+            rows,
+        )
+    )
+
+    # Paper shape: MLOP pushes the system into the upper bandwidth
+    # buckets more than Pythia does.
+    def high_bw_share(pf):
+        return sum(records[pf].result.bw_bucket_fractions[2:])
+
+    assert high_bw_share("pythia") <= high_bw_share("mlop") + 0.05
+    # Strict Pythia uses no more bandwidth than basic.
+    assert high_bw_share("pythia_strict") <= high_bw_share("pythia") + 0.05

@@ -1,0 +1,30 @@
+"""Fig 17: per-trace performance line graph, single core.
+
+The paper sorts all 150 single-core traces by Pythia's speedup and plots
+the line for each prefetcher.  This bench uses the representative sample
+(extend via REPRO_BENCH_LENGTH / editing the sample) and prints the
+sorted series.
+"""
+
+from conftest import all_sample_traces, once
+from repro.harness.rollup import format_table, sorted_speedups
+
+PREFETCHERS = ["spp", "bingo", "pythia"]
+
+
+def test_fig17_line_single_core(runner, benchmark):
+    traces = all_sample_traces()
+
+    def run():
+        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+
+    records = once(benchmark, run)
+    line = sorted_speedups(records, "pythia")
+    rows = [(name, f"{s:.3f}") for name, s in line]
+    print("\nFig 17: traces sorted by Pythia speedup (1C)")
+    print(format_table(["trace", "pythia speedup"], rows))
+
+    # Paper shape: the line is overwhelmingly above 1.0 with a small
+    # losing tail (the paper has exactly one losing trace).
+    losing = sum(1 for _, s in line if s < 0.97)
+    assert losing <= len(line) // 3

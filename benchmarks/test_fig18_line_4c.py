@@ -1,0 +1,31 @@
+"""Fig 18: per-mix performance line graph, multi-core.
+
+Sorted per-mix speedups of Pythia on heterogeneous mixes (the paper uses
+272 four-core mixes; this bench runs a 2-core sample for wall-time).
+"""
+
+from conftest import BENCH_LENGTH, once
+from repro.harness.rollup import format_table
+from repro.sim.config import baseline_multi_core
+from repro.workloads import heterogeneous_mixes
+
+
+def test_fig18_line_multicore(runner, benchmark):
+    config = baseline_multi_core(2)
+    mixes = heterogeneous_mixes(num_cores=2, num_mixes=4, length=BENCH_LENGTH)
+
+    def run():
+        rows = []
+        for name, traces in mixes:
+            result, baseline = runner.run_mix(traces, "pythia", config)
+            rows.append((name, result.ipc / baseline.ipc))
+        rows.sort(key=lambda pair: pair[1])
+        return rows
+
+    rows = once(benchmark, run)
+    print("\nFig 18: mixes sorted by Pythia speedup (2C sample)")
+    print(format_table(["mix", "pythia speedup"], [(n, f"{s:.3f}") for n, s in rows]))
+
+    # Paper shape: Pythia does not catastrophically lose on any mix
+    # (worst single-mix loss in the paper is -3.5%).
+    assert rows[0][1] > 0.85

@@ -1,0 +1,41 @@
+"""Fig 19 (appendix B.2): speedup/coverage/overprediction across feature
+combinations — the feature-selection search surface."""
+
+from conftest import once
+from repro.core.features import ControlFlow, DataFlow, FeatureSpec
+from repro.harness.rollup import format_table
+from repro.tuning import feature_selection
+
+TRACES = ["spec06/gemsfdtd-1", "spec06/lbm-1", "ligra/cc-1"]
+VECTORS = [
+    (FeatureSpec(ControlFlow.PC, DataFlow.DELTA),
+     FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_DELTAS)),  # Table 2 winner
+    (FeatureSpec(ControlFlow.PC, DataFlow.DELTA),),
+    (FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_DELTAS),),
+    (FeatureSpec(ControlFlow.PC, DataFlow.NONE),),
+    (FeatureSpec(ControlFlow.NONE, DataFlow.OFFSET),),
+    (FeatureSpec(ControlFlow.PC_PATH, DataFlow.OFFSET),),
+]
+
+
+def test_fig19_feature_sweep(runner, benchmark):
+    def run():
+        return feature_selection(TRACES, runner, vectors=VECTORS)
+
+    scores = once(benchmark, run)
+    rows = [
+        (
+            s.label,
+            f"{s.geomean_speedup:.3f}",
+            f"{100 * s.mean_coverage:.1f}%",
+            f"{100 * s.mean_overprediction:.1f}%",
+        )
+        for s in scores
+    ]
+    print("\nFig 19: feature-combination sweep (sorted by speedup)")
+    print(format_table(["state-vector", "speedup", "coverage", "overpred"], rows))
+
+    # Paper shape: varying the state-vector moves performance, and a
+    # delta-based feature family sits at the top on these traces.
+    assert scores[0].geomean_speedup > scores[-1].geomean_speedup
+    assert "delta" in scores[0].label

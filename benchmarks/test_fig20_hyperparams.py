@@ -1,0 +1,51 @@
+"""Fig 20 (appendix B.3): sensitivity to the exploration rate ε and the
+learning rate α."""
+
+import dataclasses
+
+from conftest import once
+from repro.core import Pythia, PythiaConfig
+from repro.harness.rollup import format_table
+from repro.sim.config import baseline_single_core
+from repro.sim.metrics import geomean, speedup
+from repro.sim.system import simulate
+
+TRACES = ["spec06/gemsfdtd-1", "spec06/lbm-1"]
+EPSILONS = [0.005, 0.1, 0.5]
+ALPHAS = [0.001, 0.02, 0.2]
+
+
+def _score(runner, **overrides):
+    config = dataclasses.replace(PythiaConfig(), **overrides)
+    speeds = []
+    for name in TRACES:
+        trace = runner.trace(name)
+        base = runner.baseline(name, baseline_single_core())
+        result = simulate(trace, baseline_single_core(), Pythia(config),
+                          warmup_fraction=runner.warmup_fraction)
+        speeds.append(speedup(result, base))
+    return geomean(speeds)
+
+
+def test_fig20a_epsilon_sensitivity(runner, benchmark):
+    def run():
+        return {eps: _score(runner, epsilon=eps) for eps in EPSILONS}
+
+    scores = once(benchmark, run)
+    rows = [(eps, f"{scores[eps]:.3f}") for eps in EPSILONS]
+    print("\nFig 20a: sensitivity to exploration rate")
+    print(format_table(["epsilon", "geomean speedup"], rows))
+    # Paper shape: heavy exploration hurts — ε=0.5 must not be the best.
+    assert scores[0.5] <= max(scores[e] for e in EPSILONS[:2]) + 0.01
+
+
+def test_fig20b_alpha_sensitivity(runner, benchmark):
+    def run():
+        return {alpha: _score(runner, alpha=alpha) for alpha in ALPHAS}
+
+    scores = once(benchmark, run)
+    rows = [(alpha, f"{scores[alpha]:.3f}") for alpha in ALPHAS]
+    print("\nFig 20b: sensitivity to learning rate")
+    print(format_table(["alpha", "geomean speedup"], rows))
+    # Paper shape: the tuned mid value is at least as good as the extremes.
+    assert scores[0.02] >= min(scores[a] for a in ALPHAS) - 0.01

@@ -1,0 +1,34 @@
+"""Fig 21 (appendix B.4): Pythia vs the context prefetcher (CP-HW).
+
+The myopic contextual bandit vs the far-sighted SARSA agent: same
+action space, same hardware-only features, no Q-value bootstrapping and
+no bandwidth awareness on CP's side.
+"""
+
+from conftest import SAMPLE_TRACES, once
+from repro.harness.rollup import format_table, per_suite_geomean
+from repro.sim.metrics import geomean
+
+PREFETCHERS = ["cp_hw", "pythia"]
+
+
+def test_fig21_pythia_vs_cp_hw(runner, benchmark):
+    traces = [t for suite in SAMPLE_TRACES.values() for t in suite[:2]]
+
+    def run():
+        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+
+    records = once(benchmark, run)
+    rollup = per_suite_geomean(records)
+    rows = [
+        (suite, *[f"{rollup[suite][pf]:.3f}" for pf in PREFETCHERS])
+        for suite in rollup
+    ]
+    print("\nFig 21: Pythia vs CP-HW per suite (1C)")
+    print(format_table(["suite", *PREFETCHERS], rows))
+
+    pythia = geomean([r.speedup for r in records if r.prefetcher == "pythia"])
+    cp = geomean([r.speedup for r in records if r.prefetcher == "cp_hw"])
+    print(f"overall: pythia {pythia:.3f}, cp_hw {cp:.3f}")
+    # Paper shape: Pythia outperforms the myopic bandit overall.
+    assert pythia >= cp - 0.01

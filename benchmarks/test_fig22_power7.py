@@ -1,0 +1,40 @@
+"""Fig 22 (appendix B.5): Pythia vs the IBM POWER7 adaptive prefetcher.
+
+POWER7 only tunes streaming aggressiveness; it cannot represent
+non-streaming patterns no matter how it adapts.
+"""
+
+from conftest import SAMPLE_TRACES, once
+from repro.harness.rollup import format_table, per_suite_geomean
+from repro.sim.metrics import geomean
+
+PREFETCHERS = ["power7", "pythia"]
+
+
+def test_fig22_pythia_vs_power7(runner, benchmark):
+    traces = [t for suite in SAMPLE_TRACES.values() for t in suite[:2]]
+
+    def run():
+        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+
+    records = once(benchmark, run)
+    rollup = per_suite_geomean(records)
+    rows = [
+        (suite, *[f"{rollup[suite][pf]:.3f}" for pf in PREFETCHERS])
+        for suite in rollup
+    ]
+    print("\nFig 22: Pythia vs POWER7 adaptive prefetcher per suite (1C)")
+    print(format_table(["suite", *PREFETCHERS], rows))
+
+    pythia = geomean([r.speedup for r in records if r.prefetcher == "pythia"])
+    power7 = geomean([r.speedup for r in records if r.prefetcher == "power7"])
+    print(f"overall: pythia {pythia:.3f}, power7 {power7:.3f}")
+    # Paper shape: Pythia captures patterns POWER7's streamer cannot.
+    assert pythia >= power7 - 0.02
+
+
+def test_fig22_delta_pattern_gap(runner):
+    """On the delta workload POWER7's streaming depths are useless."""
+    pythia = runner.run("spec06/gemsfdtd-1", "pythia")
+    power7 = runner.run("spec06/gemsfdtd-1", "power7")
+    assert pythia.coverage > power7.coverage

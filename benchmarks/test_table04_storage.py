@@ -1,0 +1,29 @@
+"""Table 4: Pythia's metadata storage overhead (computed exactly)."""
+
+import dataclasses
+
+from conftest import once
+from repro.core import PythiaConfig
+from repro.harness.rollup import format_table
+from repro.hwmodel import storage_overhead
+
+
+def test_table04_storage(benchmark):
+    config = dataclasses.replace(PythiaConfig(), eq_size=256)
+
+    def run():
+        return storage_overhead(config)
+
+    breakdown = once(benchmark, run)
+    rows = [
+        ("QVStore", f"{breakdown.qvstore_bytes / 1024:.1f} KB"),
+        ("EQ", f"{breakdown.eq_bytes / 1024:.1f} KB"),
+        ("Total", f"{breakdown.total_kib:.1f} KB"),
+    ]
+    print("\nTable 4: storage overhead of Pythia")
+    print(format_table(["structure", "size"], rows))
+
+    # Paper values, exact: 24 KB + 1.5 KB = 25.5 KB.
+    assert breakdown.qvstore_bytes == 24 * 1024
+    assert breakdown.eq_bytes == 1536
+    assert breakdown.total_kib == 25.5

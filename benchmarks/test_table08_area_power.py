@@ -1,0 +1,35 @@
+"""Table 8: area and power overhead vs commercial Skylake SKUs."""
+
+import dataclasses
+
+from conftest import once
+from repro.core import PythiaConfig
+from repro.harness.rollup import format_table
+from repro.hwmodel import overhead_table, synthesize
+
+
+def test_table08_area_power(benchmark):
+    config = dataclasses.replace(PythiaConfig(), eq_size=256)
+
+    def run():
+        return synthesize(config), overhead_table(config)
+
+    estimate, rows = once(benchmark, run)
+    print(
+        f"\nTable 8: Pythia area {estimate.area_mm2:.2f} mm^2/core, "
+        f"power {estimate.power_mw:.2f} mW/core, "
+        f"prediction latency {estimate.prediction_latency_cycles} cycles"
+    )
+    printable = [
+        (sku, f"{area:.2f}%", f"{power:.2f}%") for sku, area, power in rows
+    ]
+    print(format_table(["processor", "area overhead", "power overhead"], printable))
+
+    # Paper values: 0.33 mm^2, 55.11 mW; 1.03% area / 0.37% power on the
+    # 4-core desktop SKU.
+    assert abs(estimate.area_mm2 - 0.33) < 1e-6
+    assert abs(estimate.power_mw - 55.11) < 1e-6
+    by_sku = {sku: (a, p) for sku, a, p in rows}
+    area4, power4 = by_sku["Skylake D-2123IT (4-core, 60W)"]
+    assert abs(area4 - 1.03) < 0.02
+    assert abs(power4 - 0.37) < 0.02

@@ -1,0 +1,42 @@
+"""Bandwidth adaptivity: the paper's core argument, on one graph kernel.
+
+Sweeps the DRAM transfer rate from a server-like slice (300 MTPS) to an
+overprovisioned desktop (9600 MTPS) on a Ligra-CC-like workload and
+shows how aggressive prefetchers (MLOP) collapse when bandwidth is
+scarce while Pythia's bandwidth-aware rewards keep it safe — Fig 8b's
+crossover in miniature.
+
+Run:  python examples/bandwidth_adaptivity.py
+"""
+
+from repro.prefetchers import create
+from repro.sim import baseline_single_core, simulate
+from repro.sim.metrics import speedup
+from repro.workloads import generate_trace
+
+MTPS_POINTS = [300, 1200, 2400, 9600]
+PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
+
+
+def main() -> None:
+    trace = generate_trace("ligra/cc", length=15_000, seed=1)
+    print(f"workload: {trace.name} (bandwidth-hungry graph kernel)\n")
+    header = f"{'MTPS':>6} " + " ".join(f"{p:>8}" for p in PREFETCHERS)
+    print(header)
+    for mtps in MTPS_POINTS:
+        config = baseline_single_core().with_mtps(mtps)
+        baseline = simulate(trace, config)
+        row = f"{mtps:>6} "
+        for name in PREFETCHERS:
+            result = simulate(trace, config, create(name))
+            row += f" {speedup(result, baseline):8.3f}"
+        print(row)
+    print(
+        "\nReading the table: as MTPS shrinks, overpredicting prefetchers"
+        " fall below 1.0 (slower than no prefetching) while Pythia trades"
+        " coverage for accuracy and stays on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Online customization: change Pythia's objective via its "registers".
+
+The paper's headline framework feature (§6.6): the same hardware serves
+different objectives by rewriting configuration registers.  This example
+runs three Pythia configurations on a Ligra workload:
+
+* **basic** — the default (substrate-tuned Table 2 analogue);
+* **strict** — punishes inaccuracy harder, favours not prefetching
+  (the paper's Ligra customization, Fig 15);
+* **custom features** — a state-vector swapped to PC+Offset /
+  last-4-offsets, demonstrating feature customization (§6.6.2).
+
+Run:  python examples/customize_pythia.py
+"""
+
+from repro.core import Pythia, PythiaConfig
+from repro.core.features import ControlFlow, DataFlow, FeatureSpec
+from repro.sim import baseline_single_core, simulate
+from repro.sim.metrics import overprediction, speedup
+from repro.workloads import generate_trace
+
+
+def main() -> None:
+    trace = generate_trace("ligra/pagerankdelta", length=15_000, seed=1)
+    config = baseline_single_core()
+    baseline = simulate(trace, config)
+    print(f"workload: {trace.name}, baseline IPC {baseline.ipc:.3f}\n")
+
+    offset_features = (
+        FeatureSpec(ControlFlow.PC, DataFlow.OFFSET),
+        FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_OFFSETS),
+    )
+    variants = {
+        "basic": PythiaConfig.named("basic"),
+        "strict": PythiaConfig.named("strict"),
+        "pc+offset features": PythiaConfig().with_features(offset_features),
+    }
+    for label, pythia_config in variants.items():
+        result = simulate(trace, config, Pythia(pythia_config))
+        print(
+            f"{label:20s} speedup {speedup(result, baseline):.3f}  "
+            f"overprediction {100 * overprediction(result, baseline):5.1f}%  "
+            f"prefetch DRAM reads {result.dram_prefetch_reads}"
+        )
+    print(
+        "\nNo hardware changed between rows — only the reward and feature"
+        " registers, exactly the customization story of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Automated design-space exploration (§4.3) at laptop scale.
+
+Runs the three tuning procedures the paper used to derive Pythia's basic
+configuration: feature selection over candidate state-vectors, action
+pruning by leave-one-out impact, and a small hyperparameter grid search.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core.features import ControlFlow, DataFlow, FeatureSpec
+from repro.harness import Runner
+from repro.tuning import (
+    feature_selection,
+    grid_search_hyperparameters,
+    prune_actions,
+)
+
+TRACES = ["spec06/gemsfdtd-1", "spec06/lbm-1", "ligra/cc-1"]
+
+
+def main() -> None:
+    runner = Runner(trace_length=8_000)
+
+    print("=== Feature selection (sample of the 32-feature space) ===")
+    vectors = [
+        (FeatureSpec(ControlFlow.PC, DataFlow.DELTA),
+         FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_DELTAS)),
+        (FeatureSpec(ControlFlow.PC, DataFlow.DELTA),),
+        (FeatureSpec(ControlFlow.PC, DataFlow.OFFSET),),
+        (FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_OFFSETS),),
+    ]
+    for score in feature_selection(TRACES, runner, vectors=vectors):
+        print(f"  {score.label:40s} speedup {score.geomean_speedup:.3f} "
+              f"coverage {100 * score.mean_coverage:4.1f}%")
+
+    print("\n=== Action pruning (leave-one-out impact) ===")
+    initial = (-6, -1, 0, 1, 3, 11, 23, 30)
+    pruned, impacts = prune_actions(TRACES, initial, keep=6, runner=runner)
+    for report in sorted(impacts, key=lambda i: -i.impact):
+        print(f"  offset {report.action:+3d}: impact {report.impact:+.4f}")
+    print(f"  pruned action list: {pruned}")
+
+    print("\n=== Hyperparameter grid search ===")
+    results = grid_search_hyperparameters(
+        TRACES,
+        alphas=(0.005, 0.02, 0.08),
+        gammas=(0.556,),
+        epsilons=(0.005, 0.05),
+        top_k=3,
+        runner=runner,
+    )
+    for result in results:
+        cfg = result.config
+        print(f"  alpha={cfg.alpha:<6} gamma={cfg.gamma:<6} eps={cfg.epsilon:<6}"
+              f" -> speedup {result.geomean_speedup:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro: a Python reproduction of Pythia (MICRO 2021).
+
+Pythia formulates hardware prefetching as online reinforcement learning:
+for every demand request the prefetcher observes a vector of program
+features, selects a prefetch offset via a tile-coded Q-value store, and
+is rewarded for accurate, timely, bandwidth-respecting prefetches.
+
+This package contains the full system: the trace-driven simulator
+substrate (:mod:`repro.sim`), synthetic workload generators
+(:mod:`repro.workloads`), ten baseline prefetchers
+(:mod:`repro.prefetchers`), Pythia itself (:mod:`repro.core`), the
+automated design-space exploration (:mod:`repro.tuning`), hardware
+overhead models (:mod:`repro.hwmodel`), and the experiment harness that
+regenerates every table and figure (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro.core import Pythia
+    from repro.sim import simulate, baseline_single_core
+    from repro.workloads import generate_trace
+
+    trace = generate_trace("spec06/gemsfdtd", length=50_000, seed=1)
+    base = simulate(trace, baseline_single_core())
+    result = simulate(trace, baseline_single_core(), Pythia())
+    print(result.ipc / base.ipc)
+"""
+
+__version__ = "1.0.0"
+
+from repro.types import LINE_SIZE, PAGE_SIZE, LINES_PER_PAGE
+
+__all__ = ["LINE_SIZE", "PAGE_SIZE", "LINES_PER_PAGE", "__version__"]

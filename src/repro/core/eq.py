@@ -1,0 +1,102 @@
+"""EQ: the evaluation queue of recently-taken actions (§4.2.3).
+
+Pythia cannot reward an action when it takes it — whether the prefetch
+turns out useful is only known later.  The EQ is a FIFO of the last
+``eq_size`` actions; rewards attach to entries at three moments:
+
+1. **insertion** — no-prefetch and out-of-page actions get their reward
+   immediately;
+2. **residency** — a demand matching the entry's prefetch address earns
+   R_AT or R_AL depending on the *filled* bit;
+3. **eviction** — entries still unrewarded were inaccurate (R_IN, by
+   bandwidth usage).
+
+On eviction the entry's (state, action, reward) plus the (state, action)
+at the EQ *head* form the SARSA update pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.qvstore import StateValues
+
+
+@dataclass
+class EqEntry:
+    """One recently-taken action awaiting its Q-value update.
+
+    Attributes:
+        state: feature values observed when the action was taken.
+        action: action index into the config's action list.
+        prefetch_line: the generated prefetch address (None for
+            no-prefetch / out-of-page actions).
+        reward: assigned reward, or None while still pending.
+        filled: True once the prefetch fill completed.
+    """
+
+    state: StateValues
+    action: int
+    prefetch_line: int | None = None
+    reward: float | None = None
+    filled: bool = False
+
+    @property
+    def has_reward(self) -> bool:
+        """Whether a reward level has been assigned yet."""
+        return self.reward is not None
+
+
+class EvaluationQueue:
+    """Fixed-capacity FIFO of :class:`EqEntry` with address lookup."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("EQ capacity must be positive")
+        self.capacity = capacity
+        self._fifo: deque[EqEntry] = deque()
+        self._by_line: dict[int, EqEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def head(self) -> EqEntry | None:
+        """Oldest resident entry (the SARSA (S2, A2) source)."""
+        return self._fifo[0] if self._fifo else None
+
+    def search(self, line: int) -> EqEntry | None:
+        """Find the most recent resident entry prefetching *line*."""
+        return self._by_line.get(line)
+
+    def mark_filled(self, line: int) -> bool:
+        """Set the filled bit for *line*'s entry (Algorithm 1 line 32)."""
+        entry = self._by_line.get(line)
+        if entry is None:
+            return False
+        entry.filled = True
+        return True
+
+    def insert(self, entry: EqEntry) -> EqEntry | None:
+        """Append *entry*; returns the evicted entry if the EQ was full."""
+        evicted: EqEntry | None = None
+        if len(self._fifo) >= self.capacity:
+            evicted = self._fifo.popleft()
+            if (
+                evicted.prefetch_line is not None
+                and self._by_line.get(evicted.prefetch_line) is evicted
+            ):
+                del self._by_line[evicted.prefetch_line]
+        self._fifo.append(entry)
+        if entry.prefetch_line is not None:
+            self._by_line[entry.prefetch_line] = entry
+        return evicted
+
+    def clear(self) -> None:
+        """Drop all entries (Algorithm 1 line 3)."""
+        self._fifo.clear()
+        self._by_line.clear()
+
+    def __iter__(self):
+        return iter(self._fifo)

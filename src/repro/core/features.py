@@ -1,0 +1,216 @@
+"""Program-feature extraction: the state space of Pythia's RL agent.
+
+§3.1 of the paper defines a program feature as the concatenation of a
+*control-flow* component and a *data-flow* component (Table 3):
+
+    control-flow: PC | PC-path (XOR of last 3 PCs) | PC ⊕ branch-PC | none
+    data-flow:    cacheline address | page number | page offset |
+                  cacheline delta | last-4 offsets | last-4 deltas |
+                  offset ⊕ delta | none
+
+4 × 8 = 32 candidate features; the automated feature selection of §4.3.1
+searches combinations of them.  The basic Pythia configuration uses the
+two winners: ``PC+Delta`` and ``Sequence of last-4 deltas``.
+
+Cacheline deltas are tracked **per physical page** (as in the Pythia
+artifact): the delta of the first access to a page is 0, which is
+exactly the trigger the paper's Fig 13 case study keys on
+("PC 0x436a81 generates the first load to a physical page, hence the
+delta 0").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.prefetchers.base import DemandContext
+
+
+class ControlFlow(enum.Enum):
+    """Control-flow component choices (Table 3, left column)."""
+
+    PC = "pc"
+    PC_PATH = "pc_path"
+    PC_XOR_PREV = "pc_xor_prev"
+    NONE = "none"
+
+
+class DataFlow(enum.Enum):
+    """Data-flow component choices (Table 3, right column)."""
+
+    ADDRESS = "address"
+    PAGE = "page"
+    OFFSET = "offset"
+    DELTA = "delta"
+    LAST4_OFFSETS = "last4_offsets"
+    LAST4_DELTAS = "last4_deltas"
+    OFFSET_XOR_DELTA = "offset_xor_delta"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One program feature: a (control-flow, data-flow) pair."""
+
+    control: ControlFlow
+    data: DataFlow
+
+    @property
+    def label(self) -> str:
+        """Human-readable name, e.g. ``"PC+Delta"``."""
+        parts = []
+        if self.control is not ControlFlow.NONE:
+            parts.append(self.control.value)
+        if self.data is not DataFlow.NONE:
+            parts.append(self.data.value)
+        return "+".join(parts) if parts else "none"
+
+
+#: The paper's winning state-vector (Table 2).
+PC_DELTA = FeatureSpec(ControlFlow.PC, DataFlow.DELTA)
+LAST4_DELTAS = FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_DELTAS)
+BASIC_FEATURES: tuple[FeatureSpec, ...] = (PC_DELTA, LAST4_DELTAS)
+
+
+def all_feature_specs() -> list[FeatureSpec]:
+    """The full 32-feature candidate space of §4.3.1."""
+    return [
+        FeatureSpec(cf, df)
+        for cf in ControlFlow
+        for df in DataFlow
+    ]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """The raw components extracted for one demand request.
+
+    Feature values are derived from these by :func:`encode_feature`.
+    """
+
+    pc: int
+    pc_path: int
+    pc_xor_prev: int
+    line: int
+    page: int
+    offset: int
+    delta: int
+    last4_offsets: tuple[int, ...]
+    last4_deltas: tuple[int, ...]
+
+
+def _mix(*values: int) -> int:
+    """Deterministic non-cryptographic hash combine."""
+    acc = 0x811C9DC5
+    for v in values:
+        acc ^= v & 0xFFFFFFFF
+        acc = (acc * 0x01000193) & 0xFFFFFFFF
+    return acc
+
+
+def _fold_sequence(seq: tuple[int, ...]) -> int:
+    acc = 0
+    for v in seq:
+        acc = ((acc << 7) ^ (v & 0x7F)) & 0xFFFFFFFF
+    return acc
+
+
+def encode_feature(spec: FeatureSpec, obs: Observation) -> int:
+    """Compute the integer feature value for *spec* from *obs*."""
+    if spec.control is ControlFlow.PC:
+        control = obs.pc
+    elif spec.control is ControlFlow.PC_PATH:
+        control = obs.pc_path
+    elif spec.control is ControlFlow.PC_XOR_PREV:
+        control = obs.pc_xor_prev
+    else:
+        control = 0
+
+    if spec.data is DataFlow.ADDRESS:
+        data = obs.line
+    elif spec.data is DataFlow.PAGE:
+        data = obs.page
+    elif spec.data is DataFlow.OFFSET:
+        data = obs.offset
+    elif spec.data is DataFlow.DELTA:
+        data = obs.delta & 0x7F
+    elif spec.data is DataFlow.LAST4_OFFSETS:
+        data = _fold_sequence(obs.last4_offsets)
+    elif spec.data is DataFlow.LAST4_DELTAS:
+        data = _fold_sequence(obs.last4_deltas)
+    elif spec.data is DataFlow.OFFSET_XOR_DELTA:
+        data = obs.offset ^ (obs.delta & 0x7F)
+    else:
+        data = 0
+
+    if spec.control is ControlFlow.NONE:
+        return data & 0xFFFFFFFF
+    if spec.data is DataFlow.NONE:
+        return control & 0xFFFFFFFF
+    return _mix(control, data)
+
+
+@dataclass
+class _PageHistory:
+    """Per-page delta/offset history (the artifact's signature-table role)."""
+
+    last_offset: int = -1
+    deltas: deque = field(default_factory=lambda: deque(maxlen=4))
+    offsets: deque = field(default_factory=lambda: deque(maxlen=4))
+
+
+class FeatureExtractor:
+    """Stateful extractor turning demand requests into observations.
+
+    Tracks the global PC path and per-page offset/delta histories
+    (bounded LRU, like the hardware's signature table).
+    """
+
+    def __init__(self, page_table_size: int = 256) -> None:
+        self.page_table_size = page_table_size
+        self._pages: OrderedDict[int, _PageHistory] = OrderedDict()
+        self._last_pcs: deque[int] = deque(maxlen=3)
+
+    def observe(self, ctx: DemandContext) -> Observation:
+        """Fold one demand request into the histories; return components."""
+        history = self._pages.get(ctx.page)
+        if history is None:
+            history = _PageHistory()
+            self._pages[ctx.page] = history
+            while len(self._pages) > self.page_table_size:
+                self._pages.popitem(last=False)
+        else:
+            self._pages.move_to_end(ctx.page)
+
+        if history.last_offset < 0:
+            delta = 0
+        else:
+            delta = ctx.offset - history.last_offset
+        history.last_offset = ctx.offset
+        history.deltas.append(delta)
+        history.offsets.append(ctx.offset)
+
+        pc_path = 0
+        for pc in self._last_pcs:
+            pc_path ^= pc
+        prev_pc = self._last_pcs[-1] if self._last_pcs else 0
+        self._last_pcs.append(ctx.pc)
+
+        return Observation(
+            pc=ctx.pc,
+            pc_path=pc_path ^ ctx.pc,
+            pc_xor_prev=ctx.pc ^ prev_pc,
+            line=ctx.line,
+            page=ctx.page,
+            offset=ctx.offset,
+            delta=delta,
+            last4_offsets=tuple(history.offsets),
+            last4_deltas=tuple(history.deltas),
+        )
+
+    def reset(self) -> None:
+        """Clear all histories."""
+        self._pages.clear()
+        self._last_pcs.clear()

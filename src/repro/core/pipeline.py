@@ -1,0 +1,58 @@
+"""Timing model of the pipelined QVStore search (§4.2.2, Fig 6).
+
+The hardware retrieves the Q-value of every action iteratively through a
+five-stage pipeline (index generation → partial-Q retrieval → partial-Q
+summation → max across features → running max across actions).  Once the
+pipeline fills, one action's Q-value completes per cycle, so a full
+search over ``num_actions`` actions takes ``stages + num_actions - 1``
+cycles.  The same model drives the hwmodel's latency report and lets the
+tuning code reason about the cost of larger action lists (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PythiaConfig
+
+#: Fig 6's stage names, in order.
+PIPELINE_STAGES: tuple[str, ...] = (
+    "index generation",
+    "retrieve partial Q-values",
+    "sum partial Q-values",
+    "max across features",
+    "track max across actions",
+)
+
+
+@dataclass(frozen=True)
+class SearchTiming:
+    """Latency/throughput summary of one QVStore search."""
+
+    stages: int
+    actions: int
+
+    @property
+    def fill_latency(self) -> int:
+        """Cycles until the first action's Q-value emerges."""
+        return self.stages
+
+    @property
+    def total_latency(self) -> int:
+        """Cycles to conclude the search over all actions."""
+        return self.stages + self.actions - 1
+
+    @property
+    def throughput(self) -> float:
+        """Actions retired per cycle in steady state (pipelined => 1)."""
+        return 1.0
+
+
+def search_timing(config: PythiaConfig) -> SearchTiming:
+    """Pipeline timing for a configuration's action-list length."""
+    return SearchTiming(stages=len(PIPELINE_STAGES), actions=config.num_actions)
+
+
+def prediction_latency(config: PythiaConfig) -> int:
+    """End-to-end prediction latency in cycles for one demand request."""
+    return search_timing(config).total_latency

@@ -1,0 +1,135 @@
+"""Pythia: the RL-based prefetcher (Algorithm 1, end to end).
+
+For every demand request Pythia:
+
+1. searches the EQ with the demanded address and rewards a matching
+   entry R_AT / R_AL by its filled bit (lines 6-11);
+2. extracts the state-vector from the request's attributes (line 12);
+3. ε-greedily selects a prefetch-offset action (lines 13-16);
+4. issues the prefetch — unless the action is 0 (no prefetch) or lands
+   outside the physical page, which earn their reward immediately
+   (lines 17-22);
+5. inserts the new EQ entry; the eviction this causes assigns R_IN if
+   needed and performs the SARSA update against the EQ head
+   (lines 23-29).
+
+Prefetch fills set the filled bit via :meth:`on_prefetch_fill`
+(lines 31-32).
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import SarsaAgent
+from repro.core.config import PythiaConfig
+from repro.core.eq import EqEntry
+from repro.core.features import FeatureExtractor, Observation, encode_feature
+from repro.core.qvstore import StateValues
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import LINES_PER_PAGE, make_line
+
+
+class Pythia(Prefetcher):
+    """Customizable RL prefetcher.
+
+    Args:
+        config: design-time/register configuration; defaults to the
+            basic configuration of Table 2.
+
+    The instance exposes its :class:`~repro.core.agent.SarsaAgent` as
+    ``agent`` for introspection (Q-value case studies, tests) and counts
+    action selections in ``action_counts`` (Fig 13's "most selected
+    offsets" statistic).
+    """
+
+    name = "pythia"
+
+    def __init__(self, config: PythiaConfig | None = None) -> None:
+        self.config = config if config is not None else PythiaConfig()
+        self.agent = SarsaAgent(self.config)
+        self.extractor = FeatureExtractor()
+        self.action_counts = [0] * self.config.num_actions
+        self.rewards_assigned: dict[str, int] = {
+            "accurate_timely": 0,
+            "accurate_late": 0,
+            "coverage_loss": 0,
+            "inaccurate": 0,
+            "no_prefetch": 0,
+        }
+
+    # -- Algorithm 1 --------------------------------------------------------
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        rewards = self.config.rewards
+
+        # (1) Reward a resident entry whose prefetch this demand vindicates.
+        entry = self.agent.eq.search(ctx.line)
+        if entry is not None and not entry.has_reward:
+            if entry.filled:
+                entry.reward = rewards.accurate_timely
+                self.rewards_assigned["accurate_timely"] += 1
+            else:
+                entry.reward = rewards.accurate_late
+                self.rewards_assigned["accurate_late"] += 1
+
+        # (2) Extract the state-vector.
+        obs = self.extractor.observe(ctx)
+        state = self._encode_state(obs)
+
+        # (3) Select an action.
+        action = self.agent.select_action(state)
+        self.action_counts[action] += 1
+        offset_delta = self.config.actions[action]
+
+        # (4) Generate the prefetch / classify degenerate actions.
+        prefetches: list[int] = []
+        target_offset = ctx.offset + offset_delta
+        if offset_delta == 0:
+            new_entry = EqEntry(state, action, prefetch_line=None)
+            new_entry.reward = rewards.no_prefetch(ctx.bandwidth_high)
+            self.rewards_assigned["no_prefetch"] += 1
+        elif not 0 <= target_offset < LINES_PER_PAGE:
+            new_entry = EqEntry(state, action, prefetch_line=None)
+            new_entry.reward = rewards.coverage_loss
+            self.rewards_assigned["coverage_loss"] += 1
+        else:
+            line = make_line(ctx.page, target_offset)
+            new_entry = EqEntry(state, action, prefetch_line=line)
+            prefetches.append(line)
+
+        # (5) Insert; the agent handles eviction-time R_IN + SARSA update.
+        before = len(self.agent.eq)
+        self.agent.record(new_entry, ctx.bandwidth_high)
+        if before >= self.config.eq_size:
+            # An eviction happened; count it if it was an R_IN assignment.
+            pass
+        return prefetches
+
+    def _encode_state(self, obs: Observation) -> StateValues:
+        return tuple(
+            encode_feature(spec, obs) for spec in self.config.features
+        )
+
+    # -- callbacks -----------------------------------------------------------
+
+    def on_prefetch_fill(self, line: int, cycle: int) -> None:
+        self.agent.eq.mark_filled(line)
+
+    def reset(self) -> None:
+        self.agent = SarsaAgent(self.config)
+        self.extractor.reset()
+        self.action_counts = [0] * self.config.num_actions
+        for key in self.rewards_assigned:
+            self.rewards_assigned[key] = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def top_actions(self, count: int = 2) -> list[tuple[int, int]]:
+        """Most-selected prefetch offsets as (offset, times) pairs."""
+        ranked = sorted(
+            range(self.config.num_actions),
+            key=lambda a: -self.action_counts[a],
+        )
+        return [
+            (self.config.actions[a], self.action_counts[a])
+            for a in ranked[:count]
+        ]

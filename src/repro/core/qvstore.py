@@ -1,0 +1,136 @@
+"""QVStore: the hierarchical, tile-coded Q-value store (§4.2.1).
+
+Organization (Fig 5): one *vault* per program feature; each vault holds
+``N`` *planes*, small tables indexed by a per-plane hash of the feature
+value and by the action.  Retrieval:
+
+    Q(φ_i, A) = Σ_planes  plane[idx_p(φ_i), A]          (Fig 5b)
+    Q(S, A)   = max_i  Q(φ_i, A)                         (Eqn 3)
+
+The max across vaults lets whichever feature correlates best with the
+current pattern drive the decision; the per-plane sum is standard tile
+coding.  SARSA updates apply the TD error to every plane of every vault
+(the gradient of the sum), as the Pythia artifact does.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PythiaConfig
+from repro.core.tile_coding import plane_indices
+
+#: State values as passed around by the agent: one int per feature.
+StateValues = tuple[int, ...]
+
+
+class Vault:
+    """Q-value storage for one program feature.
+
+    Plain nested lists, not numpy: lookups touch three 16-float rows per
+    query and per-element Python arithmetic beats small-array numpy
+    dispatch by a wide margin on the simulator's hot path.
+    """
+
+    def __init__(self, config: PythiaConfig) -> None:
+        self._shifts = config.plane_shifts
+        self._entries = config.plane_entries
+        self._num_actions = config.num_actions
+        init = config.initial_q / config.num_planes
+        self._planes: list[list[list[float]]] = [
+            [[init] * config.num_actions for _ in range(config.plane_entries)]
+            for _ in range(config.num_planes)
+        ]
+        self._index_cache: dict[int, tuple[int, ...]] = {}
+
+    def indices(self, value: int) -> tuple[int, ...]:
+        """Plane row indices for a feature *value* (memoized)."""
+        cached = self._index_cache.get(value)
+        if cached is None:
+            cached = plane_indices(value, self._shifts, self._entries)
+            if len(self._index_cache) > 65536:
+                self._index_cache.clear()
+            self._index_cache[value] = cached
+        return cached
+
+    def q_row(self, value: int) -> list[float]:
+        """Q(φ, A) for all actions: the sum of partial rows (Fig 5b)."""
+        rows = [
+            self._planes[p][i] for p, i in enumerate(self.indices(value))
+        ]
+        first = rows[0]
+        total = list(first)
+        for row in rows[1:]:
+            for a in range(self._num_actions):
+                total[a] += row[a]
+        return total
+
+    def update(self, value: int, action: int, step: float) -> None:
+        """Apply a TD step to every plane's partial Q for (value, action)."""
+        for p, i in enumerate(self.indices(value)):
+            self._planes[p][i][action] += step
+
+    @property
+    def storage_entries(self) -> int:
+        """Total Q-value entries held (Table 4 accounting)."""
+        return len(self._planes) * self._entries * self._num_actions
+
+
+class QVStore:
+    """The full store: one vault per constituent feature."""
+
+    def __init__(self, config: PythiaConfig) -> None:
+        self.config = config
+        self.vaults = [Vault(config) for _ in config.features]
+
+    def q_values(self, state: StateValues) -> list[float]:
+        """Q(S, A) for every action: max over vaults (Eqn 3)."""
+        rows = [vault.q_row(v) for vault, v in zip(self.vaults, state)]
+        best = rows[0]
+        if len(rows) == 1:
+            return best
+        total = list(best)
+        for row in rows[1:]:
+            for a in range(len(total)):
+                if row[a] > total[a]:
+                    total[a] = row[a]
+        return total
+
+    def q_value(self, state: StateValues, action: int) -> float:
+        """Q(S, A) for one action."""
+        return self.q_values(state)[action]
+
+    def best_action(self, state: StateValues) -> tuple[int, float]:
+        """Action index with the maximum Q-value, and that value."""
+        q = self.q_values(state)
+        best_a = 0
+        best_q = q[0]
+        for a in range(1, len(q)):
+            if q[a] > best_q:
+                best_q = q[a]
+                best_a = a
+        return best_a, best_q
+
+    def sarsa_update(
+        self,
+        state: StateValues,
+        action: int,
+        reward: float,
+        next_state: StateValues,
+        next_action: int,
+    ) -> float:
+        """One SARSA step (Eqn 1 / Algorithm 1 line 29); returns the TD error.
+
+        The TD error is computed once from the state-level Q-values and
+        applied (scaled by α) to every plane of every vault.
+        """
+        q_sa = self.q_value(state, action)
+        q_next = self.q_value(next_state, next_action)
+        td_error = reward + self.config.gamma * q_next - q_sa
+        step = self.config.alpha * td_error
+        for vault, value in zip(self.vaults, state):
+            vault.update(value, action, step)
+        return td_error
+
+    @property
+    def storage_entries(self) -> int:
+        """Total Q-value entries across vaults (Table 4 accounting)."""
+        return sum(v.storage_entries for v in self.vaults)

@@ -1,0 +1,38 @@
+"""Tile-coded plane indexing for the QVStore (§4.2.1, Fig 5c).
+
+A monolithic feature-indexed table would grow exponentially with the
+feature's bit width.  Pythia instead stores each feature's Q-values in
+``N`` small *planes*; each plane hashes the (shifted) feature value into
+a small index.  The shift constant differs per plane, so nearby feature
+values share entries in some planes (generalization) but not all of them
+(resolution) — the classic CMAC/tile-coding trade-off the paper cites.
+"""
+
+from __future__ import annotations
+
+#: Per-plane shift constants, "randomly selected at design time" (§4.2.1).
+DEFAULT_PLANE_SHIFTS: tuple[int, ...] = (0, 5, 11)
+
+
+def hash_index(value: int, shift: int, num_entries: int) -> int:
+    """Map a feature *value* to a plane row index.
+
+    The value is first shifted by the plane's constant (dropping low
+    bits — coarser tiles in higher planes), then avalanche-hashed and
+    reduced modulo the plane size.
+    """
+    v = (value >> shift) & 0xFFFFFFFF
+    # Murmur-style finalizer: cheap, deterministic, well distributed.
+    v ^= v >> 16
+    v = (v * 0x85EBCA6B) & 0xFFFFFFFF
+    v ^= v >> 13
+    v = (v * 0xC2B2AE35) & 0xFFFFFFFF
+    v ^= v >> 16
+    return v % num_entries
+
+
+def plane_indices(
+    value: int, shifts: tuple[int, ...], num_entries: int
+) -> tuple[int, ...]:
+    """Row index of *value* in every plane of a vault."""
+    return tuple(hash_index(value, s, num_entries) for s in shifts)

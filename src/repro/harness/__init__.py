@@ -1,0 +1,25 @@
+"""Experiment harness: run specs, rollups, and per-figure builders.
+
+This is the Python replacement for the paper artifact's perl/slurm/Excel
+pipeline: :mod:`repro.harness.runner` executes (trace, prefetcher,
+system) tuples with baseline caching, :mod:`repro.harness.rollup`
+aggregates them the way the artifact's ``rollup.pl`` + pivot tables do,
+and :mod:`repro.harness.figures` regenerates each figure's rows.
+"""
+
+from repro.harness.experiment import ExperimentSpec, RunRecord
+from repro.harness.runner import Runner
+from repro.harness.rollup import (
+    per_prefetcher_geomean,
+    per_suite_geomean,
+    sorted_speedups,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "RunRecord",
+    "Runner",
+    "per_prefetcher_geomean",
+    "per_suite_geomean",
+    "sorted_speedups",
+]

@@ -1,0 +1,56 @@
+"""Experiment descriptions and per-run records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import coverage, overprediction, speedup
+from repro.sim.system import SimulationResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: a set of traces × prefetchers on one system.
+
+    Attributes:
+        name: experiment identifier (e.g. ``"fig9a"``).
+        trace_names: workload traces to run.
+        prefetchers: registry names to compare.
+        config: simulated system.
+        trace_length: accesses per generated trace.
+        warmup_fraction: leading fraction excluded from statistics.
+    """
+
+    name: str
+    trace_names: tuple[str, ...]
+    prefetchers: tuple[str, ...]
+    config: SystemConfig = field(default_factory=SystemConfig)
+    trace_length: int = 20_000
+    warmup_fraction: float = 0.2
+
+
+@dataclass
+class RunRecord:
+    """One (trace, prefetcher) measurement paired with its baseline."""
+
+    trace_name: str
+    suite: str
+    prefetcher: str
+    result: SimulationResult
+    baseline: SimulationResult
+
+    @property
+    def speedup(self) -> float:
+        """IPC over the no-prefetching baseline."""
+        return speedup(self.result, self.baseline)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of baseline LLC load misses eliminated."""
+        return coverage(self.result, self.baseline)
+
+    @property
+    def overprediction(self) -> float:
+        """Extra DRAM reads per baseline DRAM read."""
+        return overprediction(self.result, self.baseline)

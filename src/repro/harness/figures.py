@@ -1,0 +1,137 @@
+"""Programmatic per-figure builders.
+
+The benchmarks under ``benchmarks/`` are the canonical regenerators (one
+pytest-benchmark file per table/figure); this module exposes the same
+sweeps as plain functions so notebooks and scripts can build a figure's
+data without pytest.  Each builder returns plain dict/list structures
+ready for tabulation or plotting.
+"""
+
+from __future__ import annotations
+
+from repro.harness.rollup import (
+    coverage_rollup,
+    per_prefetcher_geomean,
+    per_suite_geomean,
+)
+from repro.harness.runner import Runner
+from repro.sim.config import SystemConfig, baseline_single_core
+from repro.sim.metrics import geomean
+
+#: The paper's headline competitors in figure order.
+DEFAULT_PREFETCHERS: tuple[str, ...] = ("spp", "bingo", "mlop", "pythia")
+
+
+def fig1_motivation(
+    runner: Runner,
+    traces: list[str],
+    prefetchers: tuple[str, ...] = ("spp", "bingo", "pythia"),
+) -> list[dict]:
+    """Fig 1 rows: coverage/overprediction/IPC per (workload, prefetcher)."""
+    rows = []
+    for trace in traces:
+        for pf in prefetchers:
+            record = runner.run(trace, pf)
+            rows.append(
+                {
+                    "workload": trace,
+                    "prefetcher": pf,
+                    "coverage": record.coverage,
+                    "overprediction": record.overprediction,
+                    "ipc_improvement": record.speedup - 1.0,
+                }
+            )
+    return rows
+
+
+def fig7_coverage(
+    runner: Runner,
+    traces_by_suite: dict[str, list[str]],
+    prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
+) -> dict[str, dict[str, tuple[float, float]]]:
+    """Fig 7: suite → prefetcher → (coverage, overprediction)."""
+    records = [
+        runner.run(trace, pf)
+        for traces in traces_by_suite.values()
+        for trace in traces
+        for pf in prefetchers
+    ]
+    return coverage_rollup(records)
+
+
+def fig8b_bandwidth_sweep(
+    runner: Runner,
+    traces: list[str],
+    mtps_points: list[int],
+    prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
+) -> dict[str, dict[int, float]]:
+    """Fig 8b: prefetcher → MTPS → geomean speedup."""
+    series: dict[str, dict[int, float]] = {pf: {} for pf in prefetchers}
+    for mtps in mtps_points:
+        config = baseline_single_core().with_mtps(mtps)
+        for pf in prefetchers:
+            speeds = [runner.run(t, pf, config).speedup for t in traces]
+            series[pf][mtps] = geomean(speeds)
+    return series
+
+
+def fig8c_llc_sweep(
+    runner: Runner,
+    traces: list[str],
+    llc_factors: list[float],
+    prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
+) -> dict[str, dict[float, float]]:
+    """Fig 8c: prefetcher → LLC scale factor → geomean speedup."""
+    series: dict[str, dict[float, float]] = {pf: {} for pf in prefetchers}
+    for factor in llc_factors:
+        config = baseline_single_core().scaled_llc(factor)
+        for pf in prefetchers:
+            speeds = [runner.run(t, pf, config).speedup for t in traces]
+            series[pf][factor] = geomean(speeds)
+    return series
+
+
+def fig9a_per_suite(
+    runner: Runner,
+    traces_by_suite: dict[str, list[str]],
+    prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
+    config: SystemConfig | None = None,
+) -> dict[str, dict[str, float]]:
+    """Fig 9a: suite → prefetcher → geomean speedup."""
+    config = config if config is not None else baseline_single_core()
+    records = [
+        runner.run(trace, pf, config)
+        for traces in traces_by_suite.values()
+        for trace in traces
+        for pf in prefetchers
+    ]
+    return per_suite_geomean(records)
+
+
+def fig9b_combinations(
+    runner: Runner,
+    traces: list[str],
+    combos: tuple[str, ...] = ("st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"),
+) -> dict[str, float]:
+    """Fig 9b: scheme → geomean speedup over the trace list."""
+    records = [runner.run(t, combo) for t in traces for combo in combos]
+    return per_prefetcher_geomean(records)
+
+
+def fig15_strict_vs_basic(
+    runner: Runner, ligra_traces: list[str]
+) -> list[dict]:
+    """Fig 15 rows: per-workload basic vs strict Pythia speedups."""
+    rows = []
+    for trace in ligra_traces:
+        basic = runner.run(trace, "pythia")
+        strict = runner.run(trace, "pythia_strict")
+        rows.append(
+            {
+                "workload": trace,
+                "basic": basic.speedup,
+                "strict": strict.speedup,
+                "delta": strict.speedup / basic.speedup - 1.0,
+            }
+        )
+    return rows

@@ -1,0 +1,80 @@
+"""Metric rollups: the artifact's ``rollup.pl`` + pivot tables in Python."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.harness.experiment import RunRecord
+from repro.sim.metrics import geomean
+
+
+def per_prefetcher_geomean(records: Iterable[RunRecord]) -> dict[str, float]:
+    """Geomean speedup per prefetcher across all records."""
+    buckets: dict[str, list[float]] = defaultdict(list)
+    for record in records:
+        buckets[record.prefetcher].append(record.speedup)
+    return {name: geomean(vals) for name, vals in buckets.items()}
+
+
+def per_suite_geomean(
+    records: Iterable[RunRecord],
+) -> dict[str, dict[str, float]]:
+    """Nested rollup: suite → prefetcher → geomean speedup (Fig 9a/10a)."""
+    buckets: dict[str, dict[str, list[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for record in records:
+        buckets[record.suite][record.prefetcher].append(record.speedup)
+    return {
+        suite: {name: geomean(vals) for name, vals in by_pf.items()}
+        for suite, by_pf in buckets.items()
+    }
+
+
+def coverage_rollup(
+    records: Iterable[RunRecord],
+) -> dict[str, dict[str, tuple[float, float]]]:
+    """Suite → prefetcher → (mean coverage, mean overprediction) (Fig 7)."""
+    buckets: dict[str, dict[str, list[tuple[float, float]]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for record in records:
+        buckets[record.suite][record.prefetcher].append(
+            (record.coverage, record.overprediction)
+        )
+    out: dict[str, dict[str, tuple[float, float]]] = {}
+    for suite, by_pf in buckets.items():
+        out[suite] = {}
+        for name, pairs in by_pf.items():
+            cov = sum(p[0] for p in pairs) / len(pairs)
+            over = sum(p[1] for p in pairs) / len(pairs)
+            out[suite][name] = (cov, over)
+    return out
+
+
+def sorted_speedups(
+    records: Sequence[RunRecord], prefetcher: str
+) -> list[tuple[str, float]]:
+    """Per-trace speedups of one prefetcher, ascending (Fig 17/18 lines)."""
+    rows = [
+        (r.trace_name, r.speedup) for r in records if r.prefetcher == prefetcher
+    ]
+    rows.sort(key=lambda pair: pair[1])
+    return rows
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Plain-text table used by bench output (the paper-row printer)."""
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Runner: executes experiments with trace and baseline caching.
+
+Every metric in the paper is relative to the no-prefetching baseline of
+the same trace on the same system, so the runner memoizes baseline
+results per (trace, config) — the dominant cost saver when comparing
+many prefetchers.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentSpec, RunRecord
+from repro.prefetchers.registry import create
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimulationResult, simulate, simulate_multi
+from repro.sim.trace import Trace
+from repro.workloads.cvp import generate_cvp_trace
+from repro.workloads.generators import generate_trace
+
+
+def make_trace(name: str, length: int) -> Trace:
+    """Instantiate a trace by name, handling the CVP (unseen) namespace."""
+    if name.startswith("cvp/"):
+        return generate_cvp_trace(name, length=length)
+    return generate_trace(name, length=length)
+
+
+class Runner:
+    """Executes (trace, prefetcher, system) tuples with caching.
+
+    Args:
+        trace_length: accesses per generated trace.
+        warmup_fraction: leading fraction excluded from statistics.
+    """
+
+    def __init__(self, trace_length: int = 20_000, warmup_fraction: float = 0.2) -> None:
+        self.trace_length = trace_length
+        self.warmup_fraction = warmup_fraction
+        self._traces: dict[str, Trace] = {}
+        self._baselines: dict[tuple[str, int], SimulationResult] = {}
+
+    def trace(self, name: str) -> Trace:
+        """Cached trace instantiation."""
+        if name not in self._traces:
+            self._traces[name] = make_trace(name, self.trace_length)
+        return self._traces[name]
+
+    def _config_key(self, config: SystemConfig) -> int:
+        return hash(
+            (
+                config.num_cores,
+                config.llc.size_bytes,
+                config.dram.mtps,
+                config.dram.channels,
+            )
+        )
+
+    def baseline(self, trace_name: str, config: SystemConfig) -> SimulationResult:
+        """Cached no-prefetching run of *trace_name* on *config*."""
+        key = (trace_name, self._config_key(config))
+        if key not in self._baselines:
+            self._baselines[key] = simulate(
+                self.trace(trace_name),
+                config,
+                warmup_fraction=self.warmup_fraction,
+            )
+        return self._baselines[key]
+
+    def run(
+        self,
+        trace_name: str,
+        prefetcher_name: str,
+        config: SystemConfig | None = None,
+        l1_prefetcher_name: str | None = None,
+    ) -> RunRecord:
+        """Run one (trace, prefetcher) pair and pair it with its baseline."""
+        config = config if config is not None else SystemConfig()
+        trace = self.trace(trace_name)
+        if prefetcher_name == "none":
+            result = self.baseline(trace_name, config)
+        else:
+            l1 = create(l1_prefetcher_name) if l1_prefetcher_name else None
+            result = simulate(
+                trace,
+                config,
+                create(prefetcher_name),
+                warmup_fraction=self.warmup_fraction,
+                l1_prefetcher=l1,
+            )
+        return RunRecord(
+            trace_name=trace_name,
+            suite=trace.suite,
+            prefetcher=prefetcher_name,
+            result=result,
+            baseline=self.baseline(trace_name, config),
+        )
+
+    def run_experiment(self, spec: ExperimentSpec) -> list[RunRecord]:
+        """Run the full cross product of a spec's traces × prefetchers."""
+        records: list[RunRecord] = []
+        for trace_name in spec.trace_names:
+            for prefetcher_name in spec.prefetchers:
+                records.append(self.run(trace_name, prefetcher_name, spec.config))
+        return records
+
+    def run_mix(
+        self,
+        traces: list[Trace],
+        prefetcher_name: str,
+        config: SystemConfig,
+    ) -> tuple[SimulationResult, SimulationResult]:
+        """Run a multi-core mix; returns (result, no-prefetch baseline)."""
+        baseline = simulate_multi(
+            traces,
+            config,
+            prefetcher_factory=lambda: create("none"),
+            warmup_fraction=self.warmup_fraction,
+        )
+        result = simulate_multi(
+            traces,
+            config,
+            prefetcher_factory=lambda: create(prefetcher_name),
+            warmup_fraction=self.warmup_fraction,
+        )
+        return result, baseline

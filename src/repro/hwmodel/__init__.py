@@ -1,0 +1,18 @@
+"""Hardware overhead models: storage (Table 4) and area/power (Table 8)."""
+
+from repro.hwmodel.storage import StorageBreakdown, storage_overhead
+from repro.hwmodel.synthesis import (
+    AreaPowerEstimate,
+    PROCESSOR_SKUS,
+    overhead_table,
+    synthesize,
+)
+
+__all__ = [
+    "StorageBreakdown",
+    "storage_overhead",
+    "AreaPowerEstimate",
+    "PROCESSOR_SKUS",
+    "overhead_table",
+    "synthesize",
+]

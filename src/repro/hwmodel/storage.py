@@ -1,0 +1,91 @@
+"""Storage accounting for Pythia's structures — Table 4, computed exactly.
+
+Table 4 of the paper:
+
+    QVStore: 2 vaults × 3 planes × (128 feature idx × 16 actions) entries
+             × 16-bit Q-value                      = 24 KB
+    EQ:      256 entries × (21b state + 5b action + 5b reward + 1b filled
+             + 16b address) = 256 × 48 bits        = 1.5 KB
+    Total                                          = 25.5 KB
+
+The functions compute the same quantities from an arbitrary
+:class:`~repro.core.config.PythiaConfig`, so customized configurations
+report their true cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import PythiaConfig
+
+#: Bit widths from Table 4.
+Q_VALUE_BITS = 16
+STATE_BITS = 21
+REWARD_BITS = 5
+FILLED_BITS = 1
+ADDRESS_BITS = 16
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Byte counts for each Pythia structure."""
+
+    qvstore_bytes: int
+    eq_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total metadata storage."""
+        return self.qvstore_bytes + self.eq_bytes
+
+    @property
+    def total_kib(self) -> float:
+        """Total in KiB (the paper's '25.5 KB')."""
+        return self.total_bytes / 1024.0
+
+
+def action_index_bits(config: PythiaConfig) -> int:
+    """Bits to encode an action index (5b for 16 actions in Table 4).
+
+    Table 4 budgets 5 bits, one more than strictly needed for 16
+    actions, leaving headroom for customized action lists.
+    """
+    return max(1, math.ceil(math.log2(config.num_actions))) + 1
+
+
+def qvstore_bytes(config: PythiaConfig) -> int:
+    """QVStore storage: vaults × planes × entries × Q-value width."""
+    entries = (
+        len(config.features)
+        * config.num_planes
+        * config.plane_entries
+        * config.num_actions
+    )
+    return entries * Q_VALUE_BITS // 8
+
+
+def eq_bytes(config: PythiaConfig) -> int:
+    """EQ storage: entries × (state + action + reward + filled + address)."""
+    entry_bits = (
+        STATE_BITS
+        + action_index_bits(config)
+        + REWARD_BITS
+        + FILLED_BITS
+        + ADDRESS_BITS
+    )
+    return config.eq_size * entry_bits // 8
+
+
+def storage_overhead(config: PythiaConfig | None = None) -> StorageBreakdown:
+    """Full storage breakdown for a configuration.
+
+    With the paper's hardware geometry (``eq_size=256``), this
+    reproduces Table 4's 25.5 KB exactly.
+    """
+    config = config if config is not None else PythiaConfig(eq_size=256)
+    return StorageBreakdown(
+        qvstore_bytes=qvstore_bytes(config),
+        eq_bytes=eq_bytes(config),
+    )

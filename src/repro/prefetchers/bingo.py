@@ -1,0 +1,100 @@
+"""Bingo spatial prefetcher (Bakhshalipour et al., HPCA 2019 — ref [27]).
+
+Bingo predicts a region's entire spatial footprint from the *first*
+access to the region, keyed by the most specific matching event: it
+looks up its pattern history table first with ``PC+Address`` and, on a
+miss, with the more general ``PC+Offset``.  Footprints are harvested by
+an accumulation table observing each live region until eviction.
+
+This is the paper's archetypal aggressive spatial prefetcher: the whole
+predicted footprint is issued at once, which makes it very timely and
+very coverage-rich but the biggest overpredictor when the pattern does
+not recur — the behaviour behind Fig 1's Ligra-CC example.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import LINES_PER_PAGE, make_line
+
+
+class BingoPrefetcher(Prefetcher):
+    """Footprint prefetcher with PC+Address / PC+Offset association.
+
+    Args:
+        at_size: accumulation-table entries (live regions).
+        pht_size: pattern-history-table entries.
+    """
+
+    name = "bingo"
+
+    def __init__(self, at_size: int = 128, pht_size: int = 4096) -> None:
+        self.at_size = at_size
+        self.pht_size = pht_size
+        # page -> [footprint_bits, trigger_pc, trigger_offset, predicted_bits]
+        self._at: OrderedDict[int, list[int]] = OrderedDict()
+        # "long" event (pc, page, offset) -> footprint; "short" (pc, offset) -> footprint
+        self._pht_long: OrderedDict[tuple[int, int, int], int] = OrderedDict()
+        self._pht_short: OrderedDict[tuple[int, int], int] = OrderedDict()
+
+    def _commit(self, page: int, footprint: int, pc: int, offset: int) -> None:
+        self._pht_long[(pc, page, offset)] = footprint
+        self._pht_long.move_to_end((pc, page, offset))
+        while len(self._pht_long) > self.pht_size:
+            self._pht_long.popitem(last=False)
+        # Most-recent footprint wins (as in Bingo's history update): OR-ing
+        # footprints across visits would accumulate garbage on irregular
+        # regions and turn every trigger into a dense spray.
+        key = (pc, offset)
+        self._pht_short[key] = footprint
+        self._pht_short.move_to_end(key)
+        while len(self._pht_short) > self.pht_size:
+            self._pht_short.popitem(last=False)
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        tracker = self._at.get(ctx.page)
+        if tracker is not None:
+            self._at.move_to_end(ctx.page)
+            tracker[0] |= 1 << ctx.offset
+            # Keep issuing the remaining predicted footprint: hardware
+            # Bingo queues the whole footprint at trigger time and the
+            # prefetch queue drains it over subsequent cycles; the
+            # hierarchy's degree cap plays the queue's issue-rate role.
+            return self._pending(ctx.page, tracker)
+
+        # Region trigger: evict the oldest live region into the PHT.
+        self._at[ctx.page] = [1 << ctx.offset, ctx.pc, ctx.offset, 0]
+        while len(self._at) > self.at_size:
+            old_page, (bits, pc, off, _pred) = self._at.popitem(last=False)
+            self._commit(old_page, bits, pc, off)
+
+        footprint = self._lookup(ctx)
+        self._at[ctx.page][3] = footprint
+        if footprint == 0:
+            return []
+        return self._pending(ctx.page, self._at[ctx.page])
+
+    def _pending(self, page: int, tracker: list[int]) -> list[int]:
+        """Predicted-but-not-yet-demanded lines of a live region."""
+        remaining = tracker[3] & ~tracker[0]
+        if remaining == 0:
+            return []
+        return [
+            make_line(page, off)
+            for off in range(LINES_PER_PAGE)
+            if (remaining >> off) & 1
+        ]
+
+    def _lookup(self, ctx: DemandContext) -> int:
+        long_key = (ctx.pc, ctx.page, ctx.offset)
+        if long_key in self._pht_long:
+            self._pht_long.move_to_end(long_key)
+            return self._pht_long[long_key]
+        return self._pht_short.get((ctx.pc, ctx.offset), 0)
+
+    def reset(self) -> None:
+        self._at.clear()
+        self._pht_long.clear()
+        self._pht_short.clear()

@@ -1,0 +1,61 @@
+"""Composite prefetcher: run several prefetchers side by side.
+
+Figures 9(b) and 10(b) evaluate cumulative combinations — Stride,
+Stride+SPP, Stride+SPP+Bingo, and so on.  A hybrid's coverage is the
+union of its members' coverage, but so are its overpredictions: exactly
+the effect the paper uses to show that combining single-feature
+prefetchers is not the same as learning over multiple features.
+
+Members are consulted in the given order; candidates are deduplicated,
+preserving the first proposer's priority (earlier members get the
+shared degree budget first).
+"""
+
+from __future__ import annotations
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+
+
+class CompositePrefetcher(Prefetcher):
+    """Union of several member prefetchers behind one interface.
+
+    Args:
+        members: prefetchers consulted in priority order.
+        name: reporting name; defaults to ``"+".join(member names)``.
+    """
+
+    def __init__(self, members: list[Prefetcher], name: str | None = None) -> None:
+        if not members:
+            raise ValueError("composite needs at least one member")
+        self.members = members
+        self.name = name if name is not None else "+".join(m.name for m in members)
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        candidates: list[int] = []
+        seen: set[int] = set()
+        for member in self.members:
+            for line in member.train(ctx):
+                if line not in seen:
+                    seen.add(line)
+                    candidates.append(line)
+        return candidates
+
+    def on_prefetch_fill(self, line: int, cycle: int) -> None:
+        for member in self.members:
+            member.on_prefetch_fill(line, cycle)
+
+    def on_demand_hit_prefetched(self, line: int, cycle: int) -> None:
+        for member in self.members:
+            member.on_demand_hit_prefetched(line, cycle)
+
+    def on_prefetch_dropped(self, line: int, cycle: int) -> None:
+        for member in self.members:
+            member.on_prefetch_dropped(line, cycle)
+
+    def on_prefetch_useless(self, line: int, cycle: int) -> None:
+        for member in self.members:
+            member.on_prefetch_useless(line, cycle)
+
+    def reset(self) -> None:
+        for member in self.members:
+            member.reset()

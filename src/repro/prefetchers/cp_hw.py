@@ -1,0 +1,134 @@
+"""CP-HW: the context prefetcher with hardware contexts (ref [104], §B.4).
+
+Peled et al.'s context prefetcher formulates prefetching as a
+*contextual bandit*: each context (a hash of program state) keeps an
+estimated immediate reward per action, and the agent greedily picks the
+best action with ε exploration.  The crucial differences from Pythia —
+which §4.5 of the paper spells out — are reproduced here:
+
+* **myopic**: rewards are immediate only; there is no Q-value
+  bootstrapping, so long-term consequences (bandwidth pressure, future
+  accuracy) never influence the decision;
+* **no bandwidth awareness**: the reward is usefulness-only;
+* the original relies on compiler hints; following the paper's fair
+  comparison (Fig 21) this version uses hardware context only
+  (PC ⊕ recent deltas).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import LINES_PER_PAGE, make_line
+
+#: Same pruned action list as Pythia's basic config, for a fair fight.
+_DEFAULT_ACTIONS = (-6, -3, -1, 0, 1, 3, 4, 5, 10, 11, 12, 16, 22, 23, 30, 32)
+
+
+class CpHwPrefetcher(Prefetcher):
+    """Contextual-bandit prefetcher with hardware-only context.
+
+    Args:
+        actions: candidate prefetch offsets (0 = no prefetch).
+        num_contexts: context table size.
+        epsilon: exploration rate.
+        learning_rate: EWMA factor for reward estimates.
+        seed: RNG seed for exploration.
+    """
+
+    name = "cp_hw"
+
+    def __init__(
+        self,
+        actions: tuple[int, ...] = _DEFAULT_ACTIONS,
+        num_contexts: int = 2048,
+        epsilon: float = 0.01,
+        learning_rate: float = 0.2,
+        seed: int = 11,
+    ) -> None:
+        self.actions = actions
+        self.num_contexts = num_contexts
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+        self._rng = random.Random(seed)
+        # context -> per-action estimated immediate reward
+        self._estimates: OrderedDict[int, list[float]] = OrderedDict()
+        # issued line -> (context, action index)
+        self._issued: OrderedDict[int, tuple[int, int]] = OrderedDict()
+        self._recent_deltas: deque[int] = deque(maxlen=2)
+        self._last_offset: int | None = None
+
+    def _context(self, ctx: DemandContext) -> int:
+        sig = ctx.pc & 0xFFFF
+        for i, delta in enumerate(self._recent_deltas):
+            sig ^= (delta & 0x7F) << (4 * (i + 1))
+        return sig % self.num_contexts
+
+    #: Optimistic initial estimate so every action gets tried before the
+    #: bandit settles (ties at 0 would deadlock on the first tied index).
+    INITIAL_ESTIMATE = 0.5
+
+    def _table(self, context: int) -> list[float]:
+        row = self._estimates.get(context)
+        if row is None:
+            row = [self.INITIAL_ESTIMATE] * len(self.actions)
+            self._estimates[context] = row
+            while len(self._estimates) > self.num_contexts:
+                self._estimates.popitem(last=False)
+        else:
+            self._estimates.move_to_end(context)
+        return row
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        if self._last_offset is not None:
+            delta = ctx.offset - self._last_offset
+            if delta != 0:
+                self._recent_deltas.append(delta)
+        self._last_offset = ctx.offset
+
+        context = self._context(ctx)
+        row = self._table(context)
+        if self._rng.random() < self.epsilon:
+            action_idx = self._rng.randrange(len(self.actions))
+        else:
+            action_idx = max(range(len(self.actions)), key=row.__getitem__)
+        offset = self.actions[action_idx]
+        if offset == 0:
+            # Not prefetching earns a neutral reward: the estimate decays
+            # toward 0, letting still-optimistic untried actions be tried.
+            self._update(context, action_idx, 0.0)
+            return []
+        target = ctx.offset + offset
+        if not 0 <= target < LINES_PER_PAGE:
+            # Out-of-page choice: immediately learn it was worthless.
+            self._update(context, action_idx, -1.0)
+            return []
+        line = make_line(ctx.page, target)
+        self._issued[line] = (context, action_idx)
+        while len(self._issued) > 512:
+            stale_line, (c, a) = self._issued.popitem(last=False)
+            del stale_line
+            self._update(c, a, -1.0)
+        return [line]
+
+    def _update(self, context: int, action_idx: int, reward: float) -> None:
+        row = self._table(context)
+        row[action_idx] += self.learning_rate * (reward - row[action_idx])
+
+    def on_demand_hit_prefetched(self, line: int, cycle: int) -> None:
+        issued = self._issued.pop(line, None)
+        if issued is not None:
+            self._update(issued[0], issued[1], 1.0)
+
+    def on_prefetch_useless(self, line: int, cycle: int) -> None:
+        issued = self._issued.pop(line, None)
+        if issued is not None:
+            self._update(issued[0], issued[1], -1.0)
+
+    def reset(self) -> None:
+        self._estimates.clear()
+        self._issued.clear()
+        self._recent_deltas.clear()
+        self._last_offset = None

@@ -1,0 +1,123 @@
+"""DSPatch: Dual Spatial Pattern prefetcher (Bera et al., MICRO 2019 — [30]).
+
+DSPatch learns *two* spatial bit-patterns per trigger PC over 64-line
+regions: ``CovP`` (the OR of observed footprints — coverage-biased) and
+``AccP`` (the AND — accuracy-biased), and selects between them using the
+measured DRAM bandwidth: plenty of headroom → prefetch the aggressive
+CovP; bandwidth tight → only the conservative AccP.  It is the
+paper's example of bolted-on (rather than inherent) bandwidth awareness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import LINES_PER_PAGE, make_line
+
+_FULL_MASK = (1 << LINES_PER_PAGE) - 1
+
+
+def _rotate_left(bits: int, amount: int) -> int:
+    """Rotate a 64-bit footprint left by *amount* (anchor alignment)."""
+    amount %= LINES_PER_PAGE
+    return ((bits << amount) | (bits >> (LINES_PER_PAGE - amount))) & _FULL_MASK
+
+
+def _rotate_right(bits: int, amount: int) -> int:
+    return _rotate_left(bits, LINES_PER_PAGE - (amount % LINES_PER_PAGE))
+
+
+class _SptEntry:
+    """Signature pattern table entry: dual patterns, anchored at trigger."""
+
+    __slots__ = ("cov", "acc", "trained")
+
+    def __init__(self) -> None:
+        self.cov = 0
+        self.acc = _FULL_MASK
+        self.trained = False
+
+    def update(self, anchored_footprint: int) -> None:
+        self.cov |= anchored_footprint
+        if self.trained:
+            self.acc &= anchored_footprint
+        else:
+            self.acc = anchored_footprint
+            self.trained = True
+
+
+class DspatchPrefetcher(Prefetcher):
+    """Dual-bit-pattern spatial prefetcher with bandwidth-based selection.
+
+    Args:
+        tracker_size: concurrently observed regions.
+        spt_size: learned trigger-PC patterns.
+    """
+
+    name = "dspatch"
+
+    def __init__(self, tracker_size: int = 64, spt_size: int = 256) -> None:
+        self.tracker_size = tracker_size
+        self.spt_size = spt_size
+        # page -> [footprint_bits, trigger_pc, trigger_offset, predicted_bits]
+        self._trackers: OrderedDict[int, list[int]] = OrderedDict()
+        # pc -> _SptEntry
+        self._spt: OrderedDict[int, _SptEntry] = OrderedDict()
+
+    def _commit_region(self, page: int) -> None:
+        footprint, trigger_pc, trigger_offset, _predicted = self._trackers[page]
+        anchored = _rotate_right(footprint, trigger_offset)
+        entry = self._spt.get(trigger_pc)
+        if entry is None:
+            entry = _SptEntry()
+            self._spt[trigger_pc] = entry
+            while len(self._spt) > self.spt_size:
+                self._spt.popitem(last=False)
+        else:
+            self._spt.move_to_end(trigger_pc)
+        entry.update(anchored)
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        tracker = self._trackers.get(ctx.page)
+        if tracker is not None:
+            self._trackers.move_to_end(ctx.page)
+            tracker[0] |= 1 << ctx.offset
+            # Drain the remaining predicted pattern (queue semantics, as
+            # in Bingo): the hierarchy's degree cap limits issue rate.
+            return self._pending(ctx.page, tracker)
+
+        # New region: commit the oldest tracked region's footprint if we
+        # are at capacity, then predict this region from the trigger PC.
+        self._trackers[ctx.page] = [1 << ctx.offset, ctx.pc, ctx.offset, 0]
+        while len(self._trackers) > self.tracker_size:
+            old_page, old_tracker = self._trackers.popitem(last=False)
+            self._trackers[old_page] = old_tracker  # reinsert briefly for commit
+            self._commit_region(old_page)
+            del self._trackers[old_page]
+
+        entry = self._spt.get(ctx.pc)
+        if entry is None or not entry.trained:
+            return []
+        # Bandwidth-based pattern selection; a CovP that has accumulated
+        # too many bits (unstable footprints) is demoted to AccP, the
+        # paper's "bit-pattern quality" measure in DSPatch.
+        use_accurate = ctx.bandwidth_high or bin(entry.cov).count("1") > 16
+        pattern = entry.acc if use_accurate else entry.cov
+        self._trackers[ctx.page][3] = _rotate_left(pattern, ctx.offset)
+        return self._pending(ctx.page, self._trackers[ctx.page])
+
+    def _pending(self, page: int, tracker: list[int]) -> list[int]:
+        """Predicted-but-not-yet-demanded lines of a live region."""
+        remaining = tracker[3] & ~tracker[0]
+        if remaining == 0:
+            return []
+        return [
+            make_line(page, off)
+            for off in range(LINES_PER_PAGE)
+            if (remaining >> off) & 1
+        ]
+
+    def reset(self) -> None:
+        self._trackers.clear()
+        self._spt.clear()

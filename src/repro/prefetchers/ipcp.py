@@ -1,0 +1,126 @@
+"""IPCP: Instruction Pointer Classifier-based Prefetching (ISCA 2020 — [103]).
+
+IPCP classifies each load PC into one of three classes and prefetches
+with the class's strategy:
+
+* **CS** (constant stride): the PC's deltas are stable → stride runahead.
+* **CPLX** (complex): deltas vary but are signature-predictable → one
+  predicted delta per access.
+* **GS** (global stream): the PC participates in a dense region sweep →
+  aggressive next-line streaming.
+
+The winner of DPC-3; the paper compares Stride(L1)+Pythia(L2) against
+IPCP as a multi-level scheme in Fig 8d.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import LINES_PER_PAGE, make_line
+
+
+class _IpEntry:
+    """Per-PC classification state."""
+
+    __slots__ = ("last_line", "last_stride", "confidence", "sig", "last_offset")
+
+    def __init__(self, line: int, offset: int) -> None:
+        self.last_line = line
+        self.last_stride = 0
+        self.confidence = 0
+        self.sig = 0
+        self.last_offset = offset
+
+
+class IpcpPrefetcher(Prefetcher):
+    """Three-class IP classifier prefetcher.
+
+    Args:
+        table_size: tracked PCs.
+        cs_degree: runahead depth for constant-stride PCs.
+        gs_degree: stream depth for global-stream regions.
+    """
+
+    name = "ipcp"
+
+    def __init__(
+        self, table_size: int = 256, cs_degree: int = 4, gs_degree: int = 6
+    ) -> None:
+        self.table_size = table_size
+        self.cs_degree = cs_degree
+        self.gs_degree = gs_degree
+        self._ips: OrderedDict[int, _IpEntry] = OrderedDict()
+        # CPLX: delta-signature -> predicted next delta (with confidence)
+        self._cplx: dict[int, list[int]] = {}
+        # GS detector: page -> density counter
+        self._page_density: OrderedDict[int, int] = OrderedDict()
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        entry = self._ips.get(ctx.pc)
+        if entry is None:
+            entry = _IpEntry(ctx.line, ctx.offset)
+            self._ips[ctx.pc] = entry
+            while len(self._ips) > self.table_size:
+                self._ips.popitem(last=False)
+            return []
+        self._ips.move_to_end(ctx.pc)
+
+        stride = ctx.line - entry.last_line
+        prefetches: list[int] = []
+
+        density = self._page_density.get(ctx.page, 0) + 1
+        self._page_density[ctx.page] = density
+        self._page_density.move_to_end(ctx.page)
+        while len(self._page_density) > 64:
+            self._page_density.popitem(last=False)
+
+        if stride != 0:
+            if stride == entry.last_stride:
+                entry.confidence = min(entry.confidence + 1, 3)
+            else:
+                entry.confidence = max(entry.confidence - 1, 0)
+
+            if entry.confidence >= 2:
+                # CS class: stride runahead.
+                for i in range(1, self.cs_degree + 1):
+                    target = ctx.line + stride * i
+                    if target >= 0:
+                        prefetches.append(target)
+            elif density >= 12:
+                # GS class: dense page sweep, stream next lines.
+                direction = 1 if stride > 0 else -1
+                for i in range(1, self.gs_degree + 1):
+                    target = ctx.line + direction * i
+                    if target >= 0:
+                        prefetches.append(target)
+            else:
+                # CPLX class: signature-predicted single delta.
+                predicted = self._cplx.get(entry.sig)
+                if predicted is not None and predicted[1] >= 2:
+                    target_offset = ctx.offset + predicted[0]
+                    if 0 <= target_offset < LINES_PER_PAGE:
+                        prefetches.append(make_line(ctx.page, target_offset))
+
+            # Train the CPLX table with the delta that just happened.
+            in_page_delta = ctx.offset - entry.last_offset
+            if in_page_delta != 0:
+                slot = self._cplx.setdefault(entry.sig, [in_page_delta, 0])
+                if slot[0] == in_page_delta:
+                    slot[1] = min(slot[1] + 1, 3)
+                else:
+                    slot[1] -= 1
+                    if slot[1] <= 0:
+                        self._cplx[entry.sig] = [in_page_delta, 1]
+                entry.sig = ((entry.sig << 4) ^ (in_page_delta & 0x3F)) & 0xFFF
+
+            entry.last_stride = stride
+        entry.last_line = ctx.line
+        entry.last_offset = ctx.offset
+        return prefetches
+
+    def reset(self) -> None:
+        self._ips.clear()
+        self._cplx.clear()
+        self._page_density.clear()

@@ -1,0 +1,93 @@
+"""IBM POWER7-style adaptive prefetcher (Jiménez et al., TOPC 2014 — [71]).
+
+The POWER7 prefetch engine exposes a small set of aggressiveness levels
+(stream depth, stride enable) that system software tunes by measuring
+performance.  Following §B.5 of the paper, this model adapts *online*:
+every epoch it compares the usefulness of its prefetches against
+thresholds and moves the streamer depth up or down one level (including
+fully off), optionally enabling a stride unit.
+
+The important contrast with Pythia — visible in Fig 22 — is that
+adaptation only selects among streaming depths; it cannot capture
+non-streaming patterns no matter how it tunes itself.
+"""
+
+from __future__ import annotations
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.prefetchers.streamer import StreamerPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+
+#: Selectable depth levels, off → shallow → deep (POWER7's DSCR-style knob).
+_DEPTH_LEVELS = (0, 2, 4, 6, 8)
+
+
+class Power7Prefetcher(Prefetcher):
+    """Epoch-adaptive streamer + stride combination.
+
+    Args:
+        epoch_length: trainings per adaptation interval.
+        raise_threshold: accuracy above which depth increases.
+        lower_threshold: accuracy below which depth decreases.
+    """
+
+    name = "power7"
+
+    def __init__(
+        self,
+        epoch_length: int = 2000,
+        raise_threshold: float = 0.55,
+        lower_threshold: float = 0.30,
+    ) -> None:
+        self.epoch_length = epoch_length
+        self.raise_threshold = raise_threshold
+        self.lower_threshold = lower_threshold
+        self._level = 2  # start mid-depth, as the hardware default does
+        self._streamer = StreamerPrefetcher(depth=_DEPTH_LEVELS[self._level])
+        self._stride = StridePrefetcher(degree=2)
+        self._trainings = 0
+        self._useful = 0
+        self._useless = 0
+
+    @property
+    def depth(self) -> int:
+        """Current streamer depth (0 = streaming off)."""
+        return _DEPTH_LEVELS[self._level]
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        self._trainings += 1
+        if self._trainings % self.epoch_length == 0:
+            self._adapt()
+        candidates = list(self._stride.train(ctx))
+        if self.depth > 0:
+            candidates.extend(self._streamer.train(ctx))
+        else:
+            # Keep the streamer trained while disabled so re-enabling works.
+            self._streamer.train(ctx)
+        return candidates
+
+    def _adapt(self) -> None:
+        judged = self._useful + self._useless
+        if judged >= 16:
+            accuracy = self._useful / judged
+            if accuracy >= self.raise_threshold and self._level < len(_DEPTH_LEVELS) - 1:
+                self._level += 1
+            elif accuracy <= self.lower_threshold and self._level > 0:
+                self._level -= 1
+            self._streamer.depth = _DEPTH_LEVELS[self._level]
+        self._useful = 0
+        self._useless = 0
+
+    def on_demand_hit_prefetched(self, line: int, cycle: int) -> None:
+        self._useful += 1
+
+    def on_prefetch_useless(self, line: int, cycle: int) -> None:
+        self._useless += 1
+
+    def reset(self) -> None:
+        self._level = 2
+        self._streamer = StreamerPrefetcher(depth=_DEPTH_LEVELS[self._level])
+        self._stride = StridePrefetcher(degree=2)
+        self._trainings = 0
+        self._useful = 0
+        self._useless = 0

@@ -1,0 +1,112 @@
+"""SPP+PPF: perceptron-filtered SPP (Bhatia et al., ISCA 2019 — ref [32]).
+
+PPF lets SPP run with a *much* lower path-confidence threshold (more
+candidate prefetches) and gates each candidate through a perceptron:
+several hashed features of the candidate index small weight tables whose
+sum must exceed a threshold for the prefetch to issue.  Weights are
+trained online from prefetch outcomes — incremented when a prefetched
+line is demanded, decremented when it is evicted unused.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.prefetchers.spp import SppPrefetcher
+from repro.types import offset_of_line, page_of_line
+
+
+class _Perceptron:
+    """Hashed-feature perceptron with saturating weights."""
+
+    TABLE_SIZE = 1024
+    WEIGHT_MAX = 15
+    WEIGHT_MIN = -16
+
+    def __init__(self, num_features: int) -> None:
+        self._tables = [[0] * self.TABLE_SIZE for _ in range(num_features)]
+
+    def _indices(self, features: list[int]) -> list[int]:
+        return [f % self.TABLE_SIZE for f in features]
+
+    def score(self, features: list[int]) -> int:
+        return sum(
+            table[idx] for table, idx in zip(self._tables, self._indices(features))
+        )
+
+    def train(self, features: list[int], useful: bool) -> None:
+        for table, idx in zip(self._tables, self._indices(features)):
+            if useful:
+                table[idx] = min(self.WEIGHT_MAX, table[idx] + 1)
+            else:
+                table[idx] = max(self.WEIGHT_MIN, table[idx] - 1)
+
+
+class SppPpfPrefetcher(Prefetcher):
+    """Aggressive SPP gated by a perceptron prefetch filter.
+
+    Args:
+        accept_threshold: perceptron sum required to issue a candidate.
+        spp_threshold: (lowered) SPP path-confidence cutoff.
+        history_size: issued-prefetch feature records kept for training.
+    """
+
+    name = "spp_ppf"
+    _NUM_FEATURES = 5
+
+    def __init__(
+        self,
+        accept_threshold: int = -2,
+        spp_threshold: float = 0.06,
+        history_size: int = 1024,
+    ) -> None:
+        self.accept_threshold = accept_threshold
+        self._spp = SppPrefetcher(prefetch_threshold=spp_threshold, max_lookahead=10)
+        self._perceptron = _Perceptron(self._NUM_FEATURES)
+        # line -> feature vector of the decision that issued it
+        self._issued: OrderedDict[int, list[int]] = OrderedDict()
+        self.history_size = history_size
+
+    def _features(self, ctx: DemandContext, line: int, position: int) -> list[int]:
+        delta = offset_of_line(line) - ctx.offset
+        return [
+            ctx.pc,
+            ctx.pc ^ (delta & 0x7F),
+            (ctx.pc >> 4) ^ offset_of_line(line),
+            (page_of_line(line) & 0xFFF) ^ (delta & 0x7F),
+            (delta & 0x7F) * 37 + position,
+        ]
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        candidates = self._spp.train(ctx)
+        accepted: list[int] = []
+        for position, line in enumerate(candidates):
+            features = self._features(ctx, line, position)
+            if self._perceptron.score(features) >= self.accept_threshold:
+                accepted.append(line)
+                self._remember(line, features)
+        return accepted
+
+    def _remember(self, line: int, features: list[int]) -> None:
+        self._issued[line] = features
+        while len(self._issued) > self.history_size:
+            stale_line, stale_features = self._issued.popitem(last=False)
+            del stale_line
+            # Entries that age out without a demand hit count as useless.
+            self._perceptron.train(stale_features, useful=False)
+
+    def on_demand_hit_prefetched(self, line: int, cycle: int) -> None:
+        features = self._issued.pop(line, None)
+        if features is not None:
+            self._perceptron.train(features, useful=True)
+
+    def on_prefetch_useless(self, line: int, cycle: int) -> None:
+        features = self._issued.pop(line, None)
+        if features is not None:
+            self._perceptron.train(features, useful=False)
+
+    def reset(self) -> None:
+        self._spp.reset()
+        self._perceptron = _Perceptron(self._NUM_FEATURES)
+        self._issued.clear()

@@ -1,0 +1,158 @@
+"""SPP: Signature Path Prefetcher (Kim et al., MICRO 2016 — ref [78]).
+
+SPP compresses the recent in-page delta history into a 12-bit
+*signature*, looks the signature up in a pattern table of delta
+predictions with confidence counters, and walks the predicted path
+speculatively: each lookahead step multiplies the path confidence by the
+chosen delta's confidence and prefetching continues while the product
+stays above a threshold.  This is the paper's archetypal
+"sequence-of-deltas" prefetcher — high accuracy, moderate coverage —
+and one of Pythia's two inspiration features (``Sequence of last-4
+deltas``).
+
+The reproduction keeps the structure sizes of Table 7: a 256-entry
+signature table and a 512-entry pattern table with 4 delta slots.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import LINES_PER_PAGE, make_line
+
+#: Signature arithmetic from the SPP paper: 12 bits, 3-bit shift per delta.
+_SIG_BITS = 12
+_SIG_MASK = (1 << _SIG_BITS) - 1
+_SIG_SHIFT = 3
+
+
+def update_signature(signature: int, delta: int) -> int:
+    """Fold one in-page *delta* into the 12-bit path *signature*."""
+    folded = delta if delta >= 0 else (abs(delta) | 0x40)
+    return ((signature << _SIG_SHIFT) ^ folded) & _SIG_MASK
+
+
+class _PatternEntry:
+    """Per-signature delta predictions with saturating confidences."""
+
+    __slots__ = ("deltas", "total")
+    MAX_COUNT = 15
+    NUM_SLOTS = 4
+
+    def __init__(self) -> None:
+        self.deltas: dict[int, int] = {}
+        self.total = 0
+
+    def train(self, delta: int) -> None:
+        if self.total >= self.MAX_COUNT:
+            # Global decay keeps confidences adaptive (SPP's counter halving).
+            self.total //= 2
+            for d in list(self.deltas):
+                self.deltas[d] //= 2
+                if self.deltas[d] == 0:
+                    del self.deltas[d]
+        if delta not in self.deltas and len(self.deltas) >= self.NUM_SLOTS:
+            victim = min(self.deltas, key=self.deltas.get)
+            del self.deltas[victim]
+        self.deltas[delta] = self.deltas.get(delta, 0) + 1
+        self.total += 1
+
+    def best(self) -> tuple[int, float] | None:
+        """Highest-confidence delta and its confidence fraction."""
+        if not self.deltas or self.total == 0:
+            return None
+        delta = max(self.deltas, key=self.deltas.get)
+        return delta, self.deltas[delta] / self.total
+
+
+class SppPrefetcher(Prefetcher):
+    """Signature Path Prefetcher with lookahead path confidence.
+
+    Args:
+        st_size: signature-table entries (tracked pages).
+        pt_size: pattern-table entries (distinct signatures).
+        prefetch_threshold: minimum path confidence to keep prefetching.
+        max_lookahead: cap on speculative path depth.
+    """
+
+    name = "spp"
+
+    def __init__(
+        self,
+        st_size: int = 256,
+        pt_size: int = 512,
+        prefetch_threshold: float = 0.30,
+        max_lookahead: int = 8,
+    ) -> None:
+        self.st_size = st_size
+        self.pt_size = pt_size
+        self.prefetch_threshold = prefetch_threshold
+        self.max_lookahead = max_lookahead
+        # page -> [signature, last_offset]
+        self._st: OrderedDict[int, list[int]] = OrderedDict()
+        # signature -> _PatternEntry
+        self._pt: OrderedDict[int, _PatternEntry] = OrderedDict()
+
+    def _pattern(self, signature: int) -> _PatternEntry:
+        entry = self._pt.get(signature)
+        if entry is None:
+            entry = _PatternEntry()
+            self._pt[signature] = entry
+            while len(self._pt) > self.pt_size:
+                self._pt.popitem(last=False)
+        else:
+            self._pt.move_to_end(signature)
+        return entry
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        st_entry = self._st.get(ctx.page)
+        if st_entry is None:
+            # First access to the page: seed the signature with the
+            # landing offset so the path is PC-position aware.
+            self._st[ctx.page] = [update_signature(0, ctx.offset or 1), ctx.offset]
+            while len(self._st) > self.st_size:
+                self._st.popitem(last=False)
+            return []
+
+        self._st.move_to_end(ctx.page)
+        signature, last_offset = st_entry
+        delta = ctx.offset - last_offset
+        if delta == 0:
+            return []
+
+        # Train the old signature with the observed delta, then advance.
+        self._pattern(signature).train(delta)
+        new_signature = update_signature(signature, delta)
+        st_entry[0] = new_signature
+        st_entry[1] = ctx.offset
+
+        return self._lookahead(ctx, new_signature)
+
+    def _lookahead(self, ctx: DemandContext, signature: int) -> list[int]:
+        """Walk the predicted delta path while confidence holds."""
+        prefetches: list[int] = []
+        offset = ctx.offset
+        path_confidence = 1.0
+        sig = signature
+        for _ in range(self.max_lookahead):
+            entry = self._pt.get(sig)
+            if entry is None:
+                break
+            best = entry.best()
+            if best is None:
+                break
+            delta, confidence = best
+            path_confidence *= confidence
+            if path_confidence < self.prefetch_threshold:
+                break
+            offset = offset + delta
+            if not 0 <= offset < LINES_PER_PAGE:
+                break  # SPP stops at page boundaries (no GHR here)
+            prefetches.append(make_line(ctx.page, offset))
+            sig = update_signature(sig, delta)
+        return prefetches
+
+    def reset(self) -> None:
+        self._st.clear()
+        self._pt.clear()

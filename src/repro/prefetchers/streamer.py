@@ -1,0 +1,70 @@
+"""Streamer prefetcher, the L2 "streamer" of commercial Intel parts [9, 35].
+
+Tracks per-page access direction; once a monotone run is detected it
+prefetches ``depth`` consecutive lines ahead of the demand in the run's
+direction.  Used in Fig 8d's Stride(L1)+Streamer(L2) commercial baseline
+and by the POWER7-style adaptive prefetcher, which modulates its depth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import same_page
+
+
+class StreamerPrefetcher(Prefetcher):
+    """Per-page direction-detecting stream prefetcher.
+
+    Args:
+        tracker_size: number of concurrently tracked pages.
+        depth: how many lines ahead to prefetch once trained.
+        train_count: monotone accesses required to enter streaming mode.
+    """
+
+    name = "streamer"
+
+    def __init__(
+        self,
+        tracker_size: int = 64,
+        depth: int = 4,
+        train_count: int = 2,
+    ) -> None:
+        self.tracker_size = tracker_size
+        self.depth = depth
+        self.train_count = train_count
+        # page -> [last_offset, direction, run_length]
+        self._trackers: OrderedDict[int, list[int]] = OrderedDict()
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        tracker = self._trackers.get(ctx.page)
+        if tracker is None:
+            self._trackers[ctx.page] = [ctx.offset, 0, 0]
+            while len(self._trackers) > self.tracker_size:
+                self._trackers.popitem(last=False)
+            return []
+
+        self._trackers.move_to_end(ctx.page)
+        last_offset, direction, run = tracker
+        step = ctx.offset - last_offset
+        prefetches: list[int] = []
+        if step != 0:
+            new_dir = 1 if step > 0 else -1
+            if new_dir == direction:
+                run += 1
+            else:
+                direction = new_dir
+                run = 1
+            tracker[1] = direction
+            tracker[2] = run
+            if run >= self.train_count:
+                for i in range(1, self.depth + 1):
+                    target = ctx.line + direction * i
+                    if target >= 0 and same_page(target, ctx.line):
+                        prefetches.append(target)
+        tracker[0] = ctx.offset
+        return prefetches
+
+    def reset(self) -> None:
+        self._trackers.clear()

@@ -1,0 +1,74 @@
+"""PC-based stride prefetcher (Fu & Patel; Jouppi — refs [55, 56, 73]).
+
+The classic design: a table indexed by load PC records the last address
+and last stride; when the same stride is seen twice in a row the entry
+becomes confident and prefetches ``degree`` lines ahead along the
+stride.  The paper uses this at L1 in the multi-level experiments
+(Fig 8d) and as the first member of the prefetcher combinations (Fig 9b,
+Fig 10b).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.types import same_page
+
+
+class StridePrefetcher(Prefetcher):
+    """Reference PC-stride prefetcher.
+
+    Args:
+        table_size: number of tracked PCs (LRU-replaced).
+        degree: prefetches issued per confident trigger.
+        confidence_threshold: consecutive identical strides required
+            before prefetching begins.
+    """
+
+    name = "stride"
+
+    def __init__(
+        self,
+        table_size: int = 256,
+        degree: int = 4,
+        confidence_threshold: int = 2,
+    ) -> None:
+        self.table_size = table_size
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        # pc -> [last_line, stride, confidence]
+        self._table: OrderedDict[int, list[int]] = OrderedDict()
+
+    def train(self, ctx: DemandContext) -> list[int]:
+        entry = self._table.get(ctx.pc)
+        prefetches: list[int] = []
+        if entry is None:
+            self._table[ctx.pc] = [ctx.line, 0, 0]
+            self._evict_lru()
+            return prefetches
+
+        self._table.move_to_end(ctx.pc)
+        last_line, last_stride, confidence = entry
+        stride = ctx.line - last_line
+        if stride != 0:
+            if stride == last_stride:
+                confidence = min(confidence + 1, self.confidence_threshold)
+            else:
+                confidence = 1
+            entry[1] = stride
+            entry[2] = confidence
+            if confidence >= self.confidence_threshold:
+                for i in range(1, self.degree + 1):
+                    target = ctx.line + stride * i
+                    if target >= 0 and same_page(target, ctx.line):
+                        prefetches.append(target)
+        entry[0] = ctx.line
+        return prefetches
+
+    def _evict_lru(self) -> None:
+        while len(self._table) > self.table_size:
+            self._table.popitem(last=False)
+
+    def reset(self) -> None:
+        self._table.clear()

@@ -1,0 +1,57 @@
+"""Trace-driven cache/memory-hierarchy simulator substrate.
+
+This package is the Python stand-in for the ChampSim simulator the paper
+evaluates on.  It models the parts of the system that Pythia's evaluation
+depends on:
+
+* a set-associative three-level cache hierarchy with prefetch fills,
+* MSHR-limited miss handling,
+* a DRAM model with a configurable transfer rate whose queueing delay
+  grows with utilization (so prefetch overprediction costs something),
+* a simplified out-of-order core whose stalls are governed by ROB
+  occupancy (so miss latency and prefetch timeliness matter).
+"""
+
+from repro.sim.config import (
+    CacheGeometry,
+    CoreConfig,
+    DramConfig,
+    SystemConfig,
+    baseline_single_core,
+    baseline_multi_core,
+)
+from repro.sim.trace import Trace, TraceRecord
+from repro.sim.cache import Cache, CacheStats
+from repro.sim.dram import Dram
+from repro.sim.core import CoreModel
+from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.system import SimulationResult, simulate, simulate_multi
+from repro.sim.metrics import (
+    coverage,
+    overprediction,
+    speedup,
+    geomean,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "CoreConfig",
+    "DramConfig",
+    "SystemConfig",
+    "baseline_single_core",
+    "baseline_multi_core",
+    "Trace",
+    "TraceRecord",
+    "Cache",
+    "CacheStats",
+    "Dram",
+    "CoreModel",
+    "CacheHierarchy",
+    "SimulationResult",
+    "simulate",
+    "simulate_multi",
+    "coverage",
+    "overprediction",
+    "speedup",
+    "geomean",
+]

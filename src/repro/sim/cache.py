@@ -1,0 +1,233 @@
+"""Set-associative cache model with per-line prefetch bookkeeping.
+
+Each cache tracks, per line, whether the line was brought in by a
+prefetch and whether it has been used by a demand access since fill.
+That bookkeeping is what lets the metrics layer compute the paper's
+coverage and overprediction numbers, and what lets prefetchers receive
+"prefetch line was useful/useless" feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import CacheGeometry
+from repro.sim.replacement import make_policy
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level.
+
+    Demand counters exclude prefetch traffic; ``prefetch_*`` counters are
+    lookups/fills on behalf of the prefetcher.  ``useful_prefetches`` and
+    ``useless_evictions`` track the fate of prefetched lines.
+    """
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    load_misses: int = 0
+    prefetch_accesses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    fills: int = 0
+    prefetch_fills: int = 0
+    useful_prefetches: int = 0
+    useless_evictions: int = 0
+    evictions: int = 0
+
+    @property
+    def demand_hit_rate(self) -> float:
+        """Fraction of demand accesses that hit."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetch fills later touched by a demand access."""
+        judged = self.useful_prefetches + self.useless_evictions
+        if judged == 0:
+            return 0.0
+        return self.useful_prefetches / judged
+
+
+@dataclass
+class _Line:
+    """One way of one set."""
+
+    tag: int = -1
+    valid: bool = False
+    prefetched: bool = False
+    used: bool = False
+    fill_cycle: int = 0
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a cache lookup."""
+
+    hit: bool
+    was_prefetched_line: bool = False
+    first_use_of_prefetch: bool = False
+
+
+@dataclass
+class EvictedLine:
+    """Information about a line pushed out of the cache by a fill."""
+
+    line: int
+    prefetched: bool
+    used: bool
+
+
+class Cache:
+    """A set-associative, write-allocate cache level.
+
+    The cache is *functional plus statistics*: timing lives in the
+    hierarchy/DRAM models.  Lookups and fills update replacement state and
+    the prefetch bookkeeping used by the metrics layer.
+
+    Args:
+        name: level name used in reports (``"L1"``, ``"L2"``, ``"LLC"``).
+        geometry: size/associativity/latency description.
+    """
+
+    def __init__(self, name: str, geometry: CacheGeometry) -> None:
+        if geometry.num_sets <= 0:
+            raise ValueError(f"{name}: geometry yields no sets")
+        self.name = name
+        self.geometry = geometry
+        self.num_sets = geometry.num_sets
+        self.ways = geometry.ways
+        self.latency = geometry.latency
+        self.stats = CacheStats()
+        self._policy = make_policy(geometry.replacement)
+        self._sets: list[list[_Line]] = [
+            [_Line() for _ in range(self.ways)] for _ in range(self.num_sets)
+        ]
+        self._meta: list[list] = [
+            [self._policy.new_meta() for _ in range(self.ways)]
+            for _ in range(self.num_sets)
+        ]
+        self._tick = 0
+
+    def _index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _find(self, line: int) -> tuple[int, int] | None:
+        set_idx = self._index(line)
+        for way, entry in enumerate(self._sets[set_idx]):
+            if entry.valid and entry.tag == line:
+                return set_idx, way
+        return None
+
+    # -- public API ---------------------------------------------------------
+
+    def probe(self, line: int) -> bool:
+        """Check presence without touching stats or replacement state."""
+        return self._find(line) is not None
+
+    def lookup(self, line: int, pc: int, is_load: bool, is_prefetch: bool) -> LookupResult:
+        """Access the cache; updates stats and replacement state.
+
+        A hit promotes the line; a first demand hit on a prefetched line
+        is flagged so the caller can credit the prefetcher.
+        """
+        self._tick += 1
+        found = self._find(line)
+        if is_prefetch:
+            self.stats.prefetch_accesses += 1
+        else:
+            self.stats.demand_accesses += 1
+
+        if found is None:
+            if is_prefetch:
+                self.stats.prefetch_misses += 1
+            else:
+                self.stats.demand_misses += 1
+                if is_load:
+                    self.stats.load_misses += 1
+            return LookupResult(hit=False)
+
+        set_idx, way = found
+        entry = self._sets[set_idx][way]
+        self._policy.on_hit(self._meta[set_idx], way, pc, self._tick)
+        first_use = False
+        if not is_prefetch:
+            self.stats.demand_hits += 1
+            if entry.prefetched and not entry.used:
+                entry.used = True
+                first_use = True
+                self.stats.useful_prefetches += 1
+        else:
+            self.stats.prefetch_hits += 1
+        return LookupResult(
+            hit=True,
+            was_prefetched_line=entry.prefetched,
+            first_use_of_prefetch=first_use,
+        )
+
+    def fill(self, line: int, pc: int, is_prefetch: bool, cycle: int = 0) -> EvictedLine | None:
+        """Insert *line*, evicting a victim if the set is full.
+
+        Returns the evicted line's bookkeeping (or ``None`` if an invalid
+        way was used).  Filling a line already present only refreshes its
+        metadata.
+        """
+        self._tick += 1
+        existing = self._find(line)
+        set_idx = self._index(line)
+        meta = self._meta[set_idx]
+        if existing is not None:
+            # Duplicate fill (e.g. a demand fill racing a prefetch fill):
+            # refresh but never downgrade a demand-fetched line to a
+            # prefetched one.
+            _, way = existing
+            entry = self._sets[set_idx][way]
+            if not is_prefetch:
+                entry.prefetched = entry.prefetched and entry.used
+            return None
+
+        valid = [e.valid for e in self._sets[set_idx]]
+        way = self._policy.victim(meta, valid)
+        entry = self._sets[set_idx][way]
+        evicted: EvictedLine | None = None
+        if entry.valid:
+            self.stats.evictions += 1
+            if entry.prefetched and not entry.used:
+                self.stats.useless_evictions += 1
+            self._policy.on_evict(meta, way, entry.used)
+            evicted = EvictedLine(entry.tag, entry.prefetched, entry.used)
+
+        entry.tag = line
+        entry.valid = True
+        entry.prefetched = is_prefetch
+        entry.used = not is_prefetch
+        entry.fill_cycle = cycle
+        self._policy.on_fill(meta, way, pc, is_prefetch, self._tick)
+        self.stats.fills += 1
+        if is_prefetch:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        """Remove *line* if present; returns True if it was present."""
+        found = self._find(line)
+        if found is None:
+            return False
+        set_idx, way = found
+        self._sets[set_idx][way] = _Line()
+        self._meta[set_idx][way] = self._policy.new_meta()
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(1 for s in self._sets for e in s if e.valid)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total line capacity."""
+        return self.num_sets * self.ways

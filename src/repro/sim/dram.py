@@ -1,0 +1,186 @@
+"""DRAM model: channels, banks, row buffers, and a finite data bus.
+
+This is the part of the substrate that makes prefetch *overprediction*
+cost something.  Every request — demand or prefetch — occupies a bank for
+its access latency and the channel data bus for the line-transfer time.
+When arrival rate approaches the bus bandwidth, queueing delay grows and
+everyone's latency rises; that is exactly the mechanism behind the
+paper's bandwidth-constrained results (Fig 8b, Fig 11, Fig 14).
+
+The model also exposes :meth:`utilization`, a sliding-window measure of
+data-bus busy fraction.  Pythia consumes it (thresholded) as its
+system-level feedback; Fig 14's runtime-in-bandwidth-bucket histogram is
+built from the same signal.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import DramConfig
+
+
+class _Channel:
+    """One DRAM channel: a data bus plus per-bank state."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self._config = config
+        self._bus_free = 0.0
+        self._demand_bus_free = 0.0
+        self._bank_free = [0.0] * config.banks_per_channel
+        self._open_row = [-1] * config.banks_per_channel
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def service(self, line: int, now: int, is_prefetch: bool) -> tuple[int, float]:
+        """Service one cacheline request arriving at cycle *now*.
+
+        Returns ``(completion_cycle, bus_busy_cycles)``.
+
+        Row hits to an open row pipeline back-to-back (the bank is only
+        occupied for the burst), while row misses occupy the bank for the
+        full precharge+activate+CAS time.
+
+        The data bus models *demand priority*, as real memory
+        controllers implement it: a demand's burst waits only behind
+        other demand bursts (queued prefetch bursts yield), whereas a
+        prefetch burst waits behind everything.  Prefetch traffic still
+        costs demands through bank occupancy and row-buffer disturbance,
+        and once demand traffic alone approaches the bus rate the
+        priority cannot help — the saturation behaviour behind the
+        paper's bandwidth-constrained results.
+        """
+        cfg = self._config
+        bank_idx = (line // cfg.row_size_lines) % cfg.banks_per_channel
+        row = line // (cfg.row_size_lines * cfg.banks_per_channel)
+
+        start = max(float(now), self._bank_free[bank_idx])
+        if self._open_row[bank_idx] == row:
+            access_latency = cfg.row_hit_latency
+            bank_occupancy = cfg.cycles_per_transfer
+            self.row_hits += 1
+        else:
+            access_latency = cfg.row_miss_latency
+            bank_occupancy = cfg.row_miss_latency
+            self._open_row[bank_idx] = row
+            self.row_misses += 1
+
+        transfer = cfg.cycles_per_transfer
+        data_at_bank = start + access_latency
+        if is_prefetch:
+            transfer_start = max(data_at_bank, self._bus_free)
+        else:
+            transfer_start = max(data_at_bank, self._demand_bus_free)
+            self._demand_bus_free = transfer_start + transfer
+        completion = transfer_start + transfer
+        self._bank_free[bank_idx] = start + bank_occupancy
+        self._bus_free = max(self._bus_free, completion)
+        return int(completion), transfer
+
+
+class Dram:
+    """Multi-channel DRAM with utilization tracking.
+
+    Args:
+        config: channel/bank/rate description.
+
+    Requests are line-interleaved across channels.  ``utilization()``
+    reports the fraction of the last ``utilization_window`` cycles the
+    data buses were busy, averaged over channels.
+    """
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self._channels = [_Channel(config) for _ in range(config.channels)]
+        # Sliding-window utilization: (cycle, busy_cycles) events.
+        self._events: list[tuple[int, float]] = []
+        self._events_start = 0
+        self.total_requests = 0
+        self.demand_requests = 0
+        self.prefetch_requests = 0
+        self.busy_cycles = 0.0
+        self._bucket_cycles = [0.0, 0.0, 0.0, 0.0]
+        self._last_bucket_cycle = 0
+
+    @property
+    def row_hits(self) -> int:
+        """Row-buffer hits across channels."""
+        return sum(c.row_hits for c in self._channels)
+
+    @property
+    def row_misses(self) -> int:
+        """Row-buffer misses across channels."""
+        return sum(c.row_misses for c in self._channels)
+
+    def access(self, line: int, now: int, is_prefetch: bool) -> int:
+        """Issue one cacheline request; returns its completion cycle."""
+        channel = self._channels[line % self.config.channels]
+        completion, busy = channel.service(line, now, is_prefetch)
+        self.total_requests += 1
+        if is_prefetch:
+            self.prefetch_requests += 1
+        else:
+            self.demand_requests += 1
+        self.busy_cycles += busy
+        self._record(now, busy)
+        return completion
+
+    # -- utilization feedback ------------------------------------------------
+
+    def _record(self, now: int, busy: float) -> None:
+        self._events.append((now, busy))
+        self._advance_buckets(now)
+        # Lazily drop events older than the window to bound memory.
+        window = self.config.utilization_window
+        while (
+            self._events_start < len(self._events)
+            and self._events[self._events_start][0] < now - window
+        ):
+            self._events_start += 1
+        if self._events_start > 4096:
+            self._events = self._events[self._events_start :]
+            self._events_start = 0
+
+    def utilization(self, now: int) -> float:
+        """Data-bus busy fraction over the trailing window, capped at 1."""
+        window = self.config.utilization_window
+        start = now - window
+        busy = sum(
+            b for (t, b) in self._events[self._events_start :] if t >= start
+        )
+        capacity = window * self.config.channels
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, busy / capacity)
+
+    def bandwidth_high(self, now: int, threshold: float) -> bool:
+        """The thresholded high/low signal delivered to prefetchers."""
+        return self.utilization(now) >= threshold
+
+    # -- Fig 14 bandwidth-bucket accounting -----------------------------------
+
+    def _advance_buckets(self, now: int) -> None:
+        """Charge elapsed cycles to the current utilization quartile."""
+        if now <= self._last_bucket_cycle:
+            return
+        elapsed = now - self._last_bucket_cycle
+        util = self.utilization(now)
+        if util < 0.25:
+            idx = 0
+        elif util < 0.5:
+            idx = 1
+        elif util < 0.75:
+            idx = 2
+        else:
+            idx = 3
+        self._bucket_cycles[idx] += elapsed
+        self._last_bucket_cycle = now
+
+    def bucket_fractions(self) -> list[float]:
+        """Fraction of runtime spent in each utilization quartile.
+
+        Buckets are ``[<25%, 25-50%, 50-75%, >=75%]`` of peak bandwidth,
+        matching Fig 14's stacked bars.
+        """
+        total = sum(self._bucket_cycles)
+        if total == 0:
+            return [1.0, 0.0, 0.0, 0.0]
+        return [c / total for c in self._bucket_cycles]

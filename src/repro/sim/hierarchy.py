@@ -1,0 +1,240 @@
+"""Three-level cache hierarchy with prefetch issue, fill, and timeliness.
+
+The demand path is L1 → L2 → LLC → DRAM with per-level hit latencies from
+the system config.  Prefetchers are trained on L1 demand misses (as in
+the paper, §5.2) and their requests are filled into L2 and LLC when the
+memory access completes — *not* at issue time — so prefetch timeliness is
+modelled: a demand that arrives while its prefetch is still in flight
+merges with the outstanding request and only saves the remaining latency
+(the paper's "accurate but late" case).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.prefetchers.base import DemandContext, Prefetcher, NoPrefetcher
+from repro.sim.cache import Cache
+from repro.sim.config import SystemConfig
+from repro.sim.dram import Dram
+from repro.sim.mshr import MshrFile
+from repro.sim.trace import TraceRecord
+from repro.types import same_page
+
+
+class CacheHierarchy:
+    """Per-core cache stack in front of a (possibly shared) LLC and DRAM.
+
+    Args:
+        config: system description.
+        prefetcher: the L2-level prefetcher under evaluation.
+        dram: shared DRAM model (created if omitted).
+        llc: shared LLC (created if omitted — single-core usage).
+        l1_prefetcher: optional L1-level prefetcher for the multi-level
+            experiments (Fig 8d); it trains on all L1 demand accesses and
+            fills into L1.
+        core_id: identifying index for multi-core runs.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        prefetcher: Prefetcher | None = None,
+        dram: Dram | None = None,
+        llc: Cache | None = None,
+        l1_prefetcher: Prefetcher | None = None,
+        core_id: int = 0,
+    ) -> None:
+        self.config = config
+        self.core_id = core_id
+        self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
+        self.l1_prefetcher = l1_prefetcher
+        self.l1 = Cache(f"L1[{core_id}]", config.l1)
+        self.l2 = Cache(f"L2[{core_id}]", config.l2)
+        self.llc = llc if llc is not None else Cache("LLC", config.llc)
+        self.dram = dram if dram is not None else Dram(config.dram)
+        self.mshr = MshrFile(config.llc.mshrs)
+        # Min-heap of (completion_cycle, line) pending prefetch fills.
+        self._pending_fills: list[tuple[int, int]] = []
+        self._inflight_prefetch: dict[int, int] = {}
+        self._merged_inflight: set[int] = set()
+        self.prefetches_issued = 0
+        self.prefetches_dropped = 0
+        self.late_prefetch_merges = 0
+
+    # -- prefetch fill processing ---------------------------------------------
+
+    def process_fills(self, now: int) -> None:
+        """Apply all prefetch fills whose data has arrived by cycle *now*."""
+        while self._pending_fills and self._pending_fills[0][0] <= now:
+            completion, line = heapq.heappop(self._pending_fills)
+            self._inflight_prefetch.pop(line, None)
+            # A line a demand already merged into fills as demand-owned.
+            as_prefetch = line not in self._merged_inflight
+            self._merged_inflight.discard(line)
+            evicted = self.llc.fill(line, pc=0, is_prefetch=as_prefetch, cycle=completion)
+            if evicted is not None and evicted.prefetched and not evicted.used:
+                self.prefetcher.on_prefetch_useless(evicted.line, completion)
+            self.l2.fill(line, pc=0, is_prefetch=as_prefetch, cycle=completion)
+            self.prefetcher.on_prefetch_fill(line, completion)
+
+    # -- demand path ------------------------------------------------------------
+
+    def demand_access(self, record: TraceRecord, now: int) -> int:
+        """Resolve one demand access; returns its completion cycle.
+
+        Also trains the prefetcher(s) and issues any resulting prefetch
+        requests at cycle *now*.
+        """
+        self.process_fills(now)
+        self.mshr.reclaim(now)
+        pc, line = record.pc, record.line
+
+        if self.l1_prefetcher is not None:
+            self._train_l1_prefetcher(record, now)
+
+        l1_result = self.l1.lookup(line, pc, record.is_load, is_prefetch=False)
+        if l1_result.hit:
+            return now + self.l1.latency
+
+        # L1 miss: this is the prefetcher's training event.
+        self._train_l2_prefetcher(record, now)
+
+        l2_result = self.l2.lookup(line, pc, record.is_load, is_prefetch=False)
+        if l2_result.hit:
+            if l2_result.first_use_of_prefetch:
+                self.prefetcher.on_demand_hit_prefetched(line, now)
+            self.l1.fill(line, pc, is_prefetch=False, cycle=now)
+            return now + self.l2.latency
+
+        # An in-flight prefetch covering this line counts as a (late)
+        # covered miss: the load does not cause its own DRAM read — it
+        # merges and waits only the remaining prefetch latency.
+        inflight = self._inflight_prefetch.get(line)
+        if inflight is not None:
+            self.late_prefetch_merges += 1
+            self._merged_inflight.add(line)
+            stats = self.llc.stats
+            stats.demand_accesses += 1
+            stats.demand_hits += 1
+            stats.useful_prefetches += 1
+            self.prefetcher.on_demand_hit_prefetched(line, now)
+            completion = max(inflight, now + self.llc.latency)
+            self.l1.fill(line, pc, is_prefetch=False, cycle=completion)
+            return completion
+
+        llc_result = self.llc.lookup(line, pc, record.is_load, is_prefetch=False)
+        if llc_result.hit:
+            if llc_result.first_use_of_prefetch:
+                self.prefetcher.on_demand_hit_prefetched(line, now)
+            self.l2.fill(line, pc, is_prefetch=False, cycle=now)
+            self.l1.fill(line, pc, is_prefetch=False, cycle=now)
+            return now + self.llc.latency
+
+        entry = self.mshr.outstanding(line)
+        if entry is not None:
+            completion = max(entry.completion, now + self.llc.latency)
+            return completion
+
+        if self.mshr.is_full():
+            # Structural stall: wait for the earliest outstanding miss.
+            self.mshr.stalls += 1
+            wait_until = self.mshr.earliest_completion()
+            self.mshr.reclaim(wait_until)
+            now = max(now, wait_until)
+
+        completion = self.dram.access(line, now + self.llc.latency, is_prefetch=False)
+        self.mshr.allocate(line, completion, is_prefetch=False)
+        self.llc.fill(line, pc, is_prefetch=False, cycle=completion)
+        self.l2.fill(line, pc, is_prefetch=False, cycle=completion)
+        self.l1.fill(line, pc, is_prefetch=False, cycle=completion)
+        return completion
+
+    # -- prefetcher plumbing ------------------------------------------------------
+
+    def _make_context(self, record: TraceRecord, now: int) -> DemandContext:
+        util = self.dram.utilization(now)
+        return DemandContext(
+            pc=record.pc,
+            line=record.line,
+            cycle=now,
+            is_load=record.is_load,
+            bandwidth_utilization=util,
+            bandwidth_high=util >= self.config.high_bw_threshold,
+        )
+
+    def _train_l2_prefetcher(self, record: TraceRecord, now: int) -> None:
+        ctx = self._make_context(record, now)
+        candidates = self.prefetcher.train(ctx)
+        if candidates:
+            self._issue_prefetches(candidates, record.line, now)
+
+    def _train_l1_prefetcher(self, record: TraceRecord, now: int) -> None:
+        assert self.l1_prefetcher is not None
+        ctx = self._make_context(record, now)
+        for line in self.l1_prefetcher.train(ctx)[: self.config.max_prefetch_degree]:
+            if line < 0 or self.l1.probe(line):
+                continue
+            completion = self._fetch_for_prefetch(line, now)
+            if completion is None:
+                continue
+            # L1 prefetches fill the whole stack immediately on completion;
+            # for simplicity they use the same pending-fill path plus an
+            # eager L1 fill (timeliness at L1 is second-order here).
+            self.l1.fill(line, record.pc, is_prefetch=True, cycle=completion)
+
+    def _issue_prefetches(self, candidates: list[int], trigger_line: int, now: int) -> None:
+        issued = 0
+        seen: set[int] = set()
+        for line in candidates:
+            if issued >= self.config.max_prefetch_degree:
+                break
+            if line < 0 or line in seen:
+                continue
+            seen.add(line)
+            # Out-of-page prefetches are dropped by the hardware (every
+            # post-L1 prefetcher works within a physical page); prefetchers
+            # that want credit/penalty for them handle it internally.
+            if not same_page(line, trigger_line):
+                continue
+            if self.l2.probe(line) or self.llc.probe(line):
+                continue
+            if line in self._inflight_prefetch:
+                continue
+            completion = self._fetch_for_prefetch(line, now)
+            if completion is None:
+                self.prefetches_dropped += 1
+                self.prefetcher.on_prefetch_dropped(line, now)
+                continue
+            issued += 1
+            self.prefetches_issued += 1
+
+    def _fetch_for_prefetch(self, line: int, now: int) -> int | None:
+        """Send a prefetch to LLC/DRAM; returns completion or None if dropped."""
+        self.mshr.reclaim(now)
+        llc_result = self.llc.lookup(line, 0, is_load=False, is_prefetch=True)
+        if llc_result.hit:
+            # LLC hit: fill into L2 quickly without DRAM traffic.
+            completion = now + self.llc.latency
+            heapq.heappush(self._pending_fills, (completion, line))
+            self._inflight_prefetch[line] = completion
+            return completion
+        if self.mshr.outstanding(line) is not None:
+            return None
+        if self.mshr.is_full():
+            return None  # shed prefetch pressure, as hardware does
+        completion = self.dram.access(line, now + self.llc.latency, is_prefetch=True)
+        self.mshr.allocate(line, completion, is_prefetch=True)
+        heapq.heappush(self._pending_fills, (completion, line))
+        self._inflight_prefetch[line] = completion
+        return completion
+
+    # -- end of run ------------------------------------------------------------
+
+    def flush_pending(self) -> None:
+        """Drain all pending prefetch fills (end-of-simulation tidy-up)."""
+        if self._pending_fills:
+            last = self._pending_fills[-1][0]
+            horizon = max(c for c, _ in self._pending_fills)
+            del last
+            self.process_fills(horizon)

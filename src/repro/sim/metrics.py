@@ -1,0 +1,73 @@
+"""Evaluation metrics, exactly as the paper's artifact computes them.
+
+From appendix A.6::
+
+    Perf_X          = IPC_X / IPC_nopref
+    Coverage_X      = (LLC_load_miss_nopref - LLC_load_miss_X)
+                      / LLC_load_miss_nopref
+    Overprediction_X = (LLC_read_miss_X - LLC_read_miss_nopref)
+                      / LLC_read_miss_nopref
+
+``LLC_read_miss`` is everything the LLC sends to DRAM (demand misses plus
+prefetch misses), which in this simulator is exactly the DRAM read count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.sim.system import SimulationResult
+
+
+def speedup(result: SimulationResult, baseline: SimulationResult) -> float:
+    """IPC of *result* relative to the no-prefetching *baseline*."""
+    if baseline.ipc <= 0:
+        return 0.0
+    return result.ipc / baseline.ipc
+
+
+def coverage(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Fraction of baseline LLC load misses eliminated by prefetching."""
+    base = baseline.llc_load_misses
+    if base <= 0:
+        return 0.0
+    return (base - result.llc_load_misses) / base
+
+
+def overprediction(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Extra DRAM reads generated per baseline DRAM read.
+
+    This is the paper's overprediction metric: prefetch traffic that did
+    not displace a demand miss inflates the numerator.
+    """
+    base = baseline.dram_reads
+    if base <= 0:
+        return 0.0
+    return (result.dram_reads - base) / base
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's aggregate for speedups."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geomean_speedup(
+    results: Sequence[SimulationResult], baselines: Sequence[SimulationResult]
+) -> float:
+    """Geometric-mean speedup of paired (result, baseline) runs."""
+    if len(results) != len(baselines):
+        raise ValueError("results/baselines length mismatch")
+    return geomean(speedup(r, b) for r, b in zip(results, baselines))
+
+
+def mpki(result: SimulationResult) -> float:
+    """LLC load misses per kilo-instruction (trace admission filter)."""
+    if result.instructions <= 0:
+        return 0.0
+    return 1000.0 * result.llc_load_misses / result.instructions

@@ -1,0 +1,76 @@
+"""Miss Status Holding Register (MSHR) file.
+
+MSHRs bound the number of distinct outstanding misses a cache level can
+sustain.  A second miss to a line already outstanding merges into the
+existing entry (no extra DRAM traffic); a miss arriving with all MSHRs
+busy must wait for the earliest completion.  Prefetch requests that find
+no free MSHR are dropped — exactly how hardware sheds prefetch pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MshrEntry:
+    """One in-flight miss."""
+
+    line: int
+    completion: int
+    is_prefetch: bool
+
+
+class MshrFile:
+    """Fixed-capacity set of outstanding misses for one cache level."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, MshrEntry] = {}
+        self.merged = 0
+        self.allocations = 0
+        self.stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reclaim(self, now: int) -> None:
+        """Release entries whose miss completed by cycle *now*."""
+        done = [line for line, e in self._entries.items() if e.completion <= now]
+        for line in done:
+            del self._entries[line]
+
+    def outstanding(self, line: int) -> MshrEntry | None:
+        """Return the in-flight entry for *line*, if any."""
+        return self._entries.get(line)
+
+    def is_full(self) -> bool:
+        """True when no MSHR is free."""
+        return len(self._entries) >= self.capacity
+
+    def earliest_completion(self) -> int:
+        """Completion cycle of the soonest-finishing outstanding miss."""
+        if not self._entries:
+            raise RuntimeError("no outstanding misses")
+        return min(e.completion for e in self._entries.values())
+
+    def allocate(self, line: int, completion: int, is_prefetch: bool) -> MshrEntry:
+        """Track a new outstanding miss; caller must ensure a slot is free."""
+        if self.is_full():
+            raise RuntimeError("MSHR file full")
+        entry = MshrEntry(line, completion, is_prefetch)
+        self._entries[line] = entry
+        self.allocations += 1
+        return entry
+
+    def merge(self, line: int) -> MshrEntry:
+        """Merge a duplicate miss into the outstanding entry for *line*.
+
+        A demand merging into a prefetch's MSHR converts the entry to a
+        demand (the line is now architecturally required).
+        """
+        entry = self._entries[line]
+        self.merged += 1
+        return entry

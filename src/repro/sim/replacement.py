@@ -1,0 +1,140 @@
+"""Cache replacement policies: LRU and SHiP.
+
+The paper's LLC uses SHiP (Signature-based Hit Predictor, Wu et al.,
+MICRO 2011) while L1 and L2 use LRU.  Both policies operate on a per-set
+list of ways; the cache stores per-way metadata and delegates victim
+selection and promotion decisions here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class ReplacementPolicy(ABC):
+    """Interface for a per-cache replacement policy.
+
+    The cache calls :meth:`on_fill` when a line is inserted,
+    :meth:`on_hit` when a line is re-referenced, and :meth:`victim` to
+    choose the way to evict in a full set.  ``meta`` is the per-way
+    metadata list for the set, parallel to the tag array.
+    """
+
+    @abstractmethod
+    def new_meta(self) -> object:
+        """Return fresh metadata for an empty way."""
+
+    @abstractmethod
+    def on_fill(self, meta: list, way: int, pc: int, is_prefetch: bool, tick: int) -> None:
+        """Record a fill into *way*."""
+
+    @abstractmethod
+    def on_hit(self, meta: list, way: int, pc: int, tick: int) -> None:
+        """Record a hit on *way*."""
+
+    @abstractmethod
+    def victim(self, meta: list, valid: list[bool]) -> int:
+        """Choose the way to evict from a full set."""
+
+    def on_evict(self, meta: list, way: int, was_reused: bool) -> None:
+        """Optional hook invoked when *way* is evicted."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Classic least-recently-used replacement.
+
+    Metadata per way is the tick of the last touch; the victim is the way
+    with the smallest tick.
+    """
+
+    def new_meta(self) -> int:
+        return 0
+
+    def on_fill(self, meta: list, way: int, pc: int, is_prefetch: bool, tick: int) -> None:
+        meta[way] = tick
+
+    def on_hit(self, meta: list, way: int, pc: int, tick: int) -> None:
+        meta[way] = tick
+
+    def victim(self, meta: list, valid: list[bool]) -> int:
+        best_way = 0
+        best_tick = None
+        for way, tick in enumerate(meta):
+            if not valid[way]:
+                return way
+            if best_tick is None or tick < best_tick:
+                best_tick = tick
+                best_way = way
+        return best_way
+
+
+class ShipPolicy(ReplacementPolicy):
+    """SHiP: signature-based RRIP replacement (Wu et al., MICRO 2011).
+
+    Each fill is tagged with a PC signature.  A table of saturating
+    counters (the SHCT) learns whether lines inserted by a signature tend
+    to be re-referenced; unpromising signatures insert at distant re-
+    reference interval (RRPV max) so they are evicted quickly.  This is
+    the LLC policy in the paper's baseline (Table 5).
+    """
+
+    RRPV_MAX = 3
+    SHCT_SIZE = 1024
+    SHCT_MAX = 7
+
+    def __init__(self) -> None:
+        self._shct = [self.SHCT_MAX // 2] * self.SHCT_SIZE
+
+    def _signature(self, pc: int) -> int:
+        return (pc ^ (pc >> 10)) % self.SHCT_SIZE
+
+    def new_meta(self) -> dict:
+        return {"rrpv": self.RRPV_MAX, "sig": 0, "reused": False}
+
+    def on_fill(self, meta: list, way: int, pc: int, is_prefetch: bool, tick: int) -> None:
+        sig = self._signature(pc)
+        counter = self._shct[sig]
+        # Unpromising signatures (counter == 0) insert at distant RRPV;
+        # prefetches are also inserted at distant RRPV so useless
+        # prefetches leave quickly (standard SHiP prefetch handling).
+        if counter == 0 or is_prefetch:
+            rrpv = self.RRPV_MAX
+        else:
+            rrpv = self.RRPV_MAX - 1
+        meta[way] = {"rrpv": rrpv, "sig": sig, "reused": False}
+
+    def on_hit(self, meta: list, way: int, pc: int, tick: int) -> None:
+        entry = meta[way]
+        entry["rrpv"] = 0
+        if not entry["reused"]:
+            entry["reused"] = True
+            sig = entry["sig"]
+            if self._shct[sig] < self.SHCT_MAX:
+                self._shct[sig] += 1
+
+    def victim(self, meta: list, valid: list[bool]) -> int:
+        for way, ok in enumerate(valid):
+            if not ok:
+                return way
+        while True:
+            for way, entry in enumerate(meta):
+                if entry["rrpv"] >= self.RRPV_MAX:
+                    return way
+            for entry in meta:
+                entry["rrpv"] += 1
+
+    def on_evict(self, meta: list, way: int, was_reused: bool) -> None:
+        entry = meta[way]
+        if not entry["reused"]:
+            sig = entry["sig"]
+            if self._shct[sig] > 0:
+                self._shct[sig] -= 1
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by config name."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "ship":
+        return ShipPolicy()
+    raise ValueError(f"unknown replacement policy: {name!r}")

@@ -1,0 +1,156 @@
+"""Memory-access trace format.
+
+A :class:`Trace` is an ordered sequence of :class:`TraceRecord` objects,
+each describing one memory instruction: its PC, the cacheline it touches,
+whether it is a load or a store, and how many non-memory instructions
+precede it since the previous record (the *gap*).  The gap is what lets the
+core model recover instruction counts — and therefore IPC — from a
+memory-only trace, exactly as ChampSim traces carry full instruction
+streams but only memory operations affect the caches.
+
+Traces can be streamed from generators (the normal path for the synthetic
+workloads) or saved to and loaded from a compact text format for
+repeatable experiments.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.types import line_of
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory instruction in a trace.
+
+    Attributes:
+        pc: program counter of the memory instruction.
+        line: cacheline number accessed.
+        is_load: True for loads, False for stores.
+        gap: count of non-memory instructions since the previous record.
+    """
+
+    pc: int
+    line: int
+    is_load: bool = True
+    gap: int = 4
+
+    @property
+    def instruction_count(self) -> int:
+        """Instructions this record accounts for: the gap plus itself."""
+        return self.gap + 1
+
+
+class Trace:
+    """An ordered, named sequence of memory-access records.
+
+    Args:
+        name: human-readable identifier (e.g. ``"spec06/gemsfdtd-765B"``).
+        records: the access sequence.
+        suite: the workload-suite label used by rollups.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        records: Sequence[TraceRecord] | Iterable[TraceRecord],
+        suite: str = "unknown",
+    ) -> None:
+        self.name = name
+        self.suite = suite
+        self._records: list[TraceRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.name!r}, {len(self)} records, suite={self.suite!r})"
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The underlying record list (not a copy; treat as read-only)."""
+        return self._records
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions represented, memory and non-memory."""
+        return sum(r.instruction_count for r in self._records)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a sub-trace of records ``[start:stop)``."""
+        return Trace(f"{self.name}[{start}:{stop}]", self._records[start:stop], self.suite)
+
+    @classmethod
+    def from_byte_addresses(
+        cls,
+        name: str,
+        accesses: Iterable[tuple[int, int]],
+        suite: str = "unknown",
+        gap: int = 4,
+    ) -> "Trace":
+        """Build a trace from ``(pc, byte_address)`` pairs of loads."""
+        records = [
+            TraceRecord(pc=pc, line=line_of(addr), is_load=True, gap=gap)
+            for pc, addr in accesses
+        ]
+        return cls(name, records, suite)
+
+    # -- serialization -----------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialize to the compact text format (one record per line)."""
+        out = io.StringIO()
+        out.write(f"# trace {self.name} suite={self.suite}\n")
+        for r in self._records:
+            kind = "L" if r.is_load else "S"
+            out.write(f"{r.pc:x} {r.line:x} {kind} {r.gap}\n")
+        return out.getvalue()
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        """Parse a trace from :meth:`dumps` output."""
+        name = "loaded"
+        suite = "unknown"
+        records: list[TraceRecord] = []
+        for raw in text.splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            if raw.startswith("#"):
+                parts = raw.split()
+                if len(parts) >= 3 and parts[1] == "trace":
+                    name = parts[2]
+                    for p in parts[3:]:
+                        if p.startswith("suite="):
+                            suite = p.split("=", 1)[1]
+                continue
+            pc_s, line_s, kind, gap_s = raw.split()
+            records.append(
+                TraceRecord(
+                    pc=int(pc_s, 16),
+                    line=int(line_s, 16),
+                    is_load=kind == "L",
+                    gap=int(gap_s),
+                )
+            )
+        return cls(name, records, suite)
+
+    def save(self, path: str) -> None:
+        """Write the trace to *path* in text format."""
+        with open(path, "w", encoding="ascii") as f:
+            f.write(self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        with open(path, "r", encoding="ascii") as f:
+            return cls.loads(f.read())

@@ -1,0 +1,22 @@
+"""Automated design-space exploration (§4.3).
+
+Three procedures, miniaturized versions of what the paper ran on a
+compute grid for 44 hours: feature selection over the 32-feature space
+(§4.3.1), action-list pruning (§4.3.2), and uniform-grid reward /
+hyperparameter search (§4.3.3).
+"""
+
+from repro.tuning.feature_selection import (
+    evaluate_feature_vector,
+    feature_selection,
+)
+from repro.tuning.action_pruning import prune_actions
+from repro.tuning.grid_search import grid_search_hyperparameters, grid_search_rewards
+
+__all__ = [
+    "evaluate_feature_vector",
+    "feature_selection",
+    "prune_actions",
+    "grid_search_hyperparameters",
+    "grid_search_rewards",
+]

@@ -1,0 +1,89 @@
+"""Action-list pruning (§4.3.2).
+
+The full in-page action space is [-63, 63]; the paper drops each action
+individually and keeps only those whose removal costs measurable
+performance, landing on the 16-action list of Table 2.  Long action
+lists hurt twice: more exploration to converge, and more storage
+(+ a longer search pipeline, see :mod:`repro.core.pipeline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Pythia, PythiaConfig
+from repro.harness.runner import Runner
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import geomean, speedup
+from repro.sim.system import simulate
+
+
+@dataclass(frozen=True)
+class ActionImpact:
+    """Performance effect of removing one action from the list."""
+
+    action: int
+    geomean_without: float
+    geomean_full: float
+
+    @property
+    def impact(self) -> float:
+        """Speedup lost by dropping the action (positive = action helps)."""
+        return self.geomean_full - self.geomean_without
+
+
+def _evaluate_actions(
+    actions: tuple[int, ...],
+    trace_names: list[str],
+    runner: Runner,
+    config: SystemConfig,
+) -> float:
+    speeds = []
+    for name in trace_names:
+        trace = runner.trace(name)
+        baseline = runner.baseline(name, config)
+        import dataclasses
+
+        pythia = Pythia(dataclasses.replace(PythiaConfig(), actions=actions))
+        result = simulate(
+            trace, config, pythia, warmup_fraction=runner.warmup_fraction
+        )
+        speeds.append(speedup(result, baseline))
+    return geomean(speeds)
+
+
+def prune_actions(
+    trace_names: list[str],
+    initial_actions: tuple[int, ...],
+    keep: int = 16,
+    runner: Runner | None = None,
+    config: SystemConfig | None = None,
+    impact_threshold: float = 0.001,
+) -> tuple[tuple[int, ...], list[ActionImpact]]:
+    """Leave-one-out pruning of *initial_actions* down to *keep* actions.
+
+    Returns the pruned list (always containing the mandatory no-prefetch
+    action 0) and the per-action impact report.  Actions whose removal
+    costs less than *impact_threshold* geomean speedup are dropped,
+    lowest impact first.
+    """
+    runner = runner if runner is not None else Runner(trace_length=8_000)
+    config = config if config is not None else SystemConfig()
+    full_score = _evaluate_actions(initial_actions, trace_names, runner, config)
+
+    impacts: list[ActionImpact] = []
+    for action in initial_actions:
+        if action == 0:
+            continue  # no-prefetch is structural, never pruned
+        without = tuple(a for a in initial_actions if a != action)
+        score = _evaluate_actions(without, trace_names, runner, config)
+        impacts.append(ActionImpact(action, score, full_score))
+
+    impacts.sort(key=lambda i: i.impact)
+    pruned = list(initial_actions)
+    for report in impacts:
+        if len(pruned) <= keep:
+            break
+        if report.impact < impact_threshold:
+            pruned.remove(report.action)
+    return tuple(pruned), impacts

@@ -1,0 +1,118 @@
+"""Uniform-grid reward and hyperparameter search (§4.3.3, Fig 20).
+
+The paper divides each hyperparameter's range into exponential grids
+(1e0, 1e-1, ...), runs every grid point on a 10-trace test suite, keeps
+the top-25 configurations, and re-ranks them on the full trace list.
+The same two-phase structure is implemented here at adjustable scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+
+from repro.core import Pythia, PythiaConfig
+from repro.core.rewards import RewardConfig
+from repro.harness.runner import Runner
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import geomean, speedup
+from repro.sim.system import simulate
+
+#: The exponential grid of §4.3.3 for each of α, γ, ε.
+EXPONENTIAL_GRID: tuple[float, ...] = (1e-4, 1e-3, 1e-2, 1e-1)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """One evaluated configuration point."""
+
+    config: PythiaConfig
+    geomean_speedup: float
+
+
+def _score(
+    config: PythiaConfig,
+    trace_names: list[str],
+    runner: Runner,
+    system: SystemConfig,
+) -> float:
+    speeds = []
+    for name in trace_names:
+        trace = runner.trace(name)
+        baseline = runner.baseline(name, system)
+        result = simulate(
+            trace, system, Pythia(config), warmup_fraction=runner.warmup_fraction
+        )
+        speeds.append(speedup(result, baseline))
+    return geomean(speeds)
+
+
+def grid_search_hyperparameters(
+    test_traces: list[str],
+    full_traces: list[str] | None = None,
+    alphas: tuple[float, ...] = EXPONENTIAL_GRID,
+    gammas: tuple[float, ...] = (0.3, 0.556, 0.8),
+    epsilons: tuple[float, ...] = (0.002, 0.005, 0.02),
+    top_k: int = 5,
+    runner: Runner | None = None,
+    system: SystemConfig | None = None,
+) -> list[TuningResult]:
+    """Two-phase (α, γ, ε) grid search; best configuration first.
+
+    Phase 1 scores the full grid on *test_traces*; phase 2 re-ranks the
+    top-``top_k`` on *full_traces* (defaults to the test suite).
+    """
+    runner = runner if runner is not None else Runner(trace_length=8_000)
+    system = system if system is not None else SystemConfig()
+    full_traces = full_traces if full_traces is not None else test_traces
+
+    phase1: list[TuningResult] = []
+    for alpha, gamma, epsilon in itertools.product(alphas, gammas, epsilons):
+        config = dataclasses.replace(
+            PythiaConfig(), alpha=alpha, gamma=gamma, epsilon=epsilon
+        )
+        phase1.append(TuningResult(config, _score(config, test_traces, runner, system)))
+    phase1.sort(key=lambda r: -r.geomean_speedup)
+
+    finalists = phase1[:top_k]
+    phase2 = [
+        TuningResult(r.config, _score(r.config, full_traces, runner, system))
+        for r in finalists
+    ]
+    phase2.sort(key=lambda r: -r.geomean_speedup)
+    return phase2
+
+
+def grid_search_rewards(
+    test_traces: list[str],
+    accurate_late_values: tuple[float, ...] = (4.0, 8.0, 12.0),
+    inaccurate_high_values: tuple[float, ...] = (-14.0, -12.0, -8.0),
+    no_prefetch_high_values: tuple[float, ...] = (-2.0, 0.0),
+    runner: Runner | None = None,
+    system: SystemConfig | None = None,
+) -> list[TuningResult]:
+    """Grid search over the reward levels the substrate is sensitive to.
+
+    This is the search that produced this package's substrate-tuned
+    defaults (see :class:`repro.core.rewards.RewardConfig`).
+    """
+    runner = runner if runner is not None else Runner(trace_length=8_000)
+    system = system if system is not None else SystemConfig()
+    results: list[TuningResult] = []
+    for ral, rin_h, rnp_h in itertools.product(
+        accurate_late_values, inaccurate_high_values, no_prefetch_high_values
+    ):
+        rewards = RewardConfig(
+            accurate_late=ral,
+            inaccurate_high_bw=rin_h,
+            inaccurate_low_bw=rin_h + 4.0,
+            no_prefetch_high_bw=rnp_h,
+            no_prefetch_low_bw=rnp_h - 1.0,
+        )
+        config = PythiaConfig().with_rewards(rewards)
+        results.append(
+            TuningResult(config, _score(config, test_traces, runner, system))
+        )
+    results.sort(key=lambda r: -r.geomean_speedup)
+    return results

@@ -1,0 +1,93 @@
+"""Common value types and address arithmetic shared across the simulator.
+
+The simulator works in *cacheline* units wherever possible: a ``line``
+is a 64-byte-aligned address divided by the line size, and a ``page`` is
+a 4 KB-aligned address divided by the page size.  Keeping everything in
+line units avoids repeated shifting in hot loops and makes off-by-one
+errors in delta/offset arithmetic much harder to write.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Bytes per cacheline (fixed at the conventional 64 B, as in the paper).
+LINE_SIZE = 64
+#: Bytes per physical page (conventional 4 KB, as in the paper).
+PAGE_SIZE = 4096
+#: Cachelines per page: 4096 / 64 = 64 lines, so in-page offsets are 0..63.
+LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
+#: log2(LINES_PER_PAGE), used for shifting line addresses to page numbers.
+PAGE_SHIFT_LINES = 6
+
+#: The largest legal prefetch offset magnitude for in-page prefetching.
+#: The paper's full action space is offsets in [-63, 63].
+MAX_OFFSET = LINES_PER_PAGE - 1
+
+
+class AccessType(enum.Enum):
+    """Classification of a memory request moving through the hierarchy."""
+
+    LOAD = "load"
+    STORE = "store"
+    PREFETCH = "prefetch"
+
+    @property
+    def is_demand(self) -> bool:
+        """True for requests issued by the program rather than a prefetcher."""
+        return self is not AccessType.PREFETCH
+
+
+def line_of(address: int) -> int:
+    """Return the cacheline number of a byte *address*."""
+    return address // LINE_SIZE
+
+
+def page_of_line(line: int) -> int:
+    """Return the physical page number containing cacheline *line*."""
+    return line >> PAGE_SHIFT_LINES
+
+
+def offset_of_line(line: int) -> int:
+    """Return the in-page offset (0..63) of cacheline *line*."""
+    return line & (LINES_PER_PAGE - 1)
+
+
+def same_page(line_a: int, line_b: int) -> bool:
+    """True when two cachelines live in the same physical page."""
+    return page_of_line(line_a) == page_of_line(line_b)
+
+
+def make_line(page: int, offset: int) -> int:
+    """Compose a cacheline number from a *page* number and in-page *offset*."""
+    if not 0 <= offset < LINES_PER_PAGE:
+        raise ValueError(f"offset {offset} outside page (0..{LINES_PER_PAGE - 1})")
+    return (page << PAGE_SHIFT_LINES) | offset
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A single memory request presented to the cache hierarchy.
+
+    Attributes:
+        pc: program counter of the instruction issuing the request.
+        line: cacheline number being accessed.
+        access: demand load/store or prefetch.
+        core: index of the issuing core (0 in single-core runs).
+    """
+
+    pc: int
+    line: int
+    access: AccessType
+    core: int = 0
+
+    @property
+    def page(self) -> int:
+        """Physical page number of the request."""
+        return page_of_line(self.line)
+
+    @property
+    def offset(self) -> int:
+        """In-page cacheline offset of the request."""
+        return offset_of_line(self.line)

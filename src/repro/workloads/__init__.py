@@ -1,0 +1,39 @@
+"""Synthetic workload traces standing in for the paper's trace suites.
+
+The paper evaluates on 150 instruction traces from SPEC CPU2006, SPEC
+CPU2017, PARSEC 2.1, Ligra and Cloudsuite, plus 500 "unseen" CVP-2
+traces.  Those traces are not redistributable here, so this package
+provides deterministic, seeded generators that reproduce each suite's
+*memory-access pattern class* — the property every figure in the paper
+actually keys on (see DESIGN.md, substitution 2).
+"""
+
+from repro.workloads.generators import (
+    WorkloadSpec,
+    WORKLOADS,
+    generate_trace,
+    workload_names,
+)
+from repro.workloads.suites import (
+    SUITES,
+    suite_traces,
+    all_trace_names,
+    motivation_traces,
+)
+from repro.workloads.mixes import homogeneous_mix, heterogeneous_mixes
+from repro.workloads.cvp import cvp_trace_names, generate_cvp_trace
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOADS",
+    "generate_trace",
+    "workload_names",
+    "SUITES",
+    "suite_traces",
+    "all_trace_names",
+    "motivation_traces",
+    "homogeneous_mix",
+    "heterogeneous_mixes",
+    "cvp_trace_names",
+    "generate_cvp_trace",
+]

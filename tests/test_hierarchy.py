@@ -1,0 +1,142 @@
+"""Tests for the cache hierarchy: demand path, prefetch issue and fills."""
+
+from repro.prefetchers.base import DemandContext, Prefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.trace import TraceRecord
+from repro.types import make_line
+
+
+class FixedPrefetcher(Prefetcher):
+    """Test helper: always prefetches the configured offsets ahead."""
+
+    name = "fixed"
+
+    def __init__(self, offsets):
+        self.offsets = offsets
+        self.fills = []
+        self.useful = []
+        self.useless = []
+
+    def train(self, ctx: DemandContext):
+        return [ctx.line + o for o in self.offsets]
+
+    def on_prefetch_fill(self, line, cycle):
+        self.fills.append(line)
+
+    def on_demand_hit_prefetched(self, line, cycle):
+        self.useful.append(line)
+
+    def on_prefetch_useless(self, line, cycle):
+        self.useless.append(line)
+
+
+def record(line, pc=0x400):
+    return TraceRecord(pc=pc, line=line, is_load=True, gap=4)
+
+
+def test_demand_miss_goes_to_dram():
+    h = CacheHierarchy(SystemConfig())
+    completion = h.demand_access(record(make_line(10, 0)), now=0)
+    assert completion > h.llc.latency
+    assert h.dram.demand_requests == 1
+    assert h.llc.stats.load_misses == 1
+
+
+def test_demand_hit_after_fill():
+    h = CacheHierarchy(SystemConfig())
+    line = make_line(10, 0)
+    h.demand_access(record(line), now=0)
+    completion = h.demand_access(record(line), now=1000)
+    assert completion == 1000 + h.l1.latency
+    assert h.dram.demand_requests == 1
+
+
+def test_prefetch_issued_and_fills_l2_llc():
+    h = CacheHierarchy(SystemConfig(), FixedPrefetcher([1]))
+    line = make_line(10, 0)
+    h.demand_access(record(line), now=0)
+    assert h.prefetches_issued == 1
+    assert h.dram.prefetch_requests == 1
+    h.process_fills(now=10_000)
+    assert h.l2.probe(line + 1)
+    assert h.llc.probe(line + 1)
+    assert not h.l1.probe(line + 1)  # L2-level prefetcher does not fill L1
+    assert h.prefetcher.fills == [line + 1]
+
+
+def test_timely_prefetch_hits_in_l2():
+    h = CacheHierarchy(SystemConfig(), FixedPrefetcher([1]))
+    line = make_line(10, 0)
+    h.demand_access(record(line), now=0)
+    completion = h.demand_access(record(line + 1), now=10_000)
+    assert completion == 10_000 + h.l2.latency
+    assert h.prefetcher.useful == [line + 1]
+
+
+def test_late_prefetch_merges():
+    h = CacheHierarchy(SystemConfig(), FixedPrefetcher([1]))
+    line = make_line(10, 0)
+    h.demand_access(record(line), now=0)
+    # Demand the prefetched line immediately: the prefetch is in flight.
+    completion = h.demand_access(record(line + 1), now=1)
+    assert h.late_prefetch_merges == 1
+    assert completion > 1 + h.l2.latency  # waits remaining latency
+    # The merged demand must not create its own DRAM read: the only
+    # reads are the first demand and the two trained prefetches.
+    assert h.dram.demand_requests == 1
+    # Merged-covered miss: not counted as an LLC load miss.
+    assert h.llc.stats.load_misses == 1
+
+
+def test_out_of_page_prefetches_dropped():
+    h = CacheHierarchy(SystemConfig(), FixedPrefetcher([64]))  # next page
+    h.demand_access(record(make_line(10, 0)), now=0)
+    assert h.prefetches_issued == 0
+    assert h.dram.prefetch_requests == 0
+
+
+def test_degree_cap_enforced():
+    config = SystemConfig(max_prefetch_degree=2)
+    h = CacheHierarchy(config, FixedPrefetcher([1, 2, 3, 4, 5]))
+    h.demand_access(record(make_line(10, 0)), now=0)
+    assert h.prefetches_issued == 2
+
+
+def test_duplicate_prefetches_filtered():
+    h = CacheHierarchy(SystemConfig(), FixedPrefetcher([1, 1, 1]))
+    h.demand_access(record(make_line(10, 0)), now=0)
+    assert h.prefetches_issued == 1
+
+
+def test_cached_lines_not_prefetched():
+    h = CacheHierarchy(SystemConfig(), FixedPrefetcher([1]))
+    line = make_line(10, 0)
+    h.demand_access(record(line + 1), now=0)       # caches line+1, prefetches line+2
+    issued_before = h.prefetches_issued
+    h.demand_access(record(line), now=10_000)      # candidate line+1 is cached
+    assert h.prefetches_issued == issued_before
+
+
+def test_useless_prefetch_eviction_callback():
+    # Tiny LLC: prefetched lines get evicted unused.
+    import dataclasses
+    config = SystemConfig()
+    config = dataclasses.replace(
+        config,
+        llc=dataclasses.replace(config.llc, size_bytes=8 * 64 * 16),
+    )
+    pf = FixedPrefetcher([1])
+    h = CacheHierarchy(config, pf)
+    for i in range(64):
+        h.demand_access(record(make_line(100 + i, 0)), now=i * 5000)
+    assert pf.useless  # some prefetched lines evicted without use
+
+
+def test_l1_prefetcher_fills_l1():
+    h = CacheHierarchy(
+        SystemConfig(), l1_prefetcher=FixedPrefetcher([1])
+    )
+    line = make_line(20, 0)
+    h.demand_access(record(line), now=0)
+    assert h.l1.probe(line + 1)

@@ -1,0 +1,80 @@
+"""Tests for the storage (Table 4) and area/power (Table 8) models."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import PythiaConfig
+from repro.hwmodel import (
+    PROCESSOR_SKUS,
+    overhead_table,
+    storage_overhead,
+    synthesize,
+)
+from repro.hwmodel.storage import action_index_bits, eq_bytes, qvstore_bytes
+
+
+def paper_config():
+    return dataclasses.replace(PythiaConfig(), eq_size=256)
+
+
+def test_table4_total_exact():
+    """Table 4: 24 KB QVStore + 1.5 KB EQ = 25.5 KB."""
+    breakdown = storage_overhead(paper_config())
+    assert breakdown.qvstore_bytes == 24 * 1024
+    assert breakdown.eq_bytes == 1536
+    assert breakdown.total_kib == pytest.approx(25.5)
+
+
+def test_qvstore_scales_with_vaults():
+    cfg = paper_config()
+    from repro.core.features import all_feature_specs
+
+    three = dataclasses.replace(cfg, features=tuple(all_feature_specs()[:3]))
+    assert qvstore_bytes(three) == qvstore_bytes(cfg) * 3 // 2
+
+
+def test_eq_scales_with_entries():
+    cfg = paper_config()
+    double = dataclasses.replace(cfg, eq_size=512)
+    assert eq_bytes(double) == 2 * eq_bytes(cfg)
+
+
+def test_action_index_bits():
+    assert action_index_bits(paper_config()) == 5  # Table 4's 5 bits
+
+
+def test_table8_area_power():
+    """Table 8: 0.33 mm² and 55.11 mW per core at the paper geometry."""
+    estimate = synthesize(paper_config())
+    assert estimate.area_mm2 == pytest.approx(0.33, rel=1e-6)
+    assert estimate.power_mw == pytest.approx(55.11, rel=1e-6)
+
+
+def test_table8_overhead_percentages():
+    rows = overhead_table(paper_config())
+    by_sku = {sku: (area, power) for sku, area, power in rows}
+    area, power = by_sku["Skylake D-2123IT (4-core, 60W)"]
+    assert area == pytest.approx(1.03, abs=0.02)
+    assert power == pytest.approx(0.37, abs=0.02)
+    area28, power28 = by_sku["Skylake Platinum 8180M (28-core, 205W)"]
+    assert area28 == pytest.approx(1.33, abs=0.02)
+    assert power28 == pytest.approx(0.75, abs=0.01)
+
+
+def test_overhead_monotone_in_cores():
+    rows = overhead_table(paper_config())
+    areas = [area for _, area, _ in rows]
+    assert areas == sorted(areas)
+
+
+def test_bigger_config_costs_more():
+    small = synthesize(paper_config())
+    big_cfg = dataclasses.replace(paper_config(), plane_entries=256)
+    big = synthesize(big_cfg)
+    assert big.area_mm2 > small.area_mm2
+    assert big.power_mw > small.power_mw
+
+
+def test_skus_defined():
+    assert len(PROCESSOR_SKUS) == 3

@@ -1,0 +1,100 @@
+"""Tests for the paper's evaluation metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import (
+    coverage,
+    geomean,
+    geomean_speedup,
+    mpki,
+    overprediction,
+    speedup,
+)
+from repro.sim.system import SimulationResult
+
+
+def make_result(ipc_instr=1000, cycles=1000.0, llc_misses=100, dram_reads=100):
+    return SimulationResult(
+        trace_name="t",
+        prefetcher_name="p",
+        instructions=ipc_instr,
+        cycles=cycles,
+        llc_load_misses=llc_misses,
+        llc_demand_hits=0,
+        dram_reads=dram_reads,
+        dram_demand_reads=dram_reads,
+        dram_prefetch_reads=0,
+        prefetches_issued=0,
+        useful_prefetches=0,
+        useless_prefetches=0,
+        late_prefetch_merges=0,
+        stall_cycles=0.0,
+    )
+
+
+def test_speedup():
+    base = make_result(cycles=2000)
+    fast = make_result(cycles=1000)
+    assert speedup(fast, base) == pytest.approx(2.0)
+
+
+def test_coverage_formula():
+    base = make_result(llc_misses=100)
+    result = make_result(llc_misses=30)
+    assert coverage(result, base) == pytest.approx(0.7)
+
+
+def test_coverage_zero_baseline():
+    assert coverage(make_result(), make_result(llc_misses=0)) == 0.0
+
+
+def test_overprediction_formula():
+    base = make_result(dram_reads=100)
+    result = make_result(dram_reads=180)
+    assert overprediction(result, base) == pytest.approx(0.8)
+
+
+def test_overprediction_can_be_negative():
+    # Prefetching that eliminates more demand reads than it adds.
+    base = make_result(dram_reads=100)
+    result = make_result(dram_reads=90)
+    assert overprediction(result, base) == pytest.approx(-0.1)
+
+
+def test_geomean_known():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geomean_empty_and_invalid():
+    assert geomean([]) == 0.0
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_geomean_speedup_mismatch():
+    with pytest.raises(ValueError):
+        geomean_speedup([make_result()], [])
+
+
+def test_mpki():
+    result = make_result(ipc_instr=10_000, llc_misses=50)
+    assert mpki(result) == pytest.approx(5.0)
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=20))
+def test_geomean_bounded_by_min_max(values):
+    g = geomean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=10),
+    st.floats(min_value=0.1, max_value=10),
+)
+def test_geomean_scales_linearly(values, k):
+    scaled = [v * k for v in values]
+    assert geomean(scaled) == pytest.approx(geomean(values) * k, rel=1e-6)

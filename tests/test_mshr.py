@@ -1,0 +1,46 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.sim.mshr import MshrFile
+
+
+def test_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        MshrFile(0)
+
+
+def test_allocate_and_reclaim():
+    mshr = MshrFile(2)
+    mshr.allocate(10, completion=100, is_prefetch=False)
+    assert len(mshr) == 1
+    assert mshr.outstanding(10) is not None
+    mshr.reclaim(99)
+    assert len(mshr) == 1
+    mshr.reclaim(100)
+    assert len(mshr) == 0
+    assert mshr.outstanding(10) is None
+
+
+def test_full_behaviour():
+    mshr = MshrFile(2)
+    mshr.allocate(1, 50, False)
+    mshr.allocate(2, 80, True)
+    assert mshr.is_full()
+    with pytest.raises(RuntimeError):
+        mshr.allocate(3, 90, False)
+    assert mshr.earliest_completion() == 50
+
+
+def test_merge_counts():
+    mshr = MshrFile(4)
+    mshr.allocate(5, 60, True)
+    entry = mshr.merge(5)
+    assert entry.completion == 60
+    assert mshr.merged == 1
+
+
+def test_earliest_completion_empty():
+    mshr = MshrFile(1)
+    with pytest.raises(RuntimeError):
+        mshr.earliest_completion()

@@ -1,0 +1,99 @@
+"""Tests for CP-HW (contextual bandit) and the POWER7 adaptive prefetcher."""
+
+from repro.prefetchers import CpHwPrefetcher, Power7Prefetcher
+from repro.prefetchers.base import DemandContext
+from repro.prefetchers.power7 import _DEPTH_LEVELS
+from repro.types import make_line
+
+
+def ctx(pc, page, offset):
+    return DemandContext(pc=pc, line=make_line(page, offset), cycle=0)
+
+
+class TestCpHw:
+    def test_learns_from_positive_feedback(self):
+        pf = CpHwPrefetcher(epsilon=0.0, seed=1)
+        # Reward offset +1 whenever chosen; punish everything else.
+        chosen_plus_one = 0
+        for i in range(3000):
+            page, off = divmod(i, 32)
+            out = pf.train(ctx(0xB00, page, off))
+            for line in out:
+                if line == make_line(page, off + 1):
+                    pf.on_demand_hit_prefetched(line, 0)
+                    chosen_plus_one += 1
+                else:
+                    pf.on_prefetch_useless(line, 0)
+        # After training, +1 should dominate its selections.
+        out = pf.train(ctx(0xB00, 999, 0))
+        assert out == [make_line(999, 1)]
+        assert chosen_plus_one > 0
+
+    def test_no_prefetch_action_possible(self):
+        pf = CpHwPrefetcher(epsilon=0.0, seed=1)
+        # Punish every prefetch: the bandit should settle on action 0.
+        for i in range(4000):
+            page, off = divmod(i, 32)
+            for line in pf.train(ctx(0xB00, page, off)):
+                pf.on_prefetch_useless(line, 0)
+        assert pf.train(ctx(0xB00, 999, 0)) == []
+
+    def test_myopic_no_qvalue_bootstrap(self):
+        """CP-HW has no discount factor: its estimates are immediate only."""
+        pf = CpHwPrefetcher()
+        assert not hasattr(pf, "gamma")
+
+    def test_reset(self):
+        pf = CpHwPrefetcher()
+        pf.train(ctx(0xB00, 1, 0))
+        pf.reset()
+        assert len(pf._estimates) == 0
+
+
+class TestPower7:
+    def test_depth_levels_monotone(self):
+        assert list(_DEPTH_LEVELS) == sorted(_DEPTH_LEVELS)
+        assert _DEPTH_LEVELS[0] == 0
+
+    def test_depth_increases_on_accuracy(self):
+        pf = Power7Prefetcher(epoch_length=50)
+        start = pf.depth
+        for _ in range(3):
+            for _ in range(20):
+                pf.on_demand_hit_prefetched(0, 0)
+            for _ in range(50):
+                pf.train(ctx(0xC00, 10, 0))
+        assert pf.depth >= start
+
+    def test_depth_decreases_on_inaccuracy(self):
+        pf = Power7Prefetcher(epoch_length=50)
+        start = pf.depth
+        for _ in range(3):
+            for _ in range(20):
+                pf.on_prefetch_useless(0, 0)
+            for _ in range(50):
+                pf.train(ctx(0xC00, 10, 0))
+        assert pf.depth <= start
+
+    def test_can_switch_streaming_off_and_back(self):
+        pf = Power7Prefetcher(epoch_length=20)
+        # Hammer with useless feedback until depth 0.
+        for _ in range(20):
+            for _ in range(16):
+                pf.on_prefetch_useless(0, 0)
+            for _ in range(20):
+                pf.train(ctx(0xC00, 10, 0))
+        assert pf.depth == 0
+        # Then reward heavily: depth should recover.
+        for _ in range(20):
+            for _ in range(16):
+                pf.on_demand_hit_prefetched(0, 0)
+            for _ in range(20):
+                pf.train(ctx(0xC00, 10, 0))
+        assert pf.depth > 0
+
+    def test_reset(self):
+        pf = Power7Prefetcher()
+        pf.train(ctx(0xC00, 1, 0))
+        pf.reset()
+        assert pf.depth == _DEPTH_LEVELS[2]

@@ -1,0 +1,192 @@
+"""Tests for the spatial prefetchers: SPP, PPF, Bingo, DSPatch, MLOP, IPCP."""
+
+from repro.prefetchers import (
+    BingoPrefetcher,
+    DspatchPrefetcher,
+    IpcpPrefetcher,
+    MlopPrefetcher,
+    SppPpfPrefetcher,
+    SppPrefetcher,
+)
+from repro.prefetchers.base import DemandContext
+from repro.prefetchers.spp import update_signature
+from repro.types import LINES_PER_PAGE, make_line, offset_of_line
+
+
+def ctx(pc, page, offset, bw_high=False):
+    return DemandContext(
+        pc=pc, line=make_line(page, offset), cycle=0, bandwidth_high=bw_high
+    )
+
+
+class TestSpp:
+    def test_signature_folds_deltas(self):
+        sig = update_signature(0, 3)
+        assert sig == 3
+        assert update_signature(sig, 3) == ((3 << 3) ^ 3) & 0xFFF
+
+    def test_signature_encodes_negative_deltas(self):
+        assert update_signature(0, -3) != update_signature(0, 3)
+
+    def test_learns_recurring_delta_path(self):
+        pf = SppPrefetcher(prefetch_threshold=0.25)
+        # Train several pages with the same delta program 0→8→16→24...
+        for page in range(30):
+            for step in range(6):
+                pf.train(ctx(0x400, page, step * 8))
+        out = pf.train(ctx(0x400, 100, 0))  # seed
+        out = pf.train(ctx(0x400, 100, 8))
+        assert make_line(100, 16) in out
+
+    def test_lookahead_depth_multiplies_confidence(self):
+        pf = SppPrefetcher(prefetch_threshold=0.25, max_lookahead=8)
+        for page in range(40):
+            for step in range(8):
+                pf.train(ctx(0x400, page, step * 4))
+        pf.train(ctx(0x400, 200, 0))
+        out = pf.train(ctx(0x400, 200, 4))
+        assert len(out) >= 2  # confident path walks several steps
+
+    def test_stops_at_page_boundary(self):
+        pf = SppPrefetcher(prefetch_threshold=0.1)
+        for page in range(30):
+            for step in range(3):
+                pf.train(ctx(0x400, page, step * 30))
+        pf.train(ctx(0x400, 99, 0))
+        out = pf.train(ctx(0x400, 99, 30))
+        assert all(offset_of_line(line) < LINES_PER_PAGE for line in out)
+
+    def test_no_delta_no_prefetch(self):
+        pf = SppPrefetcher()
+        pf.train(ctx(0x400, 5, 10))
+        assert pf.train(ctx(0x400, 5, 10)) == []
+
+
+class TestSppPpf:
+    def test_filters_learn_from_useless(self):
+        pf = SppPpfPrefetcher(accept_threshold=0)
+        # Train a delta path, then punish everything it issues.
+        for page in range(40):
+            for step in range(5):
+                candidates = pf.train(ctx(0x400, page, step * 6))
+                for line in candidates:
+                    pf.on_prefetch_useless(line, 0)
+        # After sustained punishment the filter rejects the pattern.
+        out = []
+        for step in range(5):
+            out = pf.train(ctx(0x400, 500, step * 6))
+        assert out == []
+
+    def test_useful_feedback_keeps_accepting(self):
+        pf = SppPpfPrefetcher(accept_threshold=-2)
+        accepted_any = False
+        for page in range(40):
+            for step in range(5):
+                for line in pf.train(ctx(0x400, page, step * 6)):
+                    accepted_any = True
+                    pf.on_demand_hit_prefetched(line, 0)
+        assert accepted_any
+
+
+class TestBingo:
+    def _train_regions(self, pf, pages, footprint, pc=0x700):
+        for page in pages:
+            for off in footprint:
+                pf.train(ctx(pc, page, off))
+
+    def test_predicts_footprint_from_pc_offset(self):
+        pf = BingoPrefetcher(at_size=4)
+        footprint = [0, 5, 9]
+        self._train_regions(pf, range(100, 120), footprint)
+        out = pf.train(ctx(0x700, 999, 0))
+        assert make_line(999, 5) in out
+        assert make_line(999, 9) in out
+
+    def test_continuation_issues_remaining(self):
+        pf = BingoPrefetcher(at_size=4)
+        footprint = list(range(0, 20))
+        self._train_regions(pf, range(100, 110), footprint)
+        first = pf.train(ctx(0x700, 999, 0))
+        second = pf.train(ctx(0x700, 999, 1))
+        assert set(second) <= set(first)  # remaining predicted lines
+        assert make_line(999, 1) not in second  # demanded line excluded
+
+    def test_most_recent_footprint_wins(self):
+        pf = BingoPrefetcher(at_size=1)
+        self._train_regions(pf, [10], [0, 3])
+        self._train_regions(pf, [20], [0, 7])
+        pf.train(ctx(0x700, 30, 0))  # evicts region 20 into PHT
+        out = pf.train(ctx(0x700, 99, 0))
+        # most recent committed footprint is from region 20 (or 30)
+        assert make_line(99, 3) not in out
+
+    def test_unknown_trigger_no_prefetch(self):
+        pf = BingoPrefetcher()
+        assert pf.train(ctx(0x700, 5, 0)) == []
+
+
+class TestDspatch:
+    def test_covp_is_union_accp_is_intersection(self):
+        pf = DspatchPrefetcher(tracker_size=1)
+        # Region A: offsets {0,2}; region B: offsets {0,4}.
+        for page, extra in [(10, 2), (20, 4), (30, 2), (40, 4)]:
+            pf.train(ctx(0x800, page, 0))
+            pf.train(ctx(0x800, page, extra))
+        low_bw = pf.train(ctx(0x800, 99, 0))
+        assert make_line(99, 2) in low_bw and make_line(99, 4) in low_bw
+        pf2 = DspatchPrefetcher(tracker_size=1)
+        for page, extra in [(10, 2), (20, 4), (30, 2), (40, 4)]:
+            pf2.train(ctx(0x800, page, 0, bw_high=True))
+            pf2.train(ctx(0x800, page, extra, bw_high=True))
+        high_bw = pf2.train(ctx(0x800, 99, 0, bw_high=True))
+        assert make_line(99, 2) not in high_bw
+        assert make_line(99, 4) not in high_bw
+
+    def test_dense_covp_demoted(self):
+        pf = DspatchPrefetcher(tracker_size=1)
+        # Wildly varying footprints accumulate a dense CovP.
+        import random
+        rng = random.Random(0)
+        for page in range(2, 60):
+            pf.train(ctx(0x800, page, 0))
+            for _ in range(3):
+                pf.train(ctx(0x800, page, rng.randrange(1, 64)))
+        out = pf.train(ctx(0x800, 999, 0))
+        assert len(out) <= 20  # falls back to AccP, not the dense union
+
+
+class TestMlop:
+    def test_learns_dominant_offset(self):
+        pf = MlopPrefetcher(update_period=100, degree=4, qualify_fraction=0.1)
+        for i in range(400):
+            page, off = divmod(i * 2, 64)
+            pf.train(ctx(0x900, 100 + page, off))
+        assert 2 in pf.active_offsets
+
+    def test_no_offsets_on_random_noise(self):
+        import random
+        rng = random.Random(1)
+        pf = MlopPrefetcher(update_period=200, qualify_fraction=0.25)
+        for _ in range(600):
+            pf.train(ctx(0x900, rng.randrange(4096), rng.randrange(64)))
+        assert pf.active_offsets == [] or len(pf.active_offsets) <= 2
+
+    def test_reset(self):
+        pf = MlopPrefetcher()
+        pf.train(ctx(0x900, 1, 1))
+        pf.reset()
+        assert pf.active_offsets == [1]
+
+
+class TestIpcp:
+    def test_constant_stride_class(self):
+        pf = IpcpPrefetcher(cs_degree=2)
+        out = []
+        for i in range(6):
+            out = pf.train(ctx(0xA00, 10, i * 3))
+        assert make_line(10, 18) in out
+        assert make_line(10, 21) in out
+
+    def test_unknown_pc_no_prefetch(self):
+        pf = IpcpPrefetcher()
+        assert pf.train(ctx(0xA00, 10, 0)) == []

@@ -1,0 +1,101 @@
+"""Tests for the QVStore: vaults, planes, Eqn 3, and SARSA updates."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import PythiaConfig
+from repro.core.qvstore import QVStore, Vault
+
+
+def config(**kwargs):
+    return dataclasses.replace(PythiaConfig(), **kwargs)
+
+
+def test_initial_q_is_optimistic():
+    cfg = config()
+    store = QVStore(cfg)
+    q = store.q_values((1, 2))
+    expected = cfg.initial_q
+    for value in q:
+        assert value == pytest.approx(expected)
+
+
+def test_vault_q_row_is_sum_of_planes():
+    cfg = config()
+    vault = Vault(cfg)
+    value = 42
+    vault.update(value, action=3, step=1.0)  # +1 in each of 3 planes
+    row = vault.q_row(value)
+    assert row[3] == pytest.approx(cfg.initial_q + cfg.num_planes)
+    assert row[0] == pytest.approx(cfg.initial_q)
+
+
+def test_qvstore_max_over_vaults():
+    """Eqn 3: Q(S,A) = max over features of the feature-action Q."""
+    cfg = config()
+    store = QVStore(cfg)
+    store.vaults[0].update(7, action=5, step=2.0)
+    store.vaults[1].update(9, action=5, step=-2.0)
+    q = store.q_values((7, 9))
+    assert q[5] == pytest.approx(cfg.initial_q + cfg.num_planes * 2.0)
+
+
+def test_best_action_tracks_updates():
+    store = QVStore(config())
+    store.vaults[0].update(7, action=4, step=5.0)
+    action, q = store.best_action((7, 9))
+    assert action == 4
+    assert q > config().initial_q
+
+
+def test_sarsa_update_moves_toward_target():
+    cfg = config(alpha=0.1)
+    store = QVStore(cfg)
+    state = (1, 2)
+    q_before = store.q_value(state, 0)
+    td = store.sarsa_update(state, 0, reward=20.0, next_state=state, next_action=0)
+    q_after = store.q_value(state, 0)
+    expected_td = 20.0 + cfg.gamma * q_before - q_before
+    assert td == pytest.approx(expected_td)
+    # All planes of both vaults step by alpha*td: total change per vault
+    # is num_planes * alpha * td (before the max across vaults).
+    assert q_after - q_before == pytest.approx(
+        cfg.num_planes * cfg.alpha * expected_td
+    )
+
+
+def test_sarsa_converges_to_reward_fixpoint():
+    cfg = config(alpha=0.05)
+    store = QVStore(cfg)
+    state = (11, 22)
+    for _ in range(3000):
+        store.sarsa_update(state, 2, reward=10.0, next_state=state, next_action=2)
+    fixpoint = 10.0 / (1.0 - cfg.gamma)
+    assert store.q_value(state, 2) == pytest.approx(fixpoint, rel=0.05)
+
+
+def test_negative_rewards_depress_q():
+    store = QVStore(config(alpha=0.1))
+    state = (5, 6)
+    before = store.q_value(state, 1)
+    for _ in range(100):
+        store.sarsa_update(state, 1, reward=-12.0, next_state=state, next_action=1)
+    assert store.q_value(state, 1) < before
+
+
+def test_storage_entries_matches_table4_geometry():
+    cfg = config()
+    store = QVStore(cfg)
+    # 2 vaults x 3 planes x 128 entries x 16 actions = 12288 entries.
+    assert store.storage_entries == 2 * 3 * 128 * 16
+
+
+def test_distinct_states_learn_independently_mostly():
+    store = QVStore(config(alpha=0.1))
+    state_a, state_b = (100, 200), (300, 400)
+    for _ in range(200):
+        store.sarsa_update(state_a, 0, -12.0, state_a, 0)
+    # state_a's Q is driven down; state_b shares tiles only by hash
+    # collision and should remain near the optimistic initial value.
+    assert store.q_value(state_a, 0) < store.q_value(state_b, 0)

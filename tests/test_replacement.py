@@ -1,0 +1,86 @@
+"""Tests for LRU and SHiP replacement policies."""
+
+import pytest
+
+from repro.sim.replacement import LruPolicy, ShipPolicy, make_policy
+
+
+def test_make_policy():
+    assert isinstance(make_policy("lru"), LruPolicy)
+    assert isinstance(make_policy("ship"), ShipPolicy)
+    with pytest.raises(ValueError):
+        make_policy("plru")
+
+
+class TestLru:
+    def test_prefers_invalid_way(self):
+        policy = LruPolicy()
+        meta = [5, 1, 9]
+        valid = [True, False, True]
+        assert policy.victim(meta, valid) == 1
+
+    def test_evicts_least_recent(self):
+        policy = LruPolicy()
+        meta = [policy.new_meta() for _ in range(4)]
+        valid = [True] * 4
+        for tick, way in enumerate([0, 1, 2, 3]):
+            policy.on_fill(meta, way, pc=0, is_prefetch=False, tick=tick)
+        policy.on_hit(meta, 0, pc=0, tick=10)
+        assert policy.victim(meta, valid) == 1
+
+    def test_hit_promotes(self):
+        policy = LruPolicy()
+        meta = [1, 2]
+        policy.on_hit(meta, 0, pc=0, tick=99)
+        assert policy.victim(meta, [True, True]) == 1
+
+
+class TestShip:
+    def test_fill_sets_rrpv(self):
+        policy = ShipPolicy()
+        meta = [policy.new_meta() for _ in range(2)]
+        policy.on_fill(meta, 0, pc=0x400, is_prefetch=False, tick=0)
+        assert meta[0]["rrpv"] == ShipPolicy.RRPV_MAX - 1
+
+    def test_prefetch_inserts_distant(self):
+        policy = ShipPolicy()
+        meta = [policy.new_meta() for _ in range(2)]
+        policy.on_fill(meta, 0, pc=0x400, is_prefetch=True, tick=0)
+        assert meta[0]["rrpv"] == ShipPolicy.RRPV_MAX
+
+    def test_hit_resets_rrpv_and_trains(self):
+        policy = ShipPolicy()
+        meta = [policy.new_meta()]
+        policy.on_fill(meta, 0, pc=0x400, is_prefetch=False, tick=0)
+        sig = meta[0]["sig"]
+        before = policy._shct[sig]
+        policy.on_hit(meta, 0, pc=0x400, tick=1)
+        assert meta[0]["rrpv"] == 0
+        assert policy._shct[sig] == min(ShipPolicy.SHCT_MAX, before + 1)
+
+    def test_victim_ages_until_distant(self):
+        policy = ShipPolicy()
+        meta = [policy.new_meta() for _ in range(2)]
+        for way in range(2):
+            policy.on_fill(meta, way, pc=0x400, is_prefetch=False, tick=way)
+            policy.on_hit(meta, way, pc=0x400, tick=way + 10)
+        victim = policy.victim(meta, [True, True])
+        assert victim in (0, 1)
+
+    def test_unreused_eviction_decrements_shct(self):
+        policy = ShipPolicy()
+        meta = [policy.new_meta()]
+        policy.on_fill(meta, 0, pc=0x888, is_prefetch=False, tick=0)
+        sig = meta[0]["sig"]
+        before = policy._shct[sig]
+        policy.on_evict(meta, 0, was_reused=False)
+        assert policy._shct[sig] == max(0, before - 1)
+
+    def test_untrained_signature_inserts_distant(self):
+        policy = ShipPolicy()
+        meta = [policy.new_meta()]
+        pc = 0x123
+        sig = policy._signature(pc)
+        policy._shct[sig] = 0
+        policy.on_fill(meta, 0, pc=pc, is_prefetch=False, tick=0)
+        assert meta[0]["rrpv"] == ShipPolicy.RRPV_MAX

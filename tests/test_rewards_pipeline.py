@@ -1,0 +1,105 @@
+"""Tests for the reward scheme and the pipelined-search timing model."""
+
+import pytest
+
+from repro.core.config import BASIC_ACTIONS, PythiaConfig
+from repro.core.pipeline import (
+    PIPELINE_STAGES,
+    prediction_latency,
+    search_timing,
+)
+from repro.core.rewards import (
+    BASIC_REWARDS,
+    BW_OBLIVIOUS_REWARDS,
+    STRICT_REWARDS,
+    RewardConfig,
+)
+
+
+def test_reward_level_ordering():
+    """Accurate > late > no-prefetch > inaccurate/coverage-loss."""
+    r = BASIC_REWARDS
+    assert r.accurate_timely > r.accurate_late > 0
+    assert r.accurate_late > r.no_prefetch_high_bw
+    assert r.inaccurate_high_bw < r.no_prefetch_high_bw
+    assert r.coverage_loss < 0
+
+
+def test_bandwidth_selectors():
+    r = RewardConfig()
+    assert r.inaccurate(True) == r.inaccurate_high_bw
+    assert r.inaccurate(False) == r.inaccurate_low_bw
+    assert r.no_prefetch(True) == r.no_prefetch_high_bw
+    assert r.no_prefetch(False) == r.no_prefetch_low_bw
+
+
+def test_high_bandwidth_punishes_inaccuracy_harder():
+    r = BASIC_REWARDS
+    assert r.inaccurate_high_bw < r.inaccurate_low_bw
+    assert r.no_prefetch_high_bw >= r.no_prefetch_low_bw
+
+
+def test_paper_table2_values():
+    r = RewardConfig.paper_table2()
+    assert r.accurate_timely == 20
+    assert r.accurate_late == 12
+    assert r.coverage_loss == -12
+    assert r.inaccurate_high_bw == -14
+    assert r.inaccurate_low_bw == -8
+    assert r.no_prefetch_high_bw == -2
+    assert r.no_prefetch_low_bw == -4
+
+
+def test_strict_rewards_direction():
+    """§6.6.1: strict punishes inaccuracy harder and relaxes no-prefetch."""
+    assert STRICT_REWARDS.inaccurate_high_bw < BASIC_REWARDS.inaccurate_high_bw
+    assert STRICT_REWARDS.no_prefetch_low_bw >= BASIC_REWARDS.no_prefetch_low_bw
+
+
+def test_bw_oblivious_collapses_variants():
+    r = BW_OBLIVIOUS_REWARDS
+    assert r.inaccurate_high_bw == r.inaccurate_low_bw
+    assert r.no_prefetch_high_bw == r.no_prefetch_low_bw
+
+
+def test_basic_actions_match_table2():
+    assert BASIC_ACTIONS == (-6, -3, -1, 0, 1, 3, 4, 5, 10, 11, 12, 16, 22, 23, 30, 32)
+    assert 0 in BASIC_ACTIONS
+    assert len(BASIC_ACTIONS) == 16
+
+
+def test_pipeline_has_five_stages():
+    assert len(PIPELINE_STAGES) == 5
+
+
+def test_search_timing_formula():
+    timing = search_timing(PythiaConfig())
+    assert timing.fill_latency == 5
+    assert timing.total_latency == 5 + 16 - 1
+    assert timing.throughput == 1.0
+
+
+def test_longer_action_list_costs_latency():
+    import dataclasses
+
+    short = PythiaConfig()
+    long = dataclasses.replace(short, actions=tuple(range(-63, 64)))
+    assert prediction_latency(long) > prediction_latency(short)
+
+
+def test_config_customization_helpers():
+    cfg = PythiaConfig()
+    strict = cfg.with_rewards(STRICT_REWARDS)
+    assert strict.rewards is STRICT_REWARDS
+    assert strict.actions == cfg.actions
+    from repro.core.features import PC_DELTA
+
+    single = cfg.with_features((PC_DELTA,))
+    assert len(single.features) == 1
+
+
+def test_initial_q_optimistic():
+    cfg = PythiaConfig()
+    assert cfg.initial_q == pytest.approx(
+        cfg.rewards.accurate_timely / (1 - cfg.gamma)
+    )

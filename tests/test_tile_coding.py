@@ -1,0 +1,43 @@
+"""Tests for the tile-coded plane indexing."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.core.tile_coding import DEFAULT_PLANE_SHIFTS, hash_index, plane_indices
+
+
+def test_deterministic():
+    assert hash_index(12345, 0, 128) == hash_index(12345, 0, 128)
+
+
+@given(value=st.integers(min_value=0, max_value=2**32 - 1))
+def test_index_in_range(value):
+    for shift in DEFAULT_PLANE_SHIFTS:
+        assert 0 <= hash_index(value, shift, 128) < 128
+
+
+def test_plane_indices_one_per_shift():
+    idx = plane_indices(999, DEFAULT_PLANE_SHIFTS, 128)
+    assert len(idx) == len(DEFAULT_PLANE_SHIFTS)
+
+
+def test_shift_generalizes_nearby_values():
+    """Values identical above the shifted-away bits share a tile."""
+    shift = 5
+    a = 0b1010100000
+    b = a | 0b11  # differs only in low (shifted-away) bits
+    assert hash_index(a, shift, 128) == hash_index(b, shift, 128)
+
+
+def test_zero_shift_separates_nearby_values():
+    hits = sum(
+        1 for v in range(100) if hash_index(v, 0, 128) == hash_index(v + 1, 0, 128)
+    )
+    assert hits < 10  # the finest plane keeps resolution
+
+
+def test_distribution_roughly_uniform():
+    counts = Counter(hash_index(v * 7919, 0, 128) for v in range(10_000))
+    assert len(counts) > 100  # most buckets used
+    assert max(counts.values()) < 400  # no pathological hot bucket

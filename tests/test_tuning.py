@@ -1,0 +1,85 @@
+"""Tests for the automated design-space exploration (§4.3)."""
+
+import pytest
+
+from repro.core.features import (
+    BASIC_FEATURES,
+    ControlFlow,
+    DataFlow,
+    FeatureSpec,
+)
+from repro.harness import Runner
+from repro.tuning import (
+    evaluate_feature_vector,
+    feature_selection,
+    grid_search_hyperparameters,
+    grid_search_rewards,
+    prune_actions,
+)
+from repro.tuning.feature_selection import candidate_vectors
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(trace_length=2500)
+
+
+TRACES = ["spec06/lbm-1", "spec06/gemsfdtd-1"]
+
+
+def test_candidate_vectors_counts():
+    any1 = candidate_vectors(1)
+    assert len(any1) == 31  # 32 minus the all-none feature
+    any2 = candidate_vectors(2)
+    assert len(any2) == 31 + 31 * 30 // 2
+
+
+def test_evaluate_feature_vector(runner):
+    score = evaluate_feature_vector(BASIC_FEATURES, TRACES, runner)
+    assert score.geomean_speedup > 0
+    assert "pc+delta" in score.label
+
+
+def test_feature_selection_ranks(runner):
+    vectors = [
+        BASIC_FEATURES,
+        (FeatureSpec(ControlFlow.PC, DataFlow.NONE),),
+    ]
+    scores = feature_selection(TRACES, runner, vectors=vectors)
+    assert len(scores) == 2
+    assert scores[0].geomean_speedup >= scores[1].geomean_speedup
+
+
+def test_prune_actions_keeps_no_prefetch(runner):
+    initial = (-3, -1, 0, 1, 3, 30)
+    pruned, impacts = prune_actions(
+        TRACES, initial, keep=4, runner=runner
+    )
+    assert 0 in pruned
+    assert len(pruned) >= 4
+    assert len(impacts) == len(initial) - 1  # all but action 0 evaluated
+
+
+def test_grid_search_hyperparameters(runner):
+    results = grid_search_hyperparameters(
+        TRACES,
+        alphas=(0.02,),
+        gammas=(0.556,),
+        epsilons=(0.005, 0.05),
+        top_k=2,
+        runner=runner,
+    )
+    assert len(results) == 2
+    assert results[0].geomean_speedup >= results[1].geomean_speedup
+
+
+def test_grid_search_rewards(runner):
+    results = grid_search_rewards(
+        TRACES,
+        accurate_late_values=(8.0,),
+        inaccurate_high_values=(-12.0,),
+        no_prefetch_high_values=(0.0, -2.0),
+        runner=runner,
+    )
+    assert len(results) == 2
+    assert all(r.geomean_speedup > 0 for r in results)

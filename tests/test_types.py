@@ -1,0 +1,78 @@
+"""Unit and property tests for address arithmetic in repro.types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import (
+    LINE_SIZE,
+    LINES_PER_PAGE,
+    PAGE_SIZE,
+    AccessType,
+    MemoryRequest,
+    line_of,
+    make_line,
+    offset_of_line,
+    page_of_line,
+    same_page,
+)
+
+
+def test_constants_consistent():
+    assert PAGE_SIZE // LINE_SIZE == LINES_PER_PAGE
+    assert LINES_PER_PAGE == 64
+
+
+def test_line_of_byte_address():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 1
+    assert line_of(PAGE_SIZE) == LINES_PER_PAGE
+
+
+def test_page_and_offset_of_line():
+    line = make_line(5, 17)
+    assert page_of_line(line) == 5
+    assert offset_of_line(line) == 17
+
+
+def test_make_line_rejects_bad_offset():
+    with pytest.raises(ValueError):
+        make_line(1, LINES_PER_PAGE)
+    with pytest.raises(ValueError):
+        make_line(1, -1)
+
+
+def test_same_page():
+    assert same_page(make_line(3, 0), make_line(3, 63))
+    assert not same_page(make_line(3, 63), make_line(4, 0))
+
+
+def test_access_type_is_demand():
+    assert AccessType.LOAD.is_demand
+    assert AccessType.STORE.is_demand
+    assert not AccessType.PREFETCH.is_demand
+
+
+def test_memory_request_properties():
+    req = MemoryRequest(pc=0x400, line=make_line(7, 9), access=AccessType.LOAD)
+    assert req.page == 7
+    assert req.offset == 9
+    assert req.core == 0
+
+
+@given(page=st.integers(min_value=0, max_value=2**40), offset=st.integers(0, 63))
+def test_make_line_roundtrip(page, offset):
+    line = make_line(page, offset)
+    assert page_of_line(line) == page
+    assert offset_of_line(line) == offset
+
+
+@given(line=st.integers(min_value=0, max_value=2**46))
+def test_page_offset_decompose(line):
+    assert make_line(page_of_line(line), offset_of_line(line)) == line
+
+
+@given(addr=st.integers(min_value=0, max_value=2**52))
+def test_line_of_is_monotone(addr):
+    assert line_of(addr) <= line_of(addr + LINE_SIZE)
+    assert line_of(addr + LINE_SIZE) == line_of(addr) + 1
