@@ -1,0 +1,25 @@
+# Test / benchmark entry points.  All targets run from the repo root.
+#
+#   make quick   - sub-minute smoke tier (the `quick` pytest marker):
+#                  Session API end-to-end on small traces.  CI's
+#                  per-push gate.
+#   make test    - full unit suite (tests/), ~1 min.
+#   make bench   - figure/table regeneration suite (benchmarks/), slow.
+#   make all     - everything pytest collects (tier-1 verify).
+
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: quick test bench all
+
+quick:
+	$(PY) -m pytest -m quick -q
+
+test:
+	$(PY) -m pytest tests -q
+
+bench:
+	$(PY) -m pytest benchmarks -q
+
+all:
+	$(PY) -m pytest -q

@@ -5,9 +5,22 @@ the paper: it runs the same sweep (scaled down — see DESIGN.md) and
 prints the same rows/series the paper plots.  Benches assert only weak
 sanity properties; the printed output is the artifact.
 
-Scale knob: set ``REPRO_BENCH_LENGTH`` (accesses per trace, default
-6000) to trade fidelity for runtime.  Longer traces help Pythia, whose
-online learning is still converging at the default scale.
+Execution runs on a shared memory-only :class:`repro.api.Session`
+(memory-only so pytest-benchmark times simulation, not disk reads); the
+legacy ``runner`` fixture is a shim over the same session, so baselines
+are shared between session-based and runner-based benches.
+
+Scale knobs:
+
+* ``REPRO_BENCH_LENGTH`` — accesses per trace (default 9000).  Longer
+  traces help Pythia, whose online learning is still converging at the
+  default scale.
+* ``REPRO_BENCH_WARMUP`` — warmup fraction (default 0.4).
+* ``REPRO_BENCH_WORKERS`` — if set to an integer > 1, experiment cells
+  fan out over that many worker processes.
+
+The ``quick`` marker (see pytest.ini / Makefile) selects the sub-minute
+smoke tier; quick benches use the small-trace ``quick_session`` fixture.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ import os
 
 import pytest
 
+from repro.api import ResultStore, Session, default_executor
 from repro.harness import Runner
 
 #: Accesses per trace for all benches.
@@ -26,6 +40,12 @@ BENCH_LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "9000"))
 #: falls mostly outside the measured region, as the paper's 100M-of-600M
 #: warmup achieves at full scale.
 BENCH_WARMUP = float(os.environ.get("REPRO_BENCH_WARMUP", "0.4"))
+
+#: Worker processes for experiment cells (1 = serial).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+#: Accesses per trace for the quick (sub-minute) smoke tier.
+QUICK_LENGTH = int(os.environ.get("REPRO_QUICK_LENGTH", "2000"))
 
 #: Small representative trace sample per suite, used where running the
 #: full 100+-trace list would be too slow for a bench.
@@ -46,9 +66,26 @@ def all_sample_traces() -> list[str]:
 
 
 @pytest.fixture(scope="session")
-def runner() -> Runner:
-    """Session-wide runner: traces and baselines are computed once."""
-    return Runner(trace_length=BENCH_LENGTH, warmup_fraction=BENCH_WARMUP)
+def session() -> Session:
+    """Session-wide Session: traces and results are computed once."""
+    return Session(
+        store=ResultStore(),
+        executor=default_executor(BENCH_WORKERS),
+        trace_length=BENCH_LENGTH,
+        warmup_fraction=BENCH_WARMUP,
+    )
+
+
+@pytest.fixture(scope="session")
+def runner(session: Session) -> Runner:
+    """Legacy Runner shim sharing the bench session's store."""
+    return Runner(session=session)
+
+
+@pytest.fixture(scope="session")
+def quick_session() -> Session:
+    """Small-trace session backing the sub-minute ``quick`` smoke tier."""
+    return Session(store=ResultStore(), trace_length=QUICK_LENGTH)
 
 
 def once(benchmark, fn):

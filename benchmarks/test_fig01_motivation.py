@@ -19,13 +19,15 @@ WORKLOADS = [
 PREFETCHERS = ["spp", "bingo", "pythia"]
 
 
-def test_fig01_motivation(runner, benchmark):
+def test_fig01_motivation(session, benchmark):
     def run():
-        return [
-            runner.run(trace, pf) for trace in WORKLOADS for pf in PREFETCHERS
-        ]
+        return session.run(
+            session.experiment("fig1")
+            .with_traces(*WORKLOADS)
+            .with_prefetchers(*PREFETCHERS)
+        )
 
-    records = once(benchmark, run)
+    results = once(benchmark, run)
     rows = [
         (
             r.trace_name,
@@ -34,12 +36,12 @@ def test_fig01_motivation(runner, benchmark):
             f"{100 * r.overprediction:.1f}%",
             f"{100 * (r.speedup - 1):+.1f}%",
         )
-        for r in records
+        for r in results
     ]
     print("\nFig 1: coverage / overprediction / IPC improvement")
     print(format_table(["workload", "prefetcher", "coverage", "overpred", "IPC"], rows))
 
-    by_key = {(r.trace_name, r.prefetcher): r for r in records}
+    by_key = {(r.trace_name, r.prefetcher): r for r in results}
     # Paper shape (a): Bingo out-covers SPP on the region workloads.
     assert (
         by_key[("parsec/canneal-1", "bingo")].coverage

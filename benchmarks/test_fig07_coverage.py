@@ -1,20 +1,19 @@
 """Fig 7: single-core coverage and overprediction per workload suite."""
 
-from conftest import COMPETITORS, SAMPLE_TRACES, once
+from conftest import COMPETITORS, all_sample_traces, once
 from repro.harness.rollup import coverage_rollup, format_table
 
 
-def test_fig07_coverage_overprediction(runner, benchmark):
+def test_fig07_coverage_overprediction(session, benchmark):
     def run():
-        return [
-            runner.run(trace, pf)
-            for traces in SAMPLE_TRACES.values()
-            for trace in traces
-            for pf in COMPETITORS
-        ]
+        return session.run(
+            session.experiment("fig7")
+            .with_traces(*all_sample_traces())
+            .with_prefetchers(*COMPETITORS)
+        )
 
-    records = once(benchmark, run)
-    rollup = coverage_rollup(records)
+    results = once(benchmark, run)
+    rollup = coverage_rollup(results)
     rows = []
     for suite, by_pf in rollup.items():
         for pf in COMPETITORS:

@@ -2,27 +2,27 @@
 
 from conftest import once
 from repro.harness.rollup import format_table
-from repro.sim.config import baseline_single_core
-from repro.sim.metrics import geomean
 
 PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
 TRACES = ["spec06/lbm-1", "ligra/cc-1", "parsec/canneal-1"]
 LLC_FACTORS = [0.125, 1.0, 2.0]
 
 
-def test_fig08c_llc_sweep(runner, benchmark):
+def test_fig08c_llc_sweep(session, benchmark):
     def run():
-        series: dict[str, list[float]] = {pf: [] for pf in PREFETCHERS}
-        for factor in LLC_FACTORS:
-            config = baseline_single_core().scaled_llc(factor)
-            for pf in PREFETCHERS:
-                speedups = [
-                    runner.run(trace, pf, config).speedup for trace in TRACES
-                ]
-                series[pf].append(geomean(speedups))
-        return series
+        return session.run(
+            session.experiment("fig8c")
+            .with_traces(*TRACES)
+            .with_prefetchers(*PREFETCHERS)
+            .sweep_llc(LLC_FACTORS)
+        )
 
-    series = once(benchmark, run)
+    results = once(benchmark, run)
+    pivoted = results.pivot("prefetcher", "system")
+    series = {
+        pf: [pivoted[pf][f"llc_scale={factor}"] for factor in LLC_FACTORS]
+        for pf in PREFETCHERS
+    }
     labels = [f"{f:g}x" for f in LLC_FACTORS]
     rows = [(pf, *[f"{s:.3f}" for s in series[pf]]) for pf in PREFETCHERS]
     print("\nFig 8c: geomean speedup vs LLC size")

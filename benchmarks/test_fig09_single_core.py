@@ -7,28 +7,23 @@ single-feature prefetchers together (combined coverage also combines
 overpredictions).
 """
 
-from conftest import COMPETITORS, SAMPLE_TRACES, once
-from repro.harness.rollup import (
-    format_table,
-    per_prefetcher_geomean,
-    per_suite_geomean,
-)
+from conftest import COMPETITORS, all_sample_traces, once
+from repro.harness.rollup import format_table
 
 COMBOS = ["st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"]
 COMBO_TRACES = ["spec06/lbm-1", "ligra/cc-1", "parsec/canneal-1", "spec06/mcf-1"]
 
 
-def test_fig09a_per_suite(runner, benchmark):
+def test_fig09a_per_suite(session, benchmark):
     def run():
-        return [
-            runner.run(trace, pf)
-            for traces in SAMPLE_TRACES.values()
-            for trace in traces
-            for pf in COMPETITORS
-        ]
+        return session.run(
+            session.experiment("fig9a")
+            .with_traces(*all_sample_traces())
+            .with_prefetchers(*COMPETITORS)
+        )
 
-    records = once(benchmark, run)
-    rollup = per_suite_geomean(records)
+    results = once(benchmark, run)
+    rollup = results.rollup("suite", "prefetcher")
     rows = [
         (suite, *[f"{rollup[suite][pf]:.3f}" for pf in COMPETITORS])
         for suite in rollup
@@ -36,22 +31,26 @@ def test_fig09a_per_suite(runner, benchmark):
     print("\nFig 9a: geomean speedup per suite (1C)")
     print(format_table(["suite", *COMPETITORS], rows))
 
-    overall = per_prefetcher_geomean(records)
+    overall = results.rollup("prefetcher")
     print("overall:", {pf: round(s, 3) for pf, s in overall.items()})
     # Sanity: Pythia improves over no-prefetching on aggregate.
     assert overall["pythia"] > 1.0
 
 
-def test_fig09b_combinations(runner):
-    records = [runner.run(trace, pf) for trace in COMBO_TRACES for pf in COMBOS]
-    rollup = per_prefetcher_geomean(records)
+def test_fig09b_combinations(session):
+    results = session.run(
+        session.experiment("fig9b")
+        .with_traces(*COMBO_TRACES)
+        .with_prefetchers(*COMBOS)
+    )
+    rollup = results.rollup("prefetcher")
     rows = [(pf, f"{rollup[pf]:.3f}") for pf in COMBOS]
     print("\nFig 9b: Pythia vs prefetcher combinations (1C)")
     print(format_table(["scheme", "geomean speedup"], rows))
 
     # Paper shape: stacking prefetchers stacks overpredictions — the
     # full combo must overpredict more than Pythia on these traces.
-    by = {(r.trace_name, r.prefetcher): r for r in records}
+    by = {(r.trace_name, r.prefetcher): r for r in results}
     combo_over = sum(by[(t, "st+s+b+d+m")].overprediction for t in COMBO_TRACES)
     pythia_over = sum(by[(t, "pythia")].overprediction for t in COMBO_TRACES)
     assert pythia_over < combo_over

@@ -1,0 +1,52 @@
+"""Sub-minute smoke tier: end-to-end sanity over the Session API.
+
+Selected by ``pytest -m quick`` (``make quick``): a miniature version of
+the full figure pipeline — declarative experiment, executor, result
+store, rollups — on traces small enough that the whole tier finishes in
+well under a minute.  This is the tier CI runs on every push; the full
+``benchmarks/`` figure suite is the slow artifact pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytestmark = pytest.mark.quick
+
+TRACES = ("spec06/lbm-1", "ligra/cc-1")
+PREFETCHERS = ("stride", "spp")
+
+
+def test_session_end_to_end(quick_session):
+    results = quick_session.run(
+        quick_session.experiment("smoke")
+        .with_traces(*TRACES)
+        .with_prefetchers(*PREFETCHERS)
+    )
+    assert len(results) == len(TRACES) * len(PREFETCHERS)
+    assert all(r.speedup > 0 for r in results)
+    rollup = results.rollup("suite", "prefetcher")
+    assert set(rollup) == {"SPEC06", "LIGRA"}
+    assert set(rollup["SPEC06"]) == set(PREFETCHERS)
+
+
+def test_store_absorbs_repeat_runs(quick_session):
+    experiment = (
+        quick_session.experiment("smoke-repeat")
+        .with_traces(TRACES[0])
+        .with_prefetchers(*PREFETCHERS)
+    )
+    quick_session.run(experiment)
+    again = quick_session.run(experiment)
+    assert again.stats["simulated"] == 0
+    assert again.stats["cached"] == again.stats["cells"]
+
+
+def test_mix_smoke(quick_session):
+    from repro.sim.config import baseline_multi_core
+
+    result, baseline = quick_session.run_mix(
+        [TRACES[0], TRACES[0]], "stride", baseline_multi_core(2)
+    )
+    assert result.instructions > 0
+    assert baseline.prefetcher_name == "none"

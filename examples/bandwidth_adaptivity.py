@@ -6,31 +6,33 @@ shows how aggressive prefetchers (MLOP) collapse when bandwidth is
 scarce while Pythia's bandwidth-aware rewards keep it safe — Fig 8b's
 crossover in miniature.
 
+The whole sweep is one declarative experiment: ``sweep_mtps`` puts the
+bandwidth axis on the system dimension, and the pivot query shapes the
+table.  Independent cells fan out across cores via the process-pool
+executor.
+
 Run:  python examples/bandwidth_adaptivity.py
 """
 
-from repro.prefetchers import create
-from repro.sim import baseline_single_core, simulate
-from repro.sim.metrics import speedup
-from repro.workloads import generate_trace
+from repro.api import ProcessPoolExecutor, Session
 
 MTPS_POINTS = [300, 1200, 2400, 9600]
 PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
 
 
 def main() -> None:
-    trace = generate_trace("ligra/cc", length=15_000, seed=1)
-    print(f"workload: {trace.name} (bandwidth-hungry graph kernel)\n")
-    header = f"{'MTPS':>6} " + " ".join(f"{p:>8}" for p in PREFETCHERS)
-    print(header)
-    for mtps in MTPS_POINTS:
-        config = baseline_single_core().with_mtps(mtps)
-        baseline = simulate(trace, config)
-        row = f"{mtps:>6} "
-        for name in PREFETCHERS:
-            result = simulate(trace, config, create(name))
-            row += f" {speedup(result, baseline):8.3f}"
-        print(row)
+    session = Session(executor=ProcessPoolExecutor(), trace_length=15_000)
+
+    experiment = (
+        session.experiment("bandwidth-adaptivity")
+        .with_traces("ligra/cc-1")
+        .with_prefetchers(*PREFETCHERS)
+        .sweep_mtps(MTPS_POINTS)
+    )
+    results = session.run(experiment)
+
+    print("workload: ligra/cc-1 (bandwidth-hungry graph kernel)\n")
+    print(results.table(rows="system", cols="prefetcher", metric="speedup"))
     print(
         "\nReading the table: as MTPS shrinks, overpredicting prefetchers"
         " fall below 1.0 (slower than no prefetching) while Pythia trades"

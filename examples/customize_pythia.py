@@ -10,37 +10,46 @@ runs three Pythia configurations on a Ligra workload:
 * **custom features** — a state-vector swapped to PC+Offset /
   last-4-offsets, demonstrating feature customization (§6.6.2).
 
+Each variant is a :class:`repro.api.PrefetcherSpec`: a registry name
+plus keyword overrides forwarded to the factory — no hand-built
+``PythiaConfig`` plumbing needed.
+
 Run:  python examples/customize_pythia.py
 """
 
-from repro.core import Pythia, PythiaConfig
+from repro.api import PrefetcherSpec, Session
 from repro.core.features import ControlFlow, DataFlow, FeatureSpec
-from repro.sim import baseline_single_core, simulate
-from repro.sim.metrics import overprediction, speedup
-from repro.workloads import generate_trace
 
 
 def main() -> None:
-    trace = generate_trace("ligra/pagerankdelta", length=15_000, seed=1)
-    config = baseline_single_core()
-    baseline = simulate(trace, config)
-    print(f"workload: {trace.name}, baseline IPC {baseline.ipc:.3f}\n")
+    session = Session(trace_length=15_000)
 
     offset_features = (
         FeatureSpec(ControlFlow.PC, DataFlow.OFFSET),
         FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_OFFSETS),
     )
-    variants = {
-        "basic": PythiaConfig.named("basic"),
-        "strict": PythiaConfig.named("strict"),
-        "pc+offset features": PythiaConfig().with_features(offset_features),
-    }
-    for label, pythia_config in variants.items():
-        result = simulate(trace, config, Pythia(pythia_config))
+    variants = [
+        PrefetcherSpec("pythia", label="basic"),
+        PrefetcherSpec("pythia_strict", label="strict"),
+        PrefetcherSpec(
+            "pythia",
+            overrides=(("features", offset_features),),
+            label="pc+offset features",
+        ),
+    ]
+    results = session.run(
+        session.experiment("customize-pythia")
+        .with_traces("ligra/pagerankdelta-1")
+        .with_prefetchers(*variants)
+    )
+
+    baseline = results[0].baseline
+    print(f"workload: {results[0].trace_name}, baseline IPC {baseline.ipc:.3f}\n")
+    for record in results:
         print(
-            f"{label:20s} speedup {speedup(result, baseline):.3f}  "
-            f"overprediction {100 * overprediction(result, baseline):5.1f}%  "
-            f"prefetch DRAM reads {result.dram_prefetch_reads}"
+            f"{record.prefetcher:20s} speedup {record.speedup:.3f}  "
+            f"overprediction {100 * record.overprediction:5.1f}%  "
+            f"prefetch DRAM reads {record.result.dram_prefetch_reads}"
         )
     print(
         "\nNo hardware changed between rows — only the reward and feature"

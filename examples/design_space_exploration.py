@@ -3,10 +3,17 @@
 Runs the three tuning procedures the paper used to derive Pythia's basic
 configuration: feature selection over candidate state-vectors, action
 pruning by leave-one-out impact, and a small hyperparameter grid search.
+The tuning loops execute on a shared :class:`repro.api.Session` (through
+the legacy ``Runner`` shim they expect), so every baseline is cached by
+complete fingerprint; the final comparison then runs the winning config
+against stock Pythia as one declarative experiment, with the tuned
+hyperparameters passed as registry overrides — no hand-built config
+plumbing.
 
 Run:  python examples/design_space_exploration.py
 """
 
+from repro.api import ResultStore, Session
 from repro.core.features import ControlFlow, DataFlow, FeatureSpec
 from repro.harness import Runner
 from repro.tuning import (
@@ -19,7 +26,8 @@ TRACES = ["spec06/gemsfdtd-1", "spec06/lbm-1", "ligra/cc-1"]
 
 
 def main() -> None:
-    runner = Runner(trace_length=8_000)
+    session = Session(store=ResultStore(), trace_length=8_000)
+    runner = Runner(session=session)
 
     print("=== Feature selection (sample of the 32-feature space) ===")
     vectors = [
@@ -53,6 +61,22 @@ def main() -> None:
         cfg = result.config
         print(f"  alpha={cfg.alpha:<6} gamma={cfg.gamma:<6} eps={cfg.epsilon:<6}"
               f" -> speedup {result.geomean_speedup:.3f}")
+
+    print("\n=== Tuned vs stock Pythia (declarative re-run) ===")
+    best = results[0].config
+    comparison = session.run(
+        session.experiment("dse-winner")
+        .with_traces(*TRACES)
+        .with_prefetchers(
+            "pythia",
+            ("pythia", {"alpha": best.alpha, "gamma": best.gamma,
+                        "epsilon": best.epsilon}),
+        )
+    )
+    for name, value in comparison.rollup("prefetcher").items():
+        print(f"  {name:16s} geomean speedup {value:.3f}")
+    print(f"  ({comparison.stats['cached']} of {comparison.stats['cells']}"
+          " cells already in the session store)")
 
 
 if __name__ == "__main__":

@@ -1,41 +1,47 @@
 """Quickstart: run Pythia against SPP and Bingo on one workload.
 
-Generates a GemsFDTD-like trace (recurring in-page delta patterns),
-simulates the paper's single-core baseline with each prefetcher, and
-prints speedup, coverage, and overprediction — plus the prefetch
-offsets Pythia learned to favour (the paper's Fig 13 analysis).
+Uses the unified :class:`repro.api.Session` front door: declare the
+experiment (traces × prefetchers), run it, and query the result set.
+Results land in a persistent content-addressed store (``~/.cache/
+repro-pythia`` or ``$REPRO_CACHE_DIR``), so re-running this script —
+or any other experiment touching the same cells — simulates nothing.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import Pythia
-from repro.prefetchers import create
-from repro.sim import baseline_single_core, simulate
-from repro.sim.metrics import coverage, overprediction, speedup
-from repro.workloads import generate_trace
+from repro.api import Session
 
 
 def main() -> None:
-    trace = generate_trace("spec06/gemsfdtd", length=20_000, seed=1)
-    config = baseline_single_core()
+    session = Session()  # persistent result store, serial executor
 
-    print(f"workload: {trace.name} ({len(trace)} accesses)")
-    baseline = simulate(trace, config)
+    experiment = (
+        session.experiment("quickstart")
+        .with_traces("spec06/gemsfdtd-1")
+        .with_prefetchers("spp", "bingo", "pythia")
+        .with_length(20_000)
+    )
+    results = session.run(experiment)
+
+    baseline = results[0].baseline
+    print(f"workload: {results[0].trace_name} "
+          f"({baseline.instructions} measured instructions)")
     print(f"no prefetching: IPC {baseline.ipc:.3f}, "
           f"{baseline.llc_load_misses} LLC load misses\n")
 
-    for name in ["spp", "bingo", "pythia"]:
-        prefetcher = create(name)
-        result = simulate(trace, config, prefetcher)
+    for record in results:
         print(
-            f"{name:8s} speedup {speedup(result, baseline):.3f}  "
-            f"coverage {100 * coverage(result, baseline):5.1f}%  "
-            f"overprediction {100 * overprediction(result, baseline):5.1f}%"
+            f"{record.prefetcher:8s} speedup {record.speedup:.3f}  "
+            f"coverage {100 * record.coverage:5.1f}%  "
+            f"overprediction {100 * record.overprediction:5.1f}%"
         )
-        if isinstance(prefetcher, Pythia):
-            top = prefetcher.top_actions(3)
-            print(f"         Pythia's favourite offsets: "
-                  + ", ".join(f"{o:+d} ({c} times)" for o, c in top))
+
+    stats = results.stats
+    print(
+        f"\nsimulated {stats['simulated']} of {stats['cells']} cells "
+        f"({stats['cached']} served by the result store) — "
+        "run me again and everything hits the store."
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# CI entry point.
+#
+# Tier 1 (every push): the sub-minute `quick` smoke tier — Session API
+# end-to-end on small traces — followed by the full unit suite.
+# The slow figure-regeneration suite (`make bench`) is a separate,
+# scheduled job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+python -m pytest -m quick -q
+python -m pytest tests -q -m "not quick"

@@ -29,4 +29,32 @@ __version__ = "1.0.0"
 
 from repro.types import LINE_SIZE, PAGE_SIZE, LINES_PER_PAGE
 
-__all__ = ["LINE_SIZE", "PAGE_SIZE", "LINES_PER_PAGE", "__version__"]
+#: Names re-exported lazily from :mod:`repro.api` (PEP 562) so that
+#: ``from repro import Session`` works without making ``import repro``
+#: pull in the whole simulator stack.
+_API_EXPORTS = {
+    "Session",
+    "Experiment",
+    "ResultSet",
+    "ResultStore",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "PrefetcherSpec",
+    "SystemSpec",
+}
+
+__all__ = [
+    "LINE_SIZE",
+    "PAGE_SIZE",
+    "LINES_PER_PAGE",
+    "__version__",
+    *sorted(_API_EXPORTS),
+]
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

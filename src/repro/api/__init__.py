@@ -1,0 +1,59 @@
+"""Unified front door: declarative experiments, executors, result store.
+
+This package is the one entry point for running anything in the system::
+
+    from repro.api import Session
+
+    session = Session()                      # persistent result store
+    experiment = (session.experiment("demo")
+                  .with_traces("spec06/gemsfdtd-1", "ligra/cc-1")
+                  .with_prefetchers("spp", "bingo", "pythia"))
+    results = session.run(experiment)        # cached cells are free
+    print(results.rollup("prefetcher"))      # geomean speedups
+
+Pieces (all replaceable independently):
+
+* :class:`Experiment` — immutable declarative sweep builder
+  (traces × prefetchers × systems, composable from string names).
+* :class:`Session` — the facade owning a store + executor.
+* :class:`SerialExecutor` / :class:`ProcessPoolExecutor` — pluggable
+  execution backends for independent cells.
+* :class:`ResultStore` — content-addressed, disk-persistent cache keyed
+  by complete simulation fingerprints.
+* :class:`ResultSet` / :class:`CellResult` — typed results with
+  group / pivot / rollup queries.
+
+The legacy ``repro.harness.Runner`` API remains as a thin shim over a
+memory-only :class:`Session`.
+"""
+
+from repro.api.executors import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    default_executor,
+    execute_cell,
+)
+from repro.api.experiment import Cell, Experiment, PrefetcherSpec, SystemSpec
+from repro.api.fingerprint import canonical, fingerprint
+from repro.api.resultset import CellResult, ResultSet
+from repro.api.session import Session
+from repro.api.store import ResultStore
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "Executor",
+    "Experiment",
+    "PrefetcherSpec",
+    "ProcessPoolExecutor",
+    "ResultSet",
+    "ResultStore",
+    "SerialExecutor",
+    "Session",
+    "SystemSpec",
+    "canonical",
+    "default_executor",
+    "execute_cell",
+    "fingerprint",
+]

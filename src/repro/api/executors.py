@@ -1,0 +1,124 @@
+"""Pluggable executors: how a batch of independent cells gets simulated.
+
+The :class:`Executor` protocol is a single method — ``run_cells`` — so
+alternative backends (thread pools for a future C substrate, remote
+fleets, batch schedulers) plug in without touching the session logic.
+Two backends ship today:
+
+* :class:`SerialExecutor` — in-process loop; zero overhead, fully
+  deterministic, the default.
+* :class:`ProcessPoolExecutor` — fans independent cells out across
+  cores.  Cells are pure declarative data (see
+  :class:`repro.api.experiment.Cell`) and trace generation is
+  stable-seeded, so worker processes reproduce exactly what the serial
+  path computes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent import futures
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.api.experiment import Cell
+from repro.sim.system import SimulationResult
+
+
+def execute_cell(cell: Cell) -> SimulationResult:
+    """Simulate one cell from its declarative spec.
+
+    Module-level (picklable) so process pools can ship it to workers.
+    """
+    from repro import registry
+    from repro.sim.system import simulate
+
+    trace = registry.cached_trace(cell.trace, cell.trace_length)
+    prefetcher = cell.prefetcher.build()
+    l1 = cell.l1_prefetcher.build() if cell.l1_prefetcher is not None else None
+    return simulate(
+        trace,
+        cell.system.config,
+        prefetcher,
+        warmup_fraction=cell.warmup_fraction,
+        l1_prefetcher=l1,
+    )
+
+
+def _init_worker(extra_prefetchers: dict) -> None:
+    """Replicate the parent's runtime prefetcher registrations.
+
+    Spawn/forkserver workers import a fresh :mod:`repro.registry` whose
+    ``register_prefetcher`` table is empty; without this, cells naming a
+    runtime-registered prefetcher would fail in the worker.  (System
+    specs need no replication — cells embed the resolved config.)
+    """
+    from repro import registry
+
+    registry._EXTRA_PREFETCHERS.update(extra_prefetchers)
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can turn cells into results, in order."""
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[SimulationResult]:
+        """Simulate every cell, returning results in input order."""
+        ...
+
+
+class SerialExecutor:
+    """Run cells one after another in the calling process."""
+
+    name = "serial"
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[SimulationResult]:
+        return [execute_cell(cell) for cell in cells]
+
+
+class ProcessPoolExecutor:
+    """Fan cells out over a pool of worker processes.
+
+    Args:
+        max_workers: pool size (default: ``os.cpu_count()``, capped at
+            the number of cells per batch).
+        start_method: multiprocessing start method; the platform default
+            (``fork`` on Linux) is used when ``None``.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: int | None = None, start_method: str | None = None):
+        self.max_workers = max_workers
+        self.start_method = start_method
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[SimulationResult]:
+        if not cells:
+            return []
+        workers = min(self.max_workers or os.cpu_count() or 1, len(cells))
+        if workers <= 1:
+            return SerialExecutor().run_cells(cells)
+        mp_context = None
+        if self.start_method is not None:
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(self.start_method)
+        from repro import registry
+
+        chunksize = max(1, len(cells) // (workers * 4))
+        with futures.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(dict(registry._EXTRA_PREFETCHERS),),
+        ) as pool:
+            return list(pool.map(execute_cell, cells, chunksize=chunksize))
+
+
+def default_executor(parallel: bool | int = False) -> Executor:
+    """Convenience selector: ``False``/``0``/``1`` → serial, ``True`` →
+    pool at cpu count, ``N > 1`` → pool with N workers."""
+    if parallel is True:
+        return ProcessPoolExecutor()
+    if parallel is False or int(parallel) <= 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(max_workers=int(parallel))

@@ -1,0 +1,281 @@
+"""Declarative experiment descriptions: traces × prefetchers × systems.
+
+An :class:`Experiment` is an immutable value object describing a sweep;
+nothing runs until :meth:`repro.api.Session.run` expands it into
+:class:`Cell` work units.  Builder methods return new instances, so
+sweeps compose::
+
+    ex = (Experiment.define("fig8b")
+          .with_suites("SPEC06")
+          .with_prefetchers("spp", "bingo", "mlop", "pythia")
+          .sweep_mtps([600, 1200, 2400, 4800]))
+
+Every axis is string-addressable through :mod:`repro.registry`:
+prefetchers by registry name (with optional overrides), systems by name
+plus ``@key=value`` modifiers, traces by workload/trace name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Sequence
+
+from repro.api.fingerprint import canonical, fingerprint
+from repro.sim.config import SystemConfig, baseline_single_core
+
+
+@dataclass(frozen=True)
+class PrefetcherSpec:
+    """Declarative prefetcher: registry name plus factory overrides.
+
+    Attributes:
+        name: :mod:`repro.registry` prefetcher name.
+        overrides: sorted ``(key, value)`` pairs forwarded to the
+            factory (kept as a tuple so specs stay hashable).
+        label: display label for rollups; defaults to *name*, with the
+            override keys appended when overrides are present.
+    """
+
+    name: str
+    overrides: tuple[tuple[str, Any], ...] = ()
+    label: str | None = None
+
+    @staticmethod
+    def of(spec: "PrefetcherSpec | str | tuple") -> "PrefetcherSpec":
+        """Coerce a name, ``(name, overrides_dict)`` pair, or spec."""
+        if isinstance(spec, PrefetcherSpec):
+            return spec
+        if isinstance(spec, str):
+            return PrefetcherSpec(spec)
+        if isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[1], dict):
+            name, overrides = spec
+            return PrefetcherSpec(name, tuple(sorted(overrides.items())))
+        raise TypeError(f"cannot interpret prefetcher spec {spec!r}")
+
+    @property
+    def display(self) -> str:
+        """Rollup label."""
+        if self.label:
+            return self.label
+        if not self.overrides:
+            return self.name
+        keys = ",".join(k for k, _ in self.overrides)
+        return f"{self.name}[{keys}]"
+
+    def build(self):
+        """Instantiate a fresh prefetcher through the unified registry."""
+        from repro import registry
+
+        return registry.create(self.name, **dict(self.overrides))
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A labelled system configuration (label drives pivot/rollup keys)."""
+
+    label: str
+    config: SystemConfig
+
+    @staticmethod
+    def of(spec: "SystemSpec | str | SystemConfig | tuple") -> "SystemSpec":
+        """Coerce a name, config object, ``(label, config)`` pair, or spec."""
+        from repro import registry
+
+        if isinstance(spec, SystemSpec):
+            return spec
+        if isinstance(spec, str):
+            return SystemSpec(spec, registry.system(spec))
+        if isinstance(spec, SystemConfig):
+            return SystemSpec(f"custom-{fingerprint(spec)[:8]}", spec)
+        if isinstance(spec, tuple) and len(spec) == 2:
+            label, config = spec
+            return SystemSpec(label, registry.system(config))
+        raise TypeError(f"cannot interpret system spec {spec!r}")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-specified unit of simulation work.
+
+    Cells are pure data (picklable, hashable) so executors can ship them
+    to worker processes, and carry everything that determines the
+    simulation's outcome so :meth:`fingerprint` is a *complete* cache
+    key — the fix for the historical baseline under-keying bug.
+    """
+
+    trace: str
+    prefetcher: PrefetcherSpec
+    system: SystemSpec
+    trace_length: int
+    warmup_fraction: float
+    l1_prefetcher: PrefetcherSpec | None = None
+
+    def fingerprint(self) -> str:
+        """Content hash over every outcome-determining field."""
+        return fingerprint(
+            {
+                "kind": "cell",
+                "trace": self.trace,
+                "trace_length": self.trace_length,
+                "warmup_fraction": self.warmup_fraction,
+                "prefetcher": {
+                    "name": self.prefetcher.name,
+                    "overrides": canonical(dict(self.prefetcher.overrides)),
+                },
+                "l1_prefetcher": None
+                if self.l1_prefetcher is None
+                else {
+                    "name": self.l1_prefetcher.name,
+                    "overrides": canonical(dict(self.l1_prefetcher.overrides)),
+                },
+                "system": canonical(self.system.config),
+            }
+        )
+
+    def baseline_cell(self) -> "Cell":
+        """The no-prefetching run this cell's metrics are relative to."""
+        return replace(self, prefetcher=PrefetcherSpec("none"), l1_prefetcher=None)
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.prefetcher.name == "none" and self.l1_prefetcher is None
+
+
+_DEFAULT_SYSTEMS = (SystemSpec("1c", baseline_single_core()),)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A declarative sweep: traces × prefetchers × systems.
+
+    Attributes:
+        name: experiment identifier (e.g. ``"fig9a"``).
+        traces: trace names (``workload-seed``; bare workload names mean
+            seed 1).
+        prefetchers: prefetcher specs to compare.
+        systems: labelled system configs to sweep over.
+        trace_length: accesses per generated trace.
+        warmup_fraction: leading fraction excluded from statistics.
+        l1_prefetcher: optional L1 prefetcher applied to every cell
+            (multi-level experiments, Fig 8d).
+    """
+
+    name: str = "experiment"
+    traces: tuple[str, ...] = ()
+    prefetchers: tuple[PrefetcherSpec, ...] = ()
+    systems: tuple[SystemSpec, ...] = _DEFAULT_SYSTEMS
+    trace_length: int = 20_000
+    warmup_fraction: float = 0.2
+    l1_prefetcher: PrefetcherSpec | None = None
+
+    @classmethod
+    def define(cls, name: str, **kwargs) -> "Experiment":
+        """Start a builder chain: ``Experiment.define("fig9a")...``."""
+        return cls(name=name, **kwargs)
+
+    # ---- builder methods (each returns a new Experiment) ----------------
+
+    def with_traces(self, *traces: str) -> "Experiment":
+        """Replace the trace axis."""
+        return replace(self, traces=tuple(traces))
+
+    def with_suites(self, *suites: str, seeds: int | None = None) -> "Experiment":
+        """Set the trace axis to every trace of the named suites.
+
+        Args:
+            suites: suite labels (``"SPEC06"``, ``"LIGRA"``, ...).
+            seeds: cap on seeds per workload (default: the suite's full
+                seed list).
+        """
+        from repro.workloads.suites import suite_trace_names
+
+        names: list[str] = []
+        for suite in suites:
+            suite_names = suite_trace_names(suite)
+            if seeds is not None:
+                suite_names = [
+                    n for n in suite_names if int(n.rpartition("-")[2]) <= seeds
+                ]
+            names.extend(suite_names)
+        return replace(self, traces=tuple(names))
+
+    def with_prefetchers(self, *specs) -> "Experiment":
+        """Replace the prefetcher axis (names, specs, or (name, dict))."""
+        return replace(
+            self, prefetchers=tuple(PrefetcherSpec.of(s) for s in specs)
+        )
+
+    def with_systems(self, *specs) -> "Experiment":
+        """Replace the system axis (names, configs, specs, or pairs)."""
+        return replace(self, systems=tuple(SystemSpec.of(s) for s in specs))
+
+    def sweep_mtps(
+        self, points: Iterable[int], base: str | SystemConfig = "1c"
+    ) -> "Experiment":
+        """System axis = *base* at each DRAM transfer rate (Fig 8b)."""
+        from repro import registry
+
+        base_config = registry.system(base)
+        return replace(
+            self,
+            systems=tuple(
+                SystemSpec(f"mtps={p}", base_config.with_mtps(p)) for p in points
+            ),
+        )
+
+    def sweep_llc(
+        self, factors: Iterable[float], base: str | SystemConfig = "1c"
+    ) -> "Experiment":
+        """System axis = *base* with the LLC scaled by each factor (Fig 8c)."""
+        from repro import registry
+
+        base_config = registry.system(base)
+        return replace(
+            self,
+            systems=tuple(
+                SystemSpec(f"llc_scale={f}", base_config.scaled_llc(f))
+                for f in factors
+            ),
+        )
+
+    def with_length(self, trace_length: int) -> "Experiment":
+        """Set accesses per generated trace."""
+        return replace(self, trace_length=trace_length)
+
+    def with_warmup(self, warmup_fraction: float) -> "Experiment":
+        """Set the warmup fraction."""
+        return replace(self, warmup_fraction=warmup_fraction)
+
+    def with_l1_prefetcher(self, spec) -> "Experiment":
+        """Attach an L1 prefetcher to every cell (Fig 8d)."""
+        return replace(
+            self,
+            l1_prefetcher=None if spec is None else PrefetcherSpec.of(spec),
+        )
+
+    # ---- expansion ------------------------------------------------------
+
+    def cells(self) -> list[Cell]:
+        """Expand the declarative cross product into work units."""
+        if not self.traces:
+            raise ValueError(f"experiment {self.name!r} has no traces")
+        if not self.prefetchers:
+            raise ValueError(f"experiment {self.name!r} has no prefetchers")
+        if not self.systems:
+            raise ValueError(f"experiment {self.name!r} has no systems")
+        return [
+            Cell(
+                trace=trace,
+                prefetcher=prefetcher,
+                system=system,
+                trace_length=self.trace_length,
+                warmup_fraction=self.warmup_fraction,
+                l1_prefetcher=self.l1_prefetcher,
+            )
+            for system in self.systems
+            for trace in self.traces
+            for prefetcher in self.prefetchers
+        ]
+
+    def __len__(self) -> int:
+        return len(self.traces) * len(self.prefetchers) * len(self.systems)

@@ -1,0 +1,199 @@
+"""Typed result sets with group / pivot / rollup queries.
+
+A :class:`ResultSet` is what :meth:`repro.api.Session.run` returns: an
+ordered collection of :class:`CellResult` records, each pairing one
+measurement with its no-prefetching baseline (every metric in the paper
+is relative to that baseline).  The query methods replace the hand-rolled
+aggregation loops the figure builders and benchmarks used to carry:
+
+* :meth:`ResultSet.filter` / :meth:`ResultSet.where` — subset selection;
+* :meth:`ResultSet.group` — split by a key into sub-sets;
+* :meth:`ResultSet.rollup` — nested dict aggregation over any key chain
+  (``rollup("suite", "prefetcher")`` is Fig 9a's pivot);
+* :meth:`ResultSet.pivot` — two-axis convenience over :meth:`rollup`;
+* :meth:`ResultSet.table` — plain-text rendering for bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.sim.metrics import coverage, geomean, overprediction, speedup
+from repro.sim.system import SimulationResult
+
+#: Aggregations usable in rollup/pivot queries.
+_AGGREGATIONS: dict[str, Callable[[Sequence[float]], float]] = {
+    "geomean": geomean,
+    "mean": lambda vals: sum(vals) / len(vals) if vals else 0.0,
+    "min": min,
+    "max": max,
+}
+
+
+@dataclass
+class CellResult:
+    """One measured cell paired with its baseline.
+
+    Duck-type compatible with the harness's historical ``RunRecord`` —
+    the rollup helpers in :mod:`repro.harness.rollup` accept either.
+    """
+
+    trace_name: str
+    suite: str
+    prefetcher: str
+    system: str
+    result: SimulationResult
+    baseline: SimulationResult
+
+    @property
+    def speedup(self) -> float:
+        """IPC over the no-prefetching baseline."""
+        return speedup(self.result, self.baseline)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of baseline LLC load misses eliminated."""
+        return coverage(self.result, self.baseline)
+
+    @property
+    def overprediction(self) -> float:
+        """Extra DRAM reads per baseline DRAM read."""
+        return overprediction(self.result, self.baseline)
+
+    @property
+    def ipc(self) -> float:
+        """Raw IPC of the measured run."""
+        return self.result.ipc
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name (``"speedup"``, ``"coverage"``, ...)."""
+        return getattr(self, name)
+
+
+class ResultSet:
+    """Ordered collection of :class:`CellResult` with query helpers."""
+
+    def __init__(
+        self,
+        records: Iterable[CellResult],
+        stats: dict[str, int] | None = None,
+    ) -> None:
+        self.records: list[CellResult] = list(records)
+        #: Execution statistics from the producing run
+        #: (``cells`` / ``simulated`` / ``cached``).
+        self.stats: dict[str, int] = stats or {}
+
+    # ---- sequence protocol ----------------------------------------------
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self.records[index], self.stats)
+        return self.records[index]
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self.records)} records, stats={self.stats})"
+
+    # ---- selection ------------------------------------------------------
+
+    def filter(self, **equals) -> "ResultSet":
+        """Records whose attributes equal every given value."""
+        return ResultSet(
+            r
+            for r in self.records
+            if all(getattr(r, key) == value for key, value in equals.items())
+        )
+
+    def where(self, predicate: Callable[[CellResult], bool]) -> "ResultSet":
+        """Records satisfying an arbitrary predicate."""
+        return ResultSet(r for r in self.records if predicate(r))
+
+    def group(self, key: str) -> dict[str, "ResultSet"]:
+        """Split into sub-sets by an attribute, insertion-ordered."""
+        groups: dict[str, list[CellResult]] = {}
+        for record in self.records:
+            groups.setdefault(getattr(record, key), []).append(record)
+        return {value: ResultSet(records) for value, records in groups.items()}
+
+    # ---- aggregation ----------------------------------------------------
+
+    def values(self, metric: str = "speedup") -> list[float]:
+        """The metric's value for every record, in order."""
+        return [record.metric(metric) for record in self.records]
+
+    def geomean(self, metric: str = "speedup") -> float:
+        """Geometric mean of a metric across all records."""
+        return geomean(self.values(metric))
+
+    def mean(self, metric: str = "speedup") -> float:
+        """Arithmetic mean of a metric across all records."""
+        return _AGGREGATIONS["mean"](self.values(metric))
+
+    def rollup(
+        self, *keys: str, metric: str = "speedup", agg: str = "geomean"
+    ):
+        """Nested aggregation: ``rollup("suite", "prefetcher")`` returns
+        ``{suite: {prefetcher: geomean speedup}}``; zero keys reduce to a
+        scalar."""
+        if agg not in _AGGREGATIONS:
+            raise KeyError(f"unknown aggregation {agg!r}; known: {sorted(_AGGREGATIONS)}")
+        if not keys:
+            return _AGGREGATIONS[agg](self.values(metric))
+        head, *rest = keys
+        return {
+            value: subset.rollup(*rest, metric=metric, agg=agg)
+            for value, subset in self.group(head).items()
+        }
+
+    def pivot(
+        self,
+        rows: str,
+        cols: str,
+        metric: str = "speedup",
+        agg: str = "geomean",
+    ) -> dict[str, dict[str, float]]:
+        """Two-axis rollup: ``{row_value: {col_value: aggregate}}``."""
+        return self.rollup(rows, cols, metric=metric, agg=agg)
+
+    def to_rows(self, *metrics: str) -> list[dict]:
+        """Flat dict rows (default metrics: speedup/coverage/overprediction)."""
+        metric_names = metrics or ("speedup", "coverage", "overprediction")
+        return [
+            {
+                "trace": record.trace_name,
+                "suite": record.suite,
+                "prefetcher": record.prefetcher,
+                "system": record.system,
+                **{name: record.metric(name) for name in metric_names},
+            }
+            for record in self.records
+        ]
+
+    def table(
+        self,
+        rows: str = "trace_name",
+        cols: str = "prefetcher",
+        metric: str = "speedup",
+        agg: str = "geomean",
+        fmt: str = "{:.3f}",
+    ) -> str:
+        """Plain-text pivot table (the bench/figure printer)."""
+        from repro.harness.rollup import format_table
+
+        pivoted = self.pivot(rows, cols, metric=metric, agg=agg)
+        col_values = list(dict.fromkeys(c for by_col in pivoted.values() for c in by_col))
+        body = [
+            [row_value]
+            + [
+                fmt.format(by_col[c]) if c in by_col else "-"
+                for c in col_values
+            ]
+            for row_value, by_col in pivoted.items()
+        ]
+        return format_table([rows, *col_values], body)

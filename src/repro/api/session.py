@@ -1,0 +1,271 @@
+"""The Session facade: one front door for running experiments.
+
+A :class:`Session` owns the three pluggable pieces of the execution
+stack — a :class:`~repro.api.store.ResultStore` (durable, content-
+addressed caching), an :class:`~repro.api.executors.Executor` (how
+independent cells run), and per-session defaults (trace length, warmup)
+— and exposes the workflows every caller needs:
+
+* :meth:`Session.run` — expand a declarative
+  :class:`~repro.api.experiment.Experiment`, simulate only the cells the
+  store has never seen, and return a queryable
+  :class:`~repro.api.resultset.ResultSet` with every record paired to
+  its no-prefetching baseline.
+* :meth:`Session.run_one` / :meth:`Session.baseline` — single-cell
+  conveniences used by the legacy ``Runner`` shim and the tuning loops.
+* :meth:`Session.run_mix` — multi-core multi-programmed mixes, cached
+  under the same fingerprint scheme.
+
+Everything is keyed by complete fingerprints, so two configs that differ
+in *any* outcome-affecting field (L2 geometry, warmup fraction, Pythia
+hyperparameters, ...) can never share a cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.executors import Executor, SerialExecutor
+from repro.api.experiment import Cell, Experiment, PrefetcherSpec, SystemSpec
+from repro.api.fingerprint import canonical, fingerprint
+from repro.api.resultset import CellResult, ResultSet
+from repro.api.store import ResultStore
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimulationResult, simulate_multi
+from repro.sim.trace import Trace
+
+
+class Session:
+    """Facade tying together store, executor, and experiment expansion.
+
+    Args:
+        store: result cache; defaults to the persistent per-user store
+            (:meth:`ResultStore.default`).  Pass ``ResultStore()`` for a
+            memory-only session.
+        executor: cell execution backend; defaults to
+            :class:`SerialExecutor`.
+        trace_length: default accesses per generated trace.
+        warmup_fraction: default leading fraction excluded from stats.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        executor: Executor | None = None,
+        trace_length: int = 20_000,
+        warmup_fraction: float = 0.2,
+    ) -> None:
+        self.store = store if store is not None else ResultStore.default()
+        self.executor: Executor = executor if executor is not None else SerialExecutor()
+        self.trace_length = trace_length
+        self.warmup_fraction = warmup_fraction
+
+    # ---- building blocks -------------------------------------------------
+
+    def experiment(self, name: str = "experiment") -> Experiment:
+        """A fresh :class:`Experiment` seeded with this session's defaults."""
+        return Experiment(
+            name=name,
+            trace_length=self.trace_length,
+            warmup_fraction=self.warmup_fraction,
+        )
+
+    def trace(self, name: str, length: int | None = None) -> Trace:
+        """Cached trace instantiation at the session (or given) length."""
+        from repro import registry
+
+        length = length if length is not None else self.trace_length
+        return registry.cached_trace(name, length)
+
+    # ---- experiment execution -------------------------------------------
+
+    def run(self, experiment: Experiment) -> ResultSet:
+        """Run an experiment: cached cells come from the store, missing
+        cells go through the executor (in parallel when it is one), and
+        every record is paired with its same-fingerprint-scheme baseline.
+        """
+        if hasattr(experiment, "to_experiment"):  # legacy ExperimentSpec
+            experiment = experiment.to_experiment()
+        cells = experiment.cells()
+        keyed = [
+            (cell, cell.fingerprint(), cell.baseline_cell()) for cell in cells
+        ]
+
+        # Work list: requested cells plus each cell's baseline, deduped
+        # by fingerprint (a "none" cell is its own baseline).
+        work: dict[str, Cell] = {}
+        baseline_keys: dict[str, str] = {}  # cell key -> its baseline's key
+        for cell, key, baseline in keyed:
+            work.setdefault(key, cell)
+            baseline_key = key if cell.is_baseline else baseline.fingerprint()
+            baseline_keys[key] = baseline_key
+            work.setdefault(baseline_key, baseline)
+
+        results: dict[str, SimulationResult] = {}
+        pending: list[tuple[str, Cell]] = []
+        for key, cell in work.items():
+            cached = self.store.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending.append((key, cell))
+
+        if pending:
+            outputs = self.executor.run_cells([cell for _, cell in pending])
+            for (key, cell), output in zip(pending, outputs):
+                self.store.put(key, output, meta=canonical(cell))
+                results[key] = output
+
+        from repro import registry
+
+        records = [
+            CellResult(
+                trace_name=results[key].trace_name,
+                suite=registry.suite_of(cell.trace),
+                prefetcher=cell.prefetcher.display,
+                system=cell.system.label,
+                result=results[key],
+                baseline=results[baseline_keys[key]],
+            )
+            for cell, key, _ in keyed
+        ]
+        return ResultSet(
+            records,
+            stats={
+                "cells": len(work),
+                "simulated": len(pending),
+                "cached": len(work) - len(pending),
+            },
+        )
+
+    def run_one(
+        self,
+        trace: str,
+        prefetcher,
+        system=None,
+        l1_prefetcher=None,
+        trace_length: int | None = None,
+        warmup_fraction: float | None = None,
+    ) -> CellResult:
+        """Run a single (trace, prefetcher, system) cell.
+
+        Accepts the same flexible specs as the experiment builder;
+        *system* defaults to the paper's single-core baseline.
+        """
+        from repro import registry
+
+        cell = Cell(
+            trace=trace,
+            prefetcher=PrefetcherSpec.of(prefetcher),
+            system=SystemSpec.of(system if system is not None else "1c"),
+            trace_length=trace_length if trace_length is not None else self.trace_length,
+            warmup_fraction=(
+                warmup_fraction if warmup_fraction is not None else self.warmup_fraction
+            ),
+            l1_prefetcher=(
+                PrefetcherSpec.of(l1_prefetcher) if l1_prefetcher is not None else None
+            ),
+        )
+        result = self._run_cell(cell)
+        baseline = (
+            result if cell.is_baseline else self._run_cell(cell.baseline_cell())
+        )
+        return CellResult(
+            trace_name=result.trace_name,
+            suite=registry.suite_of(cell.trace),
+            prefetcher=cell.prefetcher.display,
+            system=cell.system.label,
+            result=result,
+            baseline=baseline,
+        )
+
+    def baseline(
+        self,
+        trace: str,
+        system=None,
+        trace_length: int | None = None,
+        warmup_fraction: float | None = None,
+    ) -> SimulationResult:
+        """The cached no-prefetching run of *trace* on *system*.
+
+        Keyed by the complete cell fingerprint — trace length, warmup
+        fraction, and the full system config (including L1/L2 geometry)
+        all participate, so configs differing in any of them get
+        distinct baselines.
+        """
+        return self.run_one(
+            trace,
+            "none",
+            system=system,
+            trace_length=trace_length,
+            warmup_fraction=warmup_fraction,
+        ).result
+
+    def _run_cell(self, cell: Cell) -> SimulationResult:
+        """Fetch-or-simulate one cell without executor overhead."""
+        from repro.api.executors import execute_cell
+
+        key = cell.fingerprint()
+        cached = self.store.get(key)
+        if cached is not None:
+            return cached
+        result = execute_cell(cell)
+        self.store.put(key, result, meta=canonical(cell))
+        return result
+
+    # ---- multi-core mixes -------------------------------------------------
+
+    def run_mix(
+        self,
+        traces: Sequence[Trace | str],
+        prefetcher,
+        system: SystemConfig | str,
+        records_per_core: int | None = None,
+    ) -> tuple[SimulationResult, SimulationResult]:
+        """Run a multi-programmed mix; returns (result, baseline).
+
+        One trace per core against a shared LLC/DRAM, cached under a
+        mix-kind fingerprint covering the trace identities and lengths,
+        the prefetcher spec, the full system config, and the warmup.
+        """
+        from repro import registry
+
+        materialized = [
+            t if isinstance(t, Trace) else self.trace(t) for t in traces
+        ]
+        config = registry.system(system)
+        spec = PrefetcherSpec.of(prefetcher)
+
+        def mix_key(pf: PrefetcherSpec) -> str:
+            return fingerprint(
+                {
+                    "kind": "mix",
+                    "traces": [(t.name, len(t)) for t in materialized],
+                    "prefetcher": {
+                        "name": pf.name,
+                        "overrides": canonical(dict(pf.overrides)),
+                    },
+                    "system": canonical(config),
+                    "warmup_fraction": self.warmup_fraction,
+                    "records_per_core": records_per_core,
+                }
+            )
+
+        def run(pf: PrefetcherSpec) -> SimulationResult:
+            key = mix_key(pf)
+            cached = self.store.get(key)
+            if cached is not None:
+                return cached
+            result = simulate_multi(
+                list(materialized),
+                config,
+                prefetcher_factory=pf.build,
+                warmup_fraction=self.warmup_fraction,
+                records_per_core=records_per_core,
+            )
+            self.store.put(key, result)
+            return result
+
+        result = run(spec)
+        baseline = result if spec.name == "none" else run(PrefetcherSpec("none"))
+        return result, baseline

@@ -1,0 +1,128 @@
+"""Content-addressed, disk-persistent result store.
+
+Results are keyed by the *complete* fingerprint of the work that
+produced them (see :meth:`repro.api.experiment.Cell.fingerprint`), so a
+hit is guaranteed to be byte-equivalent to re-simulating.  The store is
+two-layered:
+
+* an in-memory dict (so repeated lookups within a session return the
+  same object — the behaviour ``Runner``'s old memoization provided);
+* an optional on-disk layer of one JSON file per result, sharded by
+  fingerprint prefix, written atomically so concurrent writers (process
+  pools, parallel pytest) never corrupt each other.
+
+Construct with ``path=None`` for a memory-only store (unit tests,
+benchmark timing), or :meth:`ResultStore.default` for the shared
+per-user cache honouring ``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.sim.system import SimulationResult
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class ResultStore:
+    """Fingerprint → :class:`SimulationResult` map with a disk layer."""
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path).expanduser() if path is not None else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, SimulationResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @classmethod
+    def default(cls) -> "ResultStore":
+        """The per-user persistent store (``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-pythia``)."""
+        root = os.environ.get(CACHE_DIR_ENV)
+        if root is None:
+            root = Path.home() / ".cache" / "repro-pythia"
+        return cls(root)
+
+    @property
+    def persistent(self) -> bool:
+        return self.path is not None
+
+    def _file(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """Look up a result; memory first, then disk."""
+        result = self._memory.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        if self.path is not None:
+            try:
+                payload = json.loads(self._file(key).read_text())
+                result = SimulationResult(**payload["result"])
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                # Missing, concurrently-deleted, truncated, or stale
+                # entries are all misses, not errors.
+                result = None
+            if result is not None:
+                self._memory[key] = result
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: SimulationResult, meta: Any = None) -> None:
+        """Insert a result, persisting to disk when configured.
+
+        *meta* (e.g. the cell's canonical description) is stored next to
+        the result for debuggability; it is never read back.
+        """
+        self._memory[key] = result
+        self.puts += 1
+        if self.path is None:
+            return
+        file = self._file(key)
+        file.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": key,
+            "result": dataclasses.asdict(result),
+            "meta": meta,
+        }
+        tmp = file.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, file)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.path is not None and self._file(key).exists()
+
+    def __len__(self) -> int:
+        if self.path is None:
+            return len(self._memory)
+        return sum(1 for _ in self.path.glob("*/*.json"))
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters: hits / misses / puts."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    def clear(self, memory_only: bool = False) -> None:
+        """Drop cached results (disk files too unless *memory_only*)."""
+        self._memory.clear()
+        if memory_only or self.path is None:
+            return
+        for file in self.path.glob("*/*.json"):
+            file.unlink(missing_ok=True)
+        # Sweep tmp files orphaned by writers that died mid-put.
+        for file in self.path.glob("*/*.tmp.*"):
+            file.unlink(missing_ok=True)

@@ -5,6 +5,10 @@ pipeline: :mod:`repro.harness.runner` executes (trace, prefetcher,
 system) tuples with baseline caching, :mod:`repro.harness.rollup`
 aggregates them the way the artifact's ``rollup.pl`` + pivot tables do,
 and :mod:`repro.harness.figures` regenerates each figure's rows.
+
+The execution layer now lives in :mod:`repro.api` (declarative
+experiments, pluggable executors, persistent result store); ``Runner``
+is a compatibility shim over a memory-only ``Session``.
 """
 
 from repro.harness.experiment import ExperimentSpec, RunRecord

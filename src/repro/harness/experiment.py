@@ -29,6 +29,23 @@ class ExperimentSpec:
     trace_length: int = 20_000
     warmup_fraction: float = 0.2
 
+    def to_experiment(self):
+        """Bridge to the declarative :class:`repro.api.Experiment`.
+
+        ``Session.run`` accepts an ``ExperimentSpec`` directly via this
+        hook, so legacy specs ride the new executor/store machinery.
+        """
+        from repro.api import Experiment
+
+        return (
+            Experiment.define(self.name)
+            .with_traces(*self.trace_names)
+            .with_prefetchers(*self.prefetchers)
+            .with_systems(self.config)
+            .with_length(self.trace_length)
+            .with_warmup(self.warmup_fraction)
+        )
+
 
 @dataclass
 class RunRecord:

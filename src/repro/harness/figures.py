@@ -1,137 +1,167 @@
-"""Programmatic per-figure builders.
+"""Programmatic per-figure builders, on the declarative Session API.
 
 The benchmarks under ``benchmarks/`` are the canonical regenerators (one
 pytest-benchmark file per table/figure); this module exposes the same
 sweeps as plain functions so notebooks and scripts can build a figure's
-data without pytest.  Each builder returns plain dict/list structures
-ready for tabulation or plotting.
+data without pytest.  Each builder composes one
+:class:`repro.api.Experiment`, runs it through a
+:class:`repro.api.Session` (so cells are cached and can execute in
+parallel), and shapes the :class:`repro.api.ResultSet` with its
+group/pivot/rollup queries.  Builders accept either a ``Session`` or the
+legacy ``Runner`` shim and return plain dict/list structures ready for
+tabulation or plotting.
 """
 
 from __future__ import annotations
 
-from repro.harness.rollup import (
-    coverage_rollup,
-    per_prefetcher_geomean,
-    per_suite_geomean,
-)
+from repro.api import Session
+from repro.harness.rollup import coverage_rollup
 from repro.harness.runner import Runner
-from repro.sim.config import SystemConfig, baseline_single_core
-from repro.sim.metrics import geomean
+from repro.sim.config import SystemConfig
 
 #: The paper's headline competitors in figure order.
 DEFAULT_PREFETCHERS: tuple[str, ...] = ("spp", "bingo", "mlop", "pythia")
 
 
+def _session(runner: Runner | Session) -> Session:
+    """Accept either the legacy Runner shim or a Session."""
+    return runner.session if isinstance(runner, Runner) else runner
+
+
 def fig1_motivation(
-    runner: Runner,
+    runner: Runner | Session,
     traces: list[str],
     prefetchers: tuple[str, ...] = ("spp", "bingo", "pythia"),
 ) -> list[dict]:
     """Fig 1 rows: coverage/overprediction/IPC per (workload, prefetcher)."""
-    rows = []
-    for trace in traces:
-        for pf in prefetchers:
-            record = runner.run(trace, pf)
-            rows.append(
-                {
-                    "workload": trace,
-                    "prefetcher": pf,
-                    "coverage": record.coverage,
-                    "overprediction": record.overprediction,
-                    "ipc_improvement": record.speedup - 1.0,
-                }
-            )
-    return rows
+    session = _session(runner)
+    results = session.run(
+        session.experiment("fig1").with_traces(*traces).with_prefetchers(*prefetchers)
+    )
+    return [
+        {
+            "workload": row["trace"],
+            "prefetcher": row["prefetcher"],
+            "coverage": row["coverage"],
+            "overprediction": row["overprediction"],
+            "ipc_improvement": row["speedup"] - 1.0,
+        }
+        for row in results.to_rows()
+    ]
 
 
 def fig7_coverage(
-    runner: Runner,
+    runner: Runner | Session,
     traces_by_suite: dict[str, list[str]],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """Fig 7: suite → prefetcher → (coverage, overprediction)."""
-    records = [
-        runner.run(trace, pf)
-        for traces in traces_by_suite.values()
-        for trace in traces
-        for pf in prefetchers
-    ]
-    return coverage_rollup(records)
+    session = _session(runner)
+    traces = [t for suite_traces in traces_by_suite.values() for t in suite_traces]
+    results = session.run(
+        session.experiment("fig7").with_traces(*traces).with_prefetchers(*prefetchers)
+    )
+    return coverage_rollup(results)
 
 
 def fig8b_bandwidth_sweep(
-    runner: Runner,
+    runner: Runner | Session,
     traces: list[str],
     mtps_points: list[int],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
 ) -> dict[str, dict[int, float]]:
     """Fig 8b: prefetcher → MTPS → geomean speedup."""
-    series: dict[str, dict[int, float]] = {pf: {} for pf in prefetchers}
-    for mtps in mtps_points:
-        config = baseline_single_core().with_mtps(mtps)
-        for pf in prefetchers:
-            speeds = [runner.run(t, pf, config).speedup for t in traces]
-            series[pf][mtps] = geomean(speeds)
-    return series
+    session = _session(runner)
+    results = session.run(
+        session.experiment("fig8b")
+        .with_traces(*traces)
+        .with_prefetchers(*prefetchers)
+        .sweep_mtps(mtps_points)
+    )
+    pivoted = results.pivot("prefetcher", "system")
+    return {
+        pf: {
+            int(label.removeprefix("mtps=")): value
+            for label, value in by_system.items()
+        }
+        for pf, by_system in pivoted.items()
+    }
 
 
 def fig8c_llc_sweep(
-    runner: Runner,
+    runner: Runner | Session,
     traces: list[str],
     llc_factors: list[float],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
 ) -> dict[str, dict[float, float]]:
     """Fig 8c: prefetcher → LLC scale factor → geomean speedup."""
-    series: dict[str, dict[float, float]] = {pf: {} for pf in prefetchers}
-    for factor in llc_factors:
-        config = baseline_single_core().scaled_llc(factor)
-        for pf in prefetchers:
-            speeds = [runner.run(t, pf, config).speedup for t in traces]
-            series[pf][factor] = geomean(speeds)
-    return series
+    session = _session(runner)
+    results = session.run(
+        session.experiment("fig8c")
+        .with_traces(*traces)
+        .with_prefetchers(*prefetchers)
+        .sweep_llc(llc_factors)
+    )
+    pivoted = results.pivot("prefetcher", "system")
+    return {
+        pf: {
+            float(label.removeprefix("llc_scale=")): value
+            for label, value in by_system.items()
+        }
+        for pf, by_system in pivoted.items()
+    }
 
 
 def fig9a_per_suite(
-    runner: Runner,
+    runner: Runner | Session,
     traces_by_suite: dict[str, list[str]],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
     config: SystemConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Fig 9a: suite → prefetcher → geomean speedup."""
-    config = config if config is not None else baseline_single_core()
-    records = [
-        runner.run(trace, pf, config)
-        for traces in traces_by_suite.values()
-        for trace in traces
-        for pf in prefetchers
-    ]
-    return per_suite_geomean(records)
+    session = _session(runner)
+    traces = [t for suite_traces in traces_by_suite.values() for t in suite_traces]
+    experiment = (
+        session.experiment("fig9a").with_traces(*traces).with_prefetchers(*prefetchers)
+    )
+    if config is not None:
+        experiment = experiment.with_systems(config)
+    return session.run(experiment).rollup("suite", "prefetcher")
 
 
 def fig9b_combinations(
-    runner: Runner,
+    runner: Runner | Session,
     traces: list[str],
     combos: tuple[str, ...] = ("st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"),
 ) -> dict[str, float]:
     """Fig 9b: scheme → geomean speedup over the trace list."""
-    records = [runner.run(t, combo) for t in traces for combo in combos]
-    return per_prefetcher_geomean(records)
+    session = _session(runner)
+    results = session.run(
+        session.experiment("fig9b").with_traces(*traces).with_prefetchers(*combos)
+    )
+    return results.rollup("prefetcher")
 
 
 def fig15_strict_vs_basic(
-    runner: Runner, ligra_traces: list[str]
+    runner: Runner | Session, ligra_traces: list[str]
 ) -> list[dict]:
     """Fig 15 rows: per-workload basic vs strict Pythia speedups."""
+    session = _session(runner)
+    results = session.run(
+        session.experiment("fig15")
+        .with_traces(*ligra_traces)
+        .with_prefetchers("pythia", "pythia_strict")
+    )
     rows = []
-    for trace in ligra_traces:
-        basic = runner.run(trace, "pythia")
-        strict = runner.run(trace, "pythia_strict")
+    for trace, subset in results.group("trace_name").items():
+        basic = subset.filter(prefetcher="pythia").geomean()
+        strict = subset.filter(prefetcher="pythia_strict").geomean()
         rows.append(
             {
                 "workload": trace,
-                "basic": basic.speedup,
-                "strict": strict.speedup,
-                "delta": strict.speedup / basic.speedup - 1.0,
+                "basic": basic,
+                "strict": strict,
+                "delta": strict / basic - 1.0,
             }
         )
     return rows

@@ -1,27 +1,32 @@
-"""Runner: executes experiments with trace and baseline caching.
+"""Runner: legacy execution facade, now a thin shim over :mod:`repro.api`.
 
-Every metric in the paper is relative to the no-prefetching baseline of
-the same trace on the same system, so the runner memoizes baseline
-results per (trace, config) — the dominant cost saver when comparing
-many prefetchers.
+Historically this module owned its own in-memory caches; today it wraps
+a memory-only :class:`repro.api.Session`, which keys every result by a
+*complete* fingerprint of (trace, trace length, warmup fraction,
+prefetcher spec, full system config).  That fixes the old
+``_config_key`` under-keying bug where configs differing only in L1/L2
+geometry, trace length, or warmup silently shared a cached baseline.
+
+New code should use :class:`repro.api.Session` directly — it adds
+declarative experiments, parallel executors, and a disk-persistent
+result store.  ``Runner`` remains for the tuning loops and existing
+benchmarks.
 """
 
 from __future__ import annotations
 
+from repro.api import ResultStore, Session
 from repro.harness.experiment import ExperimentSpec, RunRecord
-from repro.prefetchers.registry import create
 from repro.sim.config import SystemConfig
-from repro.sim.system import SimulationResult, simulate, simulate_multi
+from repro.sim.system import SimulationResult
 from repro.sim.trace import Trace
-from repro.workloads.cvp import generate_cvp_trace
-from repro.workloads.generators import generate_trace
 
 
 def make_trace(name: str, length: int) -> Trace:
-    """Instantiate a trace by name, handling the CVP (unseen) namespace."""
-    if name.startswith("cvp/"):
-        return generate_cvp_trace(name, length=length)
-    return generate_trace(name, length=length)
+    """Instantiate a trace by name (deprecated: use :func:`repro.registry.make_trace`)."""
+    from repro import registry
+
+    return registry.make_trace(name, length)
 
 
 class Runner:
@@ -30,40 +35,40 @@ class Runner:
     Args:
         trace_length: accesses per generated trace.
         warmup_fraction: leading fraction excluded from statistics.
+        session: optional pre-configured :class:`Session` to execute on;
+            by default a private memory-only session is created (the
+            historical Runner semantics — nothing touches disk).
     """
 
-    def __init__(self, trace_length: int = 20_000, warmup_fraction: float = 0.2) -> None:
-        self.trace_length = trace_length
-        self.warmup_fraction = warmup_fraction
-        self._traces: dict[str, Trace] = {}
-        self._baselines: dict[tuple[str, int], SimulationResult] = {}
+    def __init__(
+        self,
+        trace_length: int | None = None,
+        warmup_fraction: float | None = None,
+        session: Session | None = None,
+    ) -> None:
+        if session is not None:
+            if trace_length is not None or warmup_fraction is not None:
+                raise ValueError(
+                    "pass either a pre-configured session or explicit "
+                    "trace_length/warmup_fraction, not both"
+                )
+            self.session = session
+        else:
+            self.session = Session(
+                store=ResultStore(),
+                trace_length=trace_length if trace_length is not None else 20_000,
+                warmup_fraction=warmup_fraction if warmup_fraction is not None else 0.2,
+            )
+        self.trace_length = self.session.trace_length
+        self.warmup_fraction = self.session.warmup_fraction
 
     def trace(self, name: str) -> Trace:
         """Cached trace instantiation."""
-        if name not in self._traces:
-            self._traces[name] = make_trace(name, self.trace_length)
-        return self._traces[name]
-
-    def _config_key(self, config: SystemConfig) -> int:
-        return hash(
-            (
-                config.num_cores,
-                config.llc.size_bytes,
-                config.dram.mtps,
-                config.dram.channels,
-            )
-        )
+        return self.session.trace(name)
 
     def baseline(self, trace_name: str, config: SystemConfig) -> SimulationResult:
         """Cached no-prefetching run of *trace_name* on *config*."""
-        key = (trace_name, self._config_key(config))
-        if key not in self._baselines:
-            self._baselines[key] = simulate(
-                self.trace(trace_name),
-                config,
-                warmup_fraction=self.warmup_fraction,
-            )
-        return self._baselines[key]
+        return self.session.baseline(trace_name, config)
 
     def run(
         self,
@@ -73,34 +78,27 @@ class Runner:
         l1_prefetcher_name: str | None = None,
     ) -> RunRecord:
         """Run one (trace, prefetcher) pair and pair it with its baseline."""
-        config = config if config is not None else SystemConfig()
-        trace = self.trace(trace_name)
-        if prefetcher_name == "none":
-            result = self.baseline(trace_name, config)
-        else:
-            l1 = create(l1_prefetcher_name) if l1_prefetcher_name else None
-            result = simulate(
-                trace,
-                config,
-                create(prefetcher_name),
-                warmup_fraction=self.warmup_fraction,
-                l1_prefetcher=l1,
-            )
+        cell = self.session.run_one(
+            trace_name,
+            prefetcher_name,
+            system=config if config is not None else SystemConfig(),
+            l1_prefetcher=l1_prefetcher_name,
+        )
         return RunRecord(
-            trace_name=trace_name,
-            suite=trace.suite,
+            trace_name=cell.trace_name,
+            suite=cell.suite,
             prefetcher=prefetcher_name,
-            result=result,
-            baseline=self.baseline(trace_name, config),
+            result=cell.result,
+            baseline=cell.baseline,
         )
 
     def run_experiment(self, spec: ExperimentSpec) -> list[RunRecord]:
         """Run the full cross product of a spec's traces × prefetchers."""
-        records: list[RunRecord] = []
-        for trace_name in spec.trace_names:
-            for prefetcher_name in spec.prefetchers:
-                records.append(self.run(trace_name, prefetcher_name, spec.config))
-        return records
+        return [
+            self.run(trace_name, prefetcher_name, spec.config)
+            for trace_name in spec.trace_names
+            for prefetcher_name in spec.prefetchers
+        ]
 
     def run_mix(
         self,
@@ -109,16 +107,4 @@ class Runner:
         config: SystemConfig,
     ) -> tuple[SimulationResult, SimulationResult]:
         """Run a multi-core mix; returns (result, no-prefetch baseline)."""
-        baseline = simulate_multi(
-            traces,
-            config,
-            prefetcher_factory=lambda: create("none"),
-            warmup_fraction=self.warmup_fraction,
-        )
-        result = simulate_multi(
-            traces,
-            config,
-            prefetcher_factory=lambda: create(prefetcher_name),
-            warmup_fraction=self.warmup_fraction,
-        )
-        return result, baseline
+        return self.session.run_mix(traces, prefetcher_name, config)

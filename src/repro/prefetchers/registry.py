@@ -1,86 +1,25 @@
-"""Name → prefetcher factory registry used by the harness and benches.
+"""Deprecated shim: the prefetcher registry moved to :mod:`repro.registry`.
 
-Names follow the paper's labels: the five competitors of Table 7, the
-auxiliary comparison points of the appendices, Pythia's three
-configurations, and the cumulative combinations of Fig 9(b)/10(b)
-(``st``, ``st+s``, ``st+s+b``, ``st+s+b+d``, ``st+s+b+d+m``).
-
-Factories construct *fresh* instances — prefetcher state is per-core
-hardware and must never leak between runs or cores.
+This module remains so existing imports keep working; it forwards to the
+unified string-addressable registry, which also gained keyword-override
+support (``create("pythia", alpha=0.08)``).  New code should import from
+:mod:`repro.registry` directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.prefetchers.base import NoPrefetcher, Prefetcher
-
-
-def _make_combo(*names: str) -> Callable[[], Prefetcher]:
-    def factory() -> Prefetcher:
-        from repro.prefetchers.composite import CompositePrefetcher
-
-        return CompositePrefetcher([create(n) for n in names])
-
-    return factory
-
-
-def _pythia(config_name: str) -> Callable[[], Prefetcher]:
-    def factory() -> Prefetcher:
-        from repro.core import Pythia, PythiaConfig
-
-        return Pythia(PythiaConfig.named(config_name))
-
-    return factory
-
-
-def _registry() -> dict[str, Callable[[], Prefetcher]]:
-    from repro.prefetchers.bingo import BingoPrefetcher
-    from repro.prefetchers.cp_hw import CpHwPrefetcher
-    from repro.prefetchers.dspatch import DspatchPrefetcher
-    from repro.prefetchers.ipcp import IpcpPrefetcher
-    from repro.prefetchers.mlop import MlopPrefetcher
-    from repro.prefetchers.power7 import Power7Prefetcher
-    from repro.prefetchers.ppf import SppPpfPrefetcher
-    from repro.prefetchers.spp import SppPrefetcher
-    from repro.prefetchers.streamer import StreamerPrefetcher
-    from repro.prefetchers.stride import StridePrefetcher
-
-    return {
-        "none": NoPrefetcher,
-        "stride": StridePrefetcher,
-        "streamer": StreamerPrefetcher,
-        "spp": SppPrefetcher,
-        "spp_ppf": SppPpfPrefetcher,
-        "dspatch": DspatchPrefetcher,
-        "bingo": BingoPrefetcher,
-        "mlop": MlopPrefetcher,
-        "ipcp": IpcpPrefetcher,
-        "cp_hw": CpHwPrefetcher,
-        "power7": Power7Prefetcher,
-        "pythia": _pythia("basic"),
-        "pythia_strict": _pythia("strict"),
-        "pythia_bw_oblivious": _pythia("bw_oblivious"),
-        # Fig 9b / 10b cumulative combinations.
-        "st": StridePrefetcher,
-        "st+s": _make_combo("stride", "spp"),
-        "st+s+b": _make_combo("stride", "spp", "bingo"),
-        "st+s+b+d": _make_combo("stride", "spp", "bingo", "dspatch"),
-        "st+s+b+d+m": _make_combo("stride", "spp", "bingo", "dspatch", "mlop"),
-        # Fig 8d multi-level comparators (L2 part; L1 stride is added by
-        # the harness via the l1_prefetcher hook).
-        "stride+streamer": _make_combo("stride", "streamer"),
-    }
+from repro.prefetchers.base import Prefetcher
 
 
 def available() -> list[str]:
-    """All registered prefetcher names."""
-    return sorted(_registry())
+    """All registered prefetcher names (see :func:`repro.registry.available_prefetchers`)."""
+    from repro import registry
+
+    return registry.available_prefetchers()
 
 
-def create(name: str) -> Prefetcher:
-    """Instantiate a fresh prefetcher by registry *name*."""
-    registry = _registry()
-    if name not in registry:
-        raise KeyError(f"unknown prefetcher {name!r}; known: {sorted(registry)}")
-    return registry[name]()
+def create(name: str, **overrides) -> Prefetcher:
+    """Instantiate a fresh prefetcher by name (see :func:`repro.registry.create`)."""
+    from repro import registry
+
+    return registry.create(name, **overrides)

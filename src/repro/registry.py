@@ -1,0 +1,270 @@
+"""Unified string-addressable registries: prefetchers, workloads, systems.
+
+This module is the single name → object map for the whole system.  Every
+layer that previously kept its own registry (``repro.prefetchers.registry``
+for prefetchers, ``repro.workloads.generators``/``repro.workloads.cvp``
+for traces, ad-hoc helpers in ``repro.sim.config`` for systems) is
+addressable from here, so the declarative :class:`repro.api.Experiment`
+layer can be built entirely from strings:
+
+* :func:`create` — instantiate a fresh prefetcher by name, forwarding
+  keyword overrides to the factory (``create("pythia", alpha=0.08)``).
+* :func:`make_trace` / :func:`suite_of` — instantiate any named trace,
+  including the unseen ``cvp/`` namespace.
+* :func:`system` — resolve a named system config, with ``@key=value``
+  modifiers for the paper's sweep axes (``"1c@mtps=600"``).
+
+Prefetcher names follow the paper's labels: the five competitors of
+Table 7, the auxiliary comparison points of the appendices, Pythia's
+three configurations, and the cumulative combinations of Fig 9(b)/10(b)
+(``st``, ``st+s``, ``st+s+b``, ``st+s+b+d``, ``st+s+b+d+m``).  Factories
+construct *fresh* instances — prefetcher state is per-core hardware and
+must never leak between runs or cores.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.prefetchers.base import Prefetcher
+    from repro.sim.config import SystemConfig
+    from repro.sim.trace import Trace
+
+# --------------------------------------------------------------------------
+# Prefetchers
+# --------------------------------------------------------------------------
+
+#: User-registered prefetcher factories layered over the built-ins.
+_EXTRA_PREFETCHERS: dict[str, Callable[..., "Prefetcher"]] = {}
+
+
+def _combo(*names: str) -> Callable[..., "Prefetcher"]:
+    def factory(**overrides: object) -> "Prefetcher":
+        if overrides:
+            raise TypeError(
+                f"composite prefetcher {'+'.join(names)} takes no overrides; "
+                "override the component prefetchers instead"
+            )
+        from repro.prefetchers.composite import CompositePrefetcher
+
+        return CompositePrefetcher([create(n) for n in names])
+
+    return factory
+
+
+def _pythia(preset: str) -> Callable[..., "Prefetcher"]:
+    def factory(**overrides: object) -> "Prefetcher":
+        import dataclasses
+
+        from repro.core import Pythia, PythiaConfig
+
+        config = overrides.pop("config", None)
+        if config is None:
+            config = PythiaConfig.named(preset)
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        return Pythia(config)
+
+    return factory
+
+
+def _builtin_prefetchers() -> dict[str, Callable[..., "Prefetcher"]]:
+    from repro.prefetchers.base import NoPrefetcher
+    from repro.prefetchers.bingo import BingoPrefetcher
+    from repro.prefetchers.cp_hw import CpHwPrefetcher
+    from repro.prefetchers.dspatch import DspatchPrefetcher
+    from repro.prefetchers.ipcp import IpcpPrefetcher
+    from repro.prefetchers.mlop import MlopPrefetcher
+    from repro.prefetchers.power7 import Power7Prefetcher
+    from repro.prefetchers.ppf import SppPpfPrefetcher
+    from repro.prefetchers.spp import SppPrefetcher
+    from repro.prefetchers.streamer import StreamerPrefetcher
+    from repro.prefetchers.stride import StridePrefetcher
+
+    return {
+        "none": NoPrefetcher,
+        "stride": StridePrefetcher,
+        "streamer": StreamerPrefetcher,
+        "spp": SppPrefetcher,
+        "spp_ppf": SppPpfPrefetcher,
+        "dspatch": DspatchPrefetcher,
+        "bingo": BingoPrefetcher,
+        "mlop": MlopPrefetcher,
+        "ipcp": IpcpPrefetcher,
+        "cp_hw": CpHwPrefetcher,
+        "power7": Power7Prefetcher,
+        "pythia": _pythia("basic"),
+        "pythia_strict": _pythia("strict"),
+        "pythia_bw_oblivious": _pythia("bw_oblivious"),
+        # Fig 9b / 10b cumulative combinations.
+        "st": StridePrefetcher,
+        "st+s": _combo("stride", "spp"),
+        "st+s+b": _combo("stride", "spp", "bingo"),
+        "st+s+b+d": _combo("stride", "spp", "bingo", "dspatch"),
+        "st+s+b+d+m": _combo("stride", "spp", "bingo", "dspatch", "mlop"),
+        # Fig 8d multi-level comparators (L2 part; L1 stride is added by
+        # the harness via the l1_prefetcher hook).
+        "stride+streamer": _combo("stride", "streamer"),
+    }
+
+
+def _prefetcher_registry() -> dict[str, Callable[..., "Prefetcher"]]:
+    registry = _builtin_prefetchers()
+    registry.update(_EXTRA_PREFETCHERS)
+    return registry
+
+
+def register_prefetcher(name: str, factory: Callable[..., "Prefetcher"]) -> None:
+    """Register (or shadow) a prefetcher *factory* under *name*.
+
+    The factory must accept keyword overrides (or none) and return a
+    fresh :class:`~repro.prefetchers.base.Prefetcher` per call.  To be
+    usable with spawn-based process pools the factory must be picklable
+    (a top-level function or class, not a lambda/closure).
+    """
+    _EXTRA_PREFETCHERS[name] = factory
+
+
+def available_prefetchers() -> list[str]:
+    """All registered prefetcher names."""
+    return sorted(_prefetcher_registry())
+
+
+def create(name: str, **overrides: object) -> "Prefetcher":
+    """Instantiate a fresh prefetcher by registry *name*.
+
+    Keyword *overrides* are forwarded to the factory: constructor
+    arguments for plain prefetchers, :class:`~repro.core.PythiaConfig`
+    field overrides for the ``pythia*`` entries (plus ``config=`` to
+    supply a complete config object).
+    """
+    registry = _prefetcher_registry()
+    if name not in registry:
+        raise KeyError(f"unknown prefetcher {name!r}; known: {sorted(registry)}")
+    return registry[name](**overrides)
+
+
+# --------------------------------------------------------------------------
+# Workloads / traces
+# --------------------------------------------------------------------------
+
+
+def make_trace(name: str, length: int = 20_000) -> "Trace":
+    """Instantiate a trace by name, handling the CVP (unseen) namespace."""
+    if name.startswith("cvp/"):
+        from repro.workloads.cvp import generate_cvp_trace
+
+        return generate_cvp_trace(name, length=length)
+    from repro.workloads.generators import generate_trace
+
+    return generate_trace(name, length=length)
+
+
+@functools.lru_cache(maxsize=128)
+def cached_trace(name: str, length: int = 20_000) -> "Trace":
+    """Memoized :func:`make_trace`.
+
+    Traces are immutable and deterministic, so one instance per
+    (name, length) serves every cell that replays it — without this, a
+    traces × prefetchers sweep would regenerate each trace once per
+    prefetcher (plus once for the baseline).  The cache is per-process;
+    process-pool workers each warm their own.
+    """
+    return make_trace(name, length)
+
+
+def suite_of(trace_name: str) -> str:
+    """Suite label of a trace name, without generating the trace."""
+    if trace_name.startswith("cvp/"):
+        from repro.workloads.cvp import cvp_suite_of
+
+        return cvp_suite_of(trace_name)
+    from repro.workloads.generators import WORKLOADS
+
+    base = trace_name
+    if base not in WORKLOADS and "-" in base:
+        head, _, tail = base.rpartition("-")
+        if tail.isdigit():
+            base = head
+    if base not in WORKLOADS:
+        raise KeyError(f"unknown workload: {trace_name!r}")
+    return WORKLOADS[base].suite
+
+
+def available_workloads(suite: str | None = None) -> list[str]:
+    """Named workloads (optionally filtered by suite), plus cvp/ names."""
+    from repro.workloads.cvp import cvp_trace_names
+    from repro.workloads.generators import workload_names
+
+    names = workload_names(suite) if suite else workload_names()
+    if suite is None:
+        names = names + sorted({n.rpartition("-")[0] for n in cvp_trace_names()})
+    return names
+
+
+# --------------------------------------------------------------------------
+# Systems
+# --------------------------------------------------------------------------
+
+#: User-registered named system-config factories.
+_EXTRA_SYSTEMS: dict[str, Callable[[], "SystemConfig"]] = {}
+
+_CORES_PATTERN = re.compile(r"^(\d+)c$")
+
+
+def register_system(name: str, factory: Callable[[], "SystemConfig"]) -> None:
+    """Register a named system configuration factory."""
+    _EXTRA_SYSTEMS[name] = factory
+
+
+def available_systems() -> list[str]:
+    """Built-in named systems plus registered customs."""
+    return sorted({"default", "baseline", "1c", "2c", "4c", "8c", *_EXTRA_SYSTEMS})
+
+
+def _base_system(name: str) -> "SystemConfig":
+    from repro.sim.config import baseline_multi_core, baseline_single_core
+
+    if name in _EXTRA_SYSTEMS:
+        return _EXTRA_SYSTEMS[name]()
+    if name in ("default", "baseline", "1c", ""):
+        return baseline_single_core()
+    match = _CORES_PATTERN.match(name)
+    if match:
+        return baseline_multi_core(int(match.group(1)))
+    raise KeyError(
+        f"unknown system {name!r}; known: {available_systems()} "
+        "(or any '<n>c' core count)"
+    )
+
+
+def system(spec: "str | SystemConfig") -> "SystemConfig":
+    """Resolve a system spec: a config object, a name, or ``name@mods``.
+
+    Supported modifiers (comma-separated after ``@``) mirror the paper's
+    sweep axes: ``mtps=<int>`` (Fig 8b) and ``llc_scale=<float>``
+    (Fig 8c).  Examples: ``"1c"``, ``"4c@mtps=600"``,
+    ``"1c@llc_scale=0.25,mtps=1200"``.
+    """
+    from repro.sim.config import SystemConfig
+
+    if isinstance(spec, SystemConfig):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"system spec must be a name or SystemConfig, got {spec!r}")
+    base, _, mods = spec.partition("@")
+    config = _base_system(base)
+    if mods:
+        for mod in mods.split(","):
+            key, _, value = mod.partition("=")
+            key = key.strip()
+            if key == "mtps":
+                config = config.with_mtps(int(value))
+            elif key == "llc_scale":
+                config = config.scaled_llc(float(value))
+            else:
+                raise KeyError(f"unknown system modifier {key!r} in {spec!r}")
+    return config

@@ -11,7 +11,7 @@ seed ranges.  Nothing in :mod:`repro.tuning` ever touches these.
 from __future__ import annotations
 
 from repro.sim.trace import Trace
-from repro.workloads.generators import WorkloadSpec, _BUILDERS
+from repro.workloads.generators import WorkloadSpec, _BUILDERS, stable_seed
 import random
 
 from repro.sim.trace import TraceRecord
@@ -51,6 +51,14 @@ def cvp_categories() -> list[str]:
     return ["CVP-CRYPTO", "CVP-INT", "CVP-FP", "CVP-SERVER"]
 
 
+def cvp_suite_of(trace_name: str) -> str:
+    """Suite (category) label of a CVP trace name."""
+    base, _, _ = trace_name.rpartition("-")
+    if base not in _BY_NAME:
+        raise KeyError(f"unknown CVP trace: {trace_name!r}")
+    return _BY_NAME[base].suite
+
+
 def generate_cvp_trace(name: str, length: int = 20_000) -> Trace:
     """Instantiate one unseen trace (name format ``cvp/<wl>-<seed>``)."""
     base, _, seed_s = name.rpartition("-")
@@ -58,7 +66,7 @@ def generate_cvp_trace(name: str, length: int = 20_000) -> Trace:
         raise KeyError(f"unknown CVP trace: {name!r}")
     spec = _BY_NAME[base]
     seed = _UNSEEN_SEED_BASE + int(seed_s)
-    rng = random.Random((hash(base) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9))
+    rng = random.Random(stable_seed(base, seed))
     accesses = _BUILDERS[spec.archetype](spec, length, rng)
     records = [TraceRecord(pc=pc, line=line, is_load=True, gap=gap) for pc, line, gap in accesses]
     return Trace(name, records, spec.suite)

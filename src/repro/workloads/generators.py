@@ -10,12 +10,25 @@ workload": trace ``spec06/mcf-1`` is workload ``spec06/mcf`` with seed 1.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.sim.trace import Trace, TraceRecord
 from repro.workloads import patterns
 from repro.workloads.patterns import Access
+
+
+def stable_seed(name: str, seed: int) -> int:
+    """Process-independent RNG seed for (workload, seed).
+
+    Built on CRC32 rather than the builtin ``hash`` (randomized per
+    interpreter via PYTHONHASHSEED), so the same trace name always
+    yields the same trace across processes and runs — required both for
+    the content-addressed result store and for process-pool executors to
+    reproduce serial results exactly.
+    """
+    return (zlib.crc32(name.encode("utf-8")) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9)
 
 
 @dataclass(frozen=True)
@@ -413,7 +426,7 @@ def generate_trace(name: str, length: int = 20_000, seed: int = 1) -> Trace:
     if base not in WORKLOADS:
         raise KeyError(f"unknown workload: {name!r}")
     spec = WORKLOADS[base]
-    rng = random.Random((hash(base) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9))
+    rng = random.Random(stable_seed(base, seed))
     accesses = _BUILDERS[spec.archetype](spec, length, rng)
     records = [
         TraceRecord(pc=pc, line=line, is_load=True, gap=gap)

@@ -1,0 +1,223 @@
+"""Tests for the unified repro.api layer: experiments, executors, store,
+session caching — plus the baseline-keying regression the old Runner had."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    Experiment,
+    PrefetcherSpec,
+    ProcessPoolExecutor,
+    ResultStore,
+    SerialExecutor,
+    Session,
+    SystemSpec,
+    fingerprint,
+)
+from repro.sim.config import SystemConfig
+
+pytestmark = pytest.mark.quick
+
+LENGTH = 1200
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return Session(store=ResultStore(tmp_path / "store"), trace_length=LENGTH)
+
+
+# ---- experiment expansion -------------------------------------------------
+
+
+def test_experiment_expansion_cross_product():
+    ex = (
+        Experiment.define("mini")
+        .with_traces("spec06/lbm-1", "spec06/mcf-1")
+        .with_prefetchers("stride", "spp", "none")
+        .with_systems("1c", "1c@mtps=600")
+    )
+    cells = ex.cells()
+    assert len(cells) == 2 * 3 * 2 == len(ex)
+    assert len({c.fingerprint() for c in cells}) == len(cells)
+    labels = {c.system.label for c in cells}
+    assert labels == {"1c", "1c@mtps=600"}
+
+
+def test_experiment_builder_is_immutable():
+    base = Experiment.define("base").with_traces("spec06/lbm-1")
+    derived = base.with_prefetchers("stride")
+    assert base.prefetchers == ()
+    assert derived.traces == base.traces
+
+
+def test_experiment_without_axes_raises():
+    with pytest.raises(ValueError):
+        Experiment.define("empty").with_prefetchers("stride").cells()
+    with pytest.raises(ValueError):
+        Experiment.define("empty").with_traces("spec06/lbm-1").cells()
+
+
+def test_prefetcher_spec_coercion_and_labels():
+    spec = PrefetcherSpec.of(("pythia", {"alpha": 0.1}))
+    assert spec.name == "pythia"
+    assert spec.display == "pythia[alpha]"
+    assert PrefetcherSpec.of("spp").display == "spp"
+    labelled = PrefetcherSpec("pythia", label="tuned")
+    assert labelled.display == "tuned"
+
+
+def test_cell_fingerprint_covers_overrides():
+    ex = Experiment.define("fp").with_traces("spec06/lbm-1")
+    plain = ex.with_prefetchers("pythia").cells()[0]
+    tuned = ex.with_prefetchers(("pythia", {"alpha": 0.1})).cells()[0]
+    assert plain.fingerprint() != tuned.fingerprint()
+    # ... but both share the same no-prefetching baseline cell.
+    assert plain.baseline_cell().fingerprint() == tuned.baseline_cell().fingerprint()
+
+
+# ---- store ----------------------------------------------------------------
+
+
+def test_store_round_trip_and_persistence(tmp_path, session):
+    ex = (
+        session.experiment("rt")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("stride")
+    )
+    first = session.run(ex)
+    assert first.stats["simulated"] == first.stats["cells"] == 2  # cell + baseline
+
+    # A brand-new store on the same directory serves everything from disk.
+    fresh = Session(store=ResultStore(tmp_path / "store"), trace_length=LENGTH)
+    again = fresh.run(ex)
+    assert again.stats["simulated"] == 0
+    assert dataclasses.asdict(again[0].result) == dataclasses.asdict(first[0].result)
+
+
+def test_store_memory_only_mode():
+    store = ResultStore()
+    assert not store.persistent
+    ex = Experiment.define("mem").with_traces("spec06/lbm-1").with_prefetchers("none")
+    session = Session(store=store, trace_length=LENGTH)
+    session.run(ex)
+    assert len(store) > 0
+
+
+def test_repeated_run_hits_store_with_zero_resimulation(session):
+    ex = (
+        session.experiment("cache")
+        .with_traces("spec06/lbm-1", "spec06/mcf-1")
+        .with_prefetchers("stride", "spp")
+    )
+    session.run(ex)
+    repeat = session.run(ex)
+    assert repeat.stats["simulated"] == 0
+    assert repeat.stats["cached"] == repeat.stats["cells"]
+    # Overlapping experiments reuse shared cells too.
+    overlap = session.run(
+        session.experiment("overlap")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("stride", "streamer")
+    )
+    assert overlap.stats["simulated"] == 1  # only streamer is new
+
+
+# ---- executors ------------------------------------------------------------
+
+
+def test_process_pool_matches_serial(tmp_path):
+    ex = (
+        Experiment.define("eq")
+        .with_traces("spec06/lbm-1", "spec06/mcf-1")
+        .with_prefetchers("stride", "spp")
+        .with_length(LENGTH)
+    )
+    serial = Session(store=ResultStore(), executor=SerialExecutor()).run(ex)
+    pooled = Session(
+        store=ResultStore(), executor=ProcessPoolExecutor(max_workers=2)
+    ).run(ex)
+    assert len(serial) == len(pooled)
+    for a, b in zip(serial, pooled):
+        assert dataclasses.asdict(a.result) == dataclasses.asdict(b.result)
+        assert dataclasses.asdict(a.baseline) == dataclasses.asdict(b.baseline)
+
+
+# ---- result set queries ---------------------------------------------------
+
+
+def test_resultset_queries(session):
+    results = session.run(
+        session.experiment("queries")
+        .with_traces("spec06/lbm-1", "parsec/canneal-1")
+        .with_prefetchers("stride", "spp")
+    )
+    assert set(results.rollup("suite")) == {"SPEC06", "PARSEC"}
+    pivoted = results.pivot("suite", "prefetcher")
+    assert set(pivoted["SPEC06"]) == {"stride", "spp"}
+    only_stride = results.filter(prefetcher="stride")
+    assert len(only_stride) == 2
+    assert only_stride.geomean() > 0
+    rows = results.to_rows()
+    assert len(rows) == 4 and {"trace", "suite", "prefetcher", "system",
+                               "speedup"} <= set(rows[0])
+    text = results.table(rows="suite")
+    assert "SPEC06" in text and "stride" in text
+
+
+def test_none_prefetcher_is_its_own_baseline(session):
+    record = session.run_one("spec06/lbm-1", "none")
+    assert record.speedup == pytest.approx(1.0)
+    assert record.result is record.baseline
+
+
+# ---- the historical baseline under-keying bug -----------------------------
+
+
+def test_baselines_distinct_when_only_l2_differs(session):
+    """Regression: configs differing only in L2 geometry must not share a
+    cached baseline (the old Runner._config_key ignored L1/L2/length/warmup)."""
+    small_l2 = SystemConfig()
+    big_l2 = dataclasses.replace(
+        small_l2, l2=dataclasses.replace(small_l2.l2, size_bytes=1024 * 1024)
+    )
+    a = session.baseline("spec06/lbm-1", small_l2)
+    b = session.baseline("spec06/lbm-1", big_l2)
+    assert a is not b
+    assert fingerprint(small_l2) != fingerprint(big_l2)
+
+
+def test_baselines_distinct_across_length_and_warmup(session):
+    a = session.baseline("spec06/lbm-1", SystemConfig())
+    b = session.baseline("spec06/lbm-1", SystemConfig(), trace_length=LENGTH // 2)
+    c = session.baseline("spec06/lbm-1", SystemConfig(), warmup_fraction=0.5)
+    assert a is not b and a is not c
+    assert b.instructions < a.instructions
+
+
+def test_legacy_experiment_spec_bridge(session):
+    from repro.harness.experiment import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="legacy",
+        trace_names=("spec06/lbm-1",),
+        prefetchers=("stride",),
+        trace_length=LENGTH,
+    )
+    results = session.run(spec)
+    assert len(results) == 1
+    assert results[0].prefetcher == "stride"
+
+
+def test_run_mix_cached(session):
+    from repro.sim.config import baseline_multi_core
+
+    config = baseline_multi_core(2)
+    result, baseline = session.run_mix(
+        ["spec06/lbm-1", "spec06/mcf-1"], "stride", config
+    )
+    assert result.instructions > 0 and baseline.prefetcher_name == "none"
+    before = session.store.puts
+    result2, _ = session.run_mix(["spec06/lbm-1", "spec06/mcf-1"], "stride", config)
+    assert session.store.puts == before  # fully cached
+    assert result2 is result
