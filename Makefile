@@ -1,16 +1,20 @@
 # Test / benchmark entry points.  All targets run from the repo root.
 #
-#   make quick   - sub-minute smoke tier (the `quick` pytest marker):
-#                  Session API end-to-end on small traces.  CI's
-#                  per-push gate.
-#   make test    - full unit suite (tests/), ~1 min.
-#   make bench   - figure/table regeneration suite (benchmarks/), slow.
-#   make all     - everything pytest collects (tier-1 verify).
+#   make quick     - sub-minute smoke tier (the `quick` pytest marker):
+#                    Session API end-to-end on small traces plus the
+#                    perf smoke.  CI's per-push gate.
+#   make test      - full unit suite (tests/), ~1 min.
+#   make bench     - figure/table regeneration suite (benchmarks/), slow.
+#   make perfbench - tracked throughput bench; rewrites BENCH_perf.json
+#                    (commit the diff when a PR moves performance).
+#   make profile   - cProfile one cell; configure via PROFILE_ARGS, e.g.
+#                    PROFILE_ARGS="--prefetcher spp --length 50000".
+#   make all       - everything pytest collects (tier-1 verify).
 
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: quick test bench all
+.PHONY: quick test bench perfbench profile all
 
 quick:
 	$(PY) -m pytest -m quick -q
@@ -20,6 +24,12 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks -q
+
+perfbench:
+	REPRO_WRITE_BENCH=1 REPRO_PERF_STRICT=1 $(PY) -m pytest benchmarks/test_perf_throughput.py -q -m "not quick" -s
+
+profile:
+	$(PY) scripts/profile.py $(PROFILE_ARGS)
 
 all:
 	$(PY) -m pytest -q

@@ -2,12 +2,17 @@
 # CI entry point.
 #
 # Tier 1 (every push): the sub-minute `quick` smoke tier — Session API
-# end-to-end on small traces — followed by the full unit suite.
-# The slow figure-regeneration suite (`make bench`) is a separate,
-# scheduled job.
+# end-to-end on small traces plus the perf smoke — followed by the full
+# unit suite and the tracked throughput bench.  By default the bench
+# enforces only machine-independent sanity floors; export
+# REPRO_PERF_STRICT=1 on the calibrated reference runner to enforce the
+# regression floors too (BENCH_perf.json is rewritten by
+# `make perfbench`, not by CI).  The slow figure-regeneration suite
+# (`make bench`) is a separate, scheduled job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 python -m pytest -m quick -q
 python -m pytest tests -q -m "not quick"
+python -m pytest benchmarks/test_perf_throughput.py -q -m "not quick"

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""One-command cProfile of a single simulation cell.
+
+Every perf PR should start from data; this prints the hotspot tables
+that motivated PR 2's hot-loop rework.  Typical use::
+
+    make profile                                   # pythia on spec06/lbm-1
+    PROFILE_ARGS="--prefetcher spp --length 50000" make profile
+    PYTHONPATH=src python scripts/profile.py --trace ligra/cc-1 \\
+        --prefetcher pythia --length 200000 --top 40
+
+The cell is simulated once un-instrumented first (reported as raw
+records/s — cProfile inflates call-heavy code 2-3x, so never quote
+instrumented throughput), then once under cProfile, printing the top-N
+functions by cumulative and by internal time.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# This file is named `profile.py`, which would shadow the stdlib
+# `profile` module that `cProfile` imports — drop the script directory
+# from sys.path before touching the profiler machinery.
+_HERE = Path(__file__).resolve().parent
+sys.path = [p for p in sys.path if Path(p or ".").resolve() != _HERE]
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default="spec06/lbm-1", help="workload/trace name")
+    parser.add_argument("--prefetcher", default="pythia", help="registry prefetcher name")
+    parser.add_argument("--system", default="1c", help="system spec (e.g. 1c, 1c@mtps=600)")
+    parser.add_argument("--length", type=int, default=200_000, help="records per trace")
+    parser.add_argument("--warmup", type=float, default=0.2, help="warmup fraction")
+    parser.add_argument("--top", type=int, default=25, help="rows per hotspot table")
+    parser.add_argument(
+        "--out", default=None, help="also dump raw pstats to this file (snakeviz etc.)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro import registry
+    from repro.sim.system import simulate
+
+    trace = registry.cached_trace(args.trace, args.length)
+    system = registry.system(args.system)
+
+    def run() -> None:
+        simulate(
+            trace,
+            config=system,
+            prefetcher=registry.create(args.prefetcher),
+            warmup_fraction=args.warmup,
+        )
+
+    start = time.perf_counter()
+    run()
+    raw = time.perf_counter() - start
+    print(
+        f"cell: trace={args.trace} prefetcher={args.prefetcher} "
+        f"system={args.system} length={args.length} warmup={args.warmup}"
+    )
+    print(f"raw: {raw:.2f}s = {args.length / raw:,.0f} records/s (un-instrumented)\n")
+
+    profile = cProfile.Profile()
+    profile.enable()
+    run()
+    profile.disable()
+
+    if args.out:
+        profile.dump_stats(args.out)
+        print(f"pstats dumped to {args.out}\n")
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    for sort in ("cumulative", "tottime"):
+        buffer.write(f"==== top {args.top} by {sort} ====\n")
+        stats.sort_stats(sort).print_stats(args.top)
+    print(buffer.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

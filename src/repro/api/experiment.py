@@ -23,6 +23,22 @@ from typing import Any, Iterable, Sequence
 from repro.api.fingerprint import canonical, fingerprint
 from repro.sim.config import SystemConfig, baseline_single_core
 
+#: Override keys with no effect on simulation results (implementation
+#: selectors whose variants are pinned bit-identical by tests).  They
+#: are stripped from fingerprinted override dicts, mirroring the
+#: ``metadata={"semantic": False}`` dataclass-field mechanism in
+#: :func:`repro.api.fingerprint.canonical`, so e.g.
+#: ``("pythia", {"qvstore_impl": "python"})`` shares its cache entries
+#: with plain ``"pythia"``.
+NON_SEMANTIC_OVERRIDES = frozenset({"qvstore_impl"})
+
+
+def fingerprint_overrides(overrides: "tuple[tuple[str, Any], ...]") -> Any:
+    """Canonical override dict with non-semantic keys stripped."""
+    return canonical(
+        {k: v for k, v in overrides if k not in NON_SEMANTIC_OVERRIDES}
+    )
+
 
 @dataclass(frozen=True)
 class PrefetcherSpec:
@@ -111,22 +127,38 @@ class Cell:
     l1_prefetcher: PrefetcherSpec | None = None
 
     def fingerprint(self) -> str:
-        """Content hash over every outcome-determining field."""
+        """Content hash over every outcome-determining field.
+
+        Self-invalidating: beyond the declarative spec it folds in the
+        *resolved* prefetcher configuration (preset defaults and
+        constructor defaults included) and the trace's content stamp, so
+        stale store entries die with the code that produced them instead
+        of waiting for a manual ``SCHEMA_VERSION`` bump.
+        """
+        from repro import registry
+
         return fingerprint(
             {
                 "kind": "cell",
                 "trace": self.trace,
                 "trace_length": self.trace_length,
+                "trace_stamp": registry.trace_stamp(self.trace, self.trace_length),
                 "warmup_fraction": self.warmup_fraction,
                 "prefetcher": {
                     "name": self.prefetcher.name,
-                    "overrides": canonical(dict(self.prefetcher.overrides)),
+                    "overrides": fingerprint_overrides(self.prefetcher.overrides),
+                    "resolved": registry.resolved_prefetcher_config(
+                        self.prefetcher.name, **dict(self.prefetcher.overrides)
+                    ),
                 },
                 "l1_prefetcher": None
                 if self.l1_prefetcher is None
                 else {
                     "name": self.l1_prefetcher.name,
-                    "overrides": canonical(dict(self.l1_prefetcher.overrides)),
+                    "overrides": fingerprint_overrides(self.l1_prefetcher.overrides),
+                    "resolved": registry.resolved_prefetcher_config(
+                        self.l1_prefetcher.name, **dict(self.l1_prefetcher.overrides)
+                    ),
                 },
                 "system": canonical(self.system.config),
             }

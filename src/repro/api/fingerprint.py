@@ -18,12 +18,14 @@ import json
 from typing import Any
 
 #: Salt folded into every fingerprint.  Bump this whenever simulator
-#: *semantics* change (a bug fix that alters results, a model change, a
-#: retuned prefetcher preset, a workload-generator tweak) so persistent
-#: stores from older code are invalidated rather than served as stale
-#: hits — the inputs alone cannot capture code versions.  The package
-#: version is folded in as well, so releases self-invalidate even when
-#: this constant is forgotten.
+#: *semantics* change in a way the fingerprinted inputs cannot see (a
+#: timing-model bug fix, a cache-policy change).  Two formerly manual
+#: cases now self-invalidate: retuned prefetcher presets/defaults (the
+#: *resolved* prefetcher config is fingerprinted) and workload-generator
+#: tweaks (each trace's content stamp is fingerprinted) — see
+#: :meth:`repro.api.experiment.Cell.fingerprint`.  The package version
+#: is folded in as well, so releases self-invalidate even when this
+#: constant is forgotten.
 SCHEMA_VERSION = 1
 
 
@@ -40,11 +42,18 @@ def canonical(obj: Any) -> Any:
     coincidentally equal fields do not collide; enums render as
     ``ClassName.MEMBER``; mappings are key-sorted; anything else falls
     back to ``repr``.
+
+    Dataclass fields declared with ``metadata={"semantic": False}`` are
+    *excluded*: they flag knobs that cannot affect simulation results
+    (e.g. :attr:`PythiaConfig.qvstore_impl`, whose implementations are
+    pinned bit-identical by tests), so equivalent work keeps one cache
+    entry regardless of how it is executed.
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         fields = {
             f.name: canonical(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
+            if f.metadata.get("semantic", True)
         }
         return {"__class__": type(obj).__name__, **fields}
     if isinstance(obj, enum.Enum):

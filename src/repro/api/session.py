@@ -26,7 +26,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.api.executors import Executor, SerialExecutor
-from repro.api.experiment import Cell, Experiment, PrefetcherSpec, SystemSpec
+from repro.api.experiment import (
+    Cell,
+    Experiment,
+    PrefetcherSpec,
+    SystemSpec,
+    fingerprint_overrides,
+)
 from repro.api.fingerprint import canonical, fingerprint
 from repro.api.resultset import CellResult, ResultSet
 from repro.api.store import ResultStore
@@ -237,13 +243,20 @@ class Session:
         spec = PrefetcherSpec.of(prefetcher)
 
         def mix_key(pf: PrefetcherSpec) -> str:
+            # Same self-invalidation scheme as Cell.fingerprint: trace
+            # content stamps plus the resolved prefetcher config.
             return fingerprint(
                 {
                     "kind": "mix",
-                    "traces": [(t.name, len(t)) for t in materialized],
+                    "traces": [
+                        (t.name, len(t), t.content_stamp) for t in materialized
+                    ],
                     "prefetcher": {
                         "name": pf.name,
-                        "overrides": canonical(dict(pf.overrides)),
+                        "overrides": fingerprint_overrides(pf.overrides),
+                        "resolved": registry.resolved_prefetcher_config(
+                            pf.name, **dict(pf.overrides)
+                        ),
                     },
                     "system": canonical(config),
                     "warmup_fraction": self.warmup_fraction,

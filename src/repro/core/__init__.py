@@ -20,7 +20,7 @@ from repro.core.features import (
 )
 from repro.core.pipeline import PIPELINE_STAGES, SearchTiming, prediction_latency, search_timing
 from repro.core.pythia import Pythia
-from repro.core.qvstore import QVStore, Vault
+from repro.core.qvstore import NumpyQVStore, QVStore, Vault, make_qvstore
 from repro.core.rewards import (
     BASIC_REWARDS,
     BW_OBLIVIOUS_REWARDS,
@@ -47,8 +47,10 @@ __all__ = [
     "prediction_latency",
     "search_timing",
     "Pythia",
+    "NumpyQVStore",
     "QVStore",
     "Vault",
+    "make_qvstore",
     "BASIC_REWARDS",
     "BW_OBLIVIOUS_REWARDS",
     "STRICT_REWARDS",

@@ -12,7 +12,7 @@ import random
 
 from repro.core.config import PythiaConfig
 from repro.core.eq import EqEntry, EvaluationQueue
-from repro.core.qvstore import QVStore, StateValues
+from repro.core.qvstore import StateValues, make_qvstore
 
 
 class SarsaAgent:
@@ -20,15 +20,17 @@ class SarsaAgent:
 
     def __init__(self, config: PythiaConfig) -> None:
         self.config = config
-        self.qvstore = QVStore(config)
+        self.qvstore = make_qvstore(config)
         self.eq = EvaluationQueue(config.eq_size)
         self._rng = random.Random(config.seed)
+        self._rng_random = self._rng.random  # bound-method hoist (hot path)
+        self._epsilon = config.epsilon
         self.updates = 0
         self.explorations = 0
 
     def select_action(self, state: StateValues) -> int:
         """Pick an action index: ε-random, otherwise argmax Q (lines 13-16)."""
-        if self._rng.random() <= self.config.epsilon:
+        if self._rng_random() <= self._epsilon:
             self.explorations += 1
             return self._rng.randrange(self.config.num_actions)
         action, _ = self.qvstore.best_action(state)
@@ -45,7 +47,7 @@ class SarsaAgent:
         evicted = self.eq.insert(entry)
         if evicted is None:
             return
-        if not evicted.has_reward:
+        if evicted.reward is None:
             evicted.reward = self.config.rewards.inaccurate(bandwidth_high)
         head = self.eq.head
         if head is None:  # capacity 1: degenerate, bootstrap on itself

@@ -23,9 +23,11 @@ from dataclasses import dataclass, field
 from repro.core.qvstore import StateValues
 
 
-@dataclass
+@dataclass(slots=True)
 class EqEntry:
     """One recently-taken action awaiting its Q-value update.
+
+    Slotted: one entry is created per trained demand request.
 
     Attributes:
         state: feature values observed when the action was taken.
@@ -44,7 +46,11 @@ class EqEntry:
 
     @property
     def has_reward(self) -> bool:
-        """Whether a reward level has been assigned yet."""
+        """Whether a reward level has been assigned yet.
+
+        (Hot paths test ``entry.reward is None`` directly; the property
+        is kept for readability elsewhere.)
+        """
         return self.reward is not None
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.prefetchers.base import DemandContext
 
@@ -83,11 +84,13 @@ def all_feature_specs() -> list[FeatureSpec]:
     ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Observation:
     """The raw components extracted for one demand request.
 
     Feature values are derived from these by :func:`encode_feature`.
+    One instance is created per trained demand request, so the class is
+    slotted to keep construction off the hot path's profile.
     """
 
     pc: int
@@ -152,7 +155,55 @@ def encode_feature(spec: FeatureSpec, obs: Observation) -> int:
     return _mix(control, data)
 
 
-@dataclass
+def compile_encoder(spec: FeatureSpec):
+    """Specialize :func:`encode_feature` for one spec at build time.
+
+    The returned callable computes exactly ``encode_feature(spec, obs)``
+    but resolves the control/data dispatch once instead of re-walking
+    the enum ladders per demand request — Pythia calls one encoder per
+    feature per trained record, which makes the dispatch itself hot.
+    """
+    control_attr = {
+        ControlFlow.PC: "pc",
+        ControlFlow.PC_PATH: "pc_path",
+        ControlFlow.PC_XOR_PREV: "pc_xor_prev",
+        ControlFlow.NONE: None,
+    }[spec.control]
+
+    if spec.data is DataFlow.ADDRESS:
+        data_fn = lambda obs: obs.line  # noqa: E731
+    elif spec.data is DataFlow.PAGE:
+        data_fn = lambda obs: obs.page  # noqa: E731
+    elif spec.data is DataFlow.OFFSET:
+        data_fn = lambda obs: obs.offset  # noqa: E731
+    elif spec.data is DataFlow.DELTA:
+        data_fn = lambda obs: obs.delta & 0x7F  # noqa: E731
+    elif spec.data is DataFlow.LAST4_OFFSETS:
+        data_fn = lambda obs: _fold_sequence(obs.last4_offsets)  # noqa: E731
+    elif spec.data is DataFlow.LAST4_DELTAS:
+        data_fn = lambda obs: _fold_sequence(obs.last4_deltas)  # noqa: E731
+    elif spec.data is DataFlow.OFFSET_XOR_DELTA:
+        data_fn = lambda obs: obs.offset ^ (obs.delta & 0x7F)  # noqa: E731
+    else:
+        data_fn = None
+
+    if control_attr is None:
+        if data_fn is None:
+            return lambda obs: 0
+        return lambda obs: data_fn(obs) & 0xFFFFFFFF
+    control_fn = attrgetter(control_attr)
+    if data_fn is None:
+        return lambda obs: control_fn(obs) & 0xFFFFFFFF
+
+    def encode(obs: Observation) -> int:
+        # _mix unrolled for exactly (control, data); same FNV constants.
+        acc = ((0x811C9DC5 ^ (control_fn(obs) & 0xFFFFFFFF)) * 0x01000193) & 0xFFFFFFFF
+        return ((acc ^ (data_fn(obs) & 0xFFFFFFFF)) * 0x01000193) & 0xFFFFFFFF
+
+    return encode
+
+
+@dataclass(slots=True)
 class _PageHistory:
     """Per-page delta/offset history (the artifact's signature-table role)."""
 
@@ -172,6 +223,44 @@ class FeatureExtractor:
         self.page_table_size = page_table_size
         self._pages: OrderedDict[int, _PageHistory] = OrderedDict()
         self._last_pcs: deque[int] = deque(maxlen=3)
+
+    def observe_basic(self, ctx: DemandContext) -> tuple[int, int]:
+        """Fused observe+encode for the paper's basic state-vector.
+
+        Returns ``(encode(PC_DELTA), encode(LAST4_DELTAS))`` directly,
+        skipping the intermediate :class:`Observation` and the encoder
+        dispatch.  All extractor state (page histories *and* the PC
+        path) advances exactly as :meth:`observe` would, so interleaving
+        the two paths is safe; equivalence is pinned by tests.
+        """
+        page = ctx.page
+        pages = self._pages
+        history = pages.get(page)
+        if history is None:
+            history = _PageHistory()
+            pages[page] = history
+            while len(pages) > self.page_table_size:
+                pages.popitem(last=False)
+        else:
+            pages.move_to_end(page)
+
+        offset = ctx.offset
+        last = history.last_offset
+        delta = 0 if last < 0 else offset - last
+        history.last_offset = offset
+        deltas = history.deltas
+        deltas.append(delta)
+        history.offsets.append(offset)
+        self._last_pcs.append(ctx.pc)
+
+        # encode_feature(PC_DELTA): _mix(pc, delta & 0x7F), unrolled.
+        acc = ((0x811C9DC5 ^ (ctx.pc & 0xFFFFFFFF)) * 0x01000193) & 0xFFFFFFFF
+        pc_delta = ((acc ^ (delta & 0x7F)) * 0x01000193) & 0xFFFFFFFF
+        # encode_feature(LAST4_DELTAS): the folded delta sequence.
+        fold = 0
+        for d in deltas:
+            fold = ((fold << 7) ^ (d & 0x7F)) & 0xFFFFFFFF
+        return pc_delta, fold
 
     def observe(self, ctx: DemandContext) -> Observation:
         """Fold one demand request into the histories; return components."""

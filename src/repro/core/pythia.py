@@ -22,7 +22,12 @@ from __future__ import annotations
 from repro.core.agent import SarsaAgent
 from repro.core.config import PythiaConfig
 from repro.core.eq import EqEntry
-from repro.core.features import FeatureExtractor, Observation, encode_feature
+from repro.core.features import (
+    BASIC_FEATURES,
+    FeatureExtractor,
+    Observation,
+    compile_encoder,
+)
 from repro.core.qvstore import StateValues
 from repro.prefetchers.base import DemandContext, Prefetcher
 from repro.types import LINES_PER_PAGE, make_line
@@ -47,6 +52,11 @@ class Pythia(Prefetcher):
         self.config = config if config is not None else PythiaConfig()
         self.agent = SarsaAgent(self.config)
         self.extractor = FeatureExtractor()
+        self._encoders = [compile_encoder(spec) for spec in self.config.features]
+        # The paper's basic two-feature state-vector has a fused
+        # observe+encode path on the extractor (pinned equivalent by
+        # tests); other feature sets use the generic encoder chain.
+        self._basic_features = self.config.features == BASIC_FEATURES
         self.action_counts = [0] * self.config.num_actions
         self.rewards_assigned: dict[str, int] = {
             "accurate_timely": 0,
@@ -60,23 +70,27 @@ class Pythia(Prefetcher):
 
     def train(self, ctx: DemandContext) -> list[int]:
         rewards = self.config.rewards
+        agent = self.agent
+        rewards_assigned = self.rewards_assigned
 
         # (1) Reward a resident entry whose prefetch this demand vindicates.
-        entry = self.agent.eq.search(ctx.line)
-        if entry is not None and not entry.has_reward:
+        entry = agent.eq.search(ctx.line)
+        if entry is not None and entry.reward is None:
             if entry.filled:
                 entry.reward = rewards.accurate_timely
-                self.rewards_assigned["accurate_timely"] += 1
+                rewards_assigned["accurate_timely"] += 1
             else:
                 entry.reward = rewards.accurate_late
-                self.rewards_assigned["accurate_late"] += 1
+                rewards_assigned["accurate_late"] += 1
 
         # (2) Extract the state-vector.
-        obs = self.extractor.observe(ctx)
-        state = self._encode_state(obs)
+        if self._basic_features:
+            state = self.extractor.observe_basic(ctx)
+        else:
+            state = self._encode_state(self.extractor.observe(ctx))
 
         # (3) Select an action.
-        action = self.agent.select_action(state)
+        action = agent.select_action(state)
         self.action_counts[action] += 1
         offset_delta = self.config.actions[action]
 
@@ -86,28 +100,22 @@ class Pythia(Prefetcher):
         if offset_delta == 0:
             new_entry = EqEntry(state, action, prefetch_line=None)
             new_entry.reward = rewards.no_prefetch(ctx.bandwidth_high)
-            self.rewards_assigned["no_prefetch"] += 1
+            rewards_assigned["no_prefetch"] += 1
         elif not 0 <= target_offset < LINES_PER_PAGE:
             new_entry = EqEntry(state, action, prefetch_line=None)
             new_entry.reward = rewards.coverage_loss
-            self.rewards_assigned["coverage_loss"] += 1
+            rewards_assigned["coverage_loss"] += 1
         else:
             line = make_line(ctx.page, target_offset)
             new_entry = EqEntry(state, action, prefetch_line=line)
             prefetches.append(line)
 
         # (5) Insert; the agent handles eviction-time R_IN + SARSA update.
-        before = len(self.agent.eq)
-        self.agent.record(new_entry, ctx.bandwidth_high)
-        if before >= self.config.eq_size:
-            # An eviction happened; count it if it was an R_IN assignment.
-            pass
+        agent.record(new_entry, ctx.bandwidth_high)
         return prefetches
 
     def _encode_state(self, obs: Observation) -> StateValues:
-        return tuple(
-            encode_feature(spec, obs) for spec in self.config.features
-        )
+        return tuple(encode(obs) for encode in self._encoders)
 
     # -- callbacks -----------------------------------------------------------
 

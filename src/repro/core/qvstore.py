@@ -11,15 +11,41 @@ The max across vaults lets whichever feature correlates best with the
 current pattern drive the decision; the per-plane sum is standard tile
 coding.  SARSA updates apply the TD error to every plane of every vault
 (the gradient of the sum), as the Pythia artifact does.
+
+Two interchangeable implementations live here:
+
+* :class:`QVStore` — the original pure-Python nested-list store.  Kept
+  as the dependency-free fallback and as the reference the fast path is
+  pinned against (``tests/test_hotpath_equivalence.py``).
+* :class:`NumpyQVStore` — one preallocated ``float64`` table for the
+  whole store, vectorized ``q_values`` over all actions at once,
+  in-place SARSA updates, and a per-state Q-row cache invalidated by
+  per-row version counters.  This is the simulator's hot path: the two
+  implementations produce bit-identical Q-values by construction (same
+  summation order, same update arithmetic).
+
+:func:`make_qvstore` selects between them via
+``PythiaConfig.qvstore_impl`` (``"auto"`` prefers NumPy when installed).
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from repro.core.config import PythiaConfig
 from repro.core.tile_coding import plane_indices
 
+try:  # NumPy is optional: the pure-Python store is a complete fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 #: State values as passed around by the agent: one int per feature.
 StateValues = tuple[int, ...]
+
+#: Bound on memoization dictionaries (feature-value index caches and the
+#: per-state Q-row cache); caches are cleared wholesale when exceeded.
+_CACHE_LIMIT = 65536
 
 
 class Vault:
@@ -46,7 +72,7 @@ class Vault:
         cached = self._index_cache.get(value)
         if cached is None:
             cached = plane_indices(value, self._shifts, self._entries)
-            if len(self._index_cache) > 65536:
+            if len(self._index_cache) > _CACHE_LIMIT:
                 self._index_cache.clear()
             self._index_cache[value] = cached
         return cached
@@ -75,7 +101,7 @@ class Vault:
 
 
 class QVStore:
-    """The full store: one vault per constituent feature."""
+    """The full store: one vault per constituent feature (pure Python)."""
 
     def __init__(self, config: PythiaConfig) -> None:
         self.config = config
@@ -134,3 +160,252 @@ class QVStore:
     def storage_entries(self) -> int:
         """Total Q-value entries across vaults (Table 4 accounting)."""
         return sum(v.storage_entries for v in self.vaults)
+
+
+class _NumpyVault:
+    """Per-feature view over a :class:`NumpyQVStore`'s shared table.
+
+    Mirrors :class:`Vault`'s introspection/update API (tests and the
+    Fig 13 case study poke individual vaults) while writing through to
+    the store so version counters stay coherent.
+    """
+
+    def __init__(self, store: "NumpyQVStore", feature: int) -> None:
+        self._store = store
+        self._feature = feature
+
+    def indices(self, value: int) -> tuple[int, ...]:
+        """Plane row indices for a feature *value* (memoized in the store)."""
+        return self._store._plane_indices(value)
+
+    def q_row(self, value: int):
+        """Q(φ, A) for all actions: the sum of partial rows (Fig 5b)."""
+        return self._store._flat[self._store._vault_rows(self._feature, value)].sum(
+            axis=0
+        )
+
+    def update(self, value: int, action: int, step: float) -> None:
+        """Apply a TD step to every plane's partial Q for (value, action)."""
+        self._store._apply_step(self._store._vault_rows(self._feature, value), action, step)
+
+    @property
+    def storage_entries(self) -> int:
+        store = self._store
+        return store._num_planes * store._entries * store._num_actions
+
+
+class NumpyQVStore:
+    """NumPy-backed tile-coded Q-store: the simulator's fast path.
+
+    The whole store is one preallocated ``float64`` array of shape
+    ``(features, planes, entries, actions)``, viewed flat as
+    ``(features·planes·entries, actions)`` so one fancy-index gather
+    fetches every partial row a state needs.  ``q_values`` reduces the
+    gather with ``sum(axis=planes)`` then ``max(axis=features)`` —
+    the same left-to-right association as the pure-Python store, so the
+    two are bit-identical.
+
+    On top of the vectorized path sits a per-state Q-row cache: each
+    table row carries a version counter (bumped on update), and a cached
+    Q-row is served only while the versions of every row it was reduced
+    from are unchanged.  Loop-heavy traces revisit a small state set, so
+    most ``q_values`` calls are one dict probe plus an int-tuple compare.
+
+    Single-(state, action) reads (``q_value``, the SARSA bootstrap pair)
+    and TD steps bypass the row machinery entirely: they touch exactly
+    ``features·planes`` scalars via flat element indices, which beats
+    even one vectorized gather at this table geometry.
+    """
+
+    def __init__(self, config: PythiaConfig) -> None:
+        if _np is None:  # pragma: no cover - exercised only without numpy
+            raise RuntimeError("NumpyQVStore requires numpy; use QVStore")
+        self.config = config
+        self._shifts = config.plane_shifts
+        self._entries = config.plane_entries
+        self._num_actions = config.num_actions
+        self._num_planes = config.num_planes
+        self._num_features = len(config.features)
+        init = config.initial_q / config.num_planes
+        self._table = _np.full(
+            (self._num_features, self._num_planes, self._entries, self._num_actions),
+            init,
+            dtype=_np.float64,
+        )
+        #: Flat (feature·plane·entry, action) view; row id of (f, p, i)
+        #: is ``(f * planes + p) * entries + i``.
+        self._flat = self._table.reshape(-1, self._num_actions)
+        #: Fully flat 1-D view for scalar reads/updates; the element
+        #: index of (row, action) is ``row * num_actions + action``.
+        self._ravel = self._table.reshape(-1)
+        #: Per-row update counters backing cache invalidation.
+        self._versions: list[int] = [0] * (self._flat.shape[0])
+        self._index_cache: dict[int, tuple[int, ...]] = {}
+        #: state -> (row-id ndarray, row-base element ids, itemgetter)
+        self._state_cache: dict[StateValues, tuple] = {}
+        #: state -> [version key at reduce time, reduced Q-row, argmax]
+        self._q_cache: dict[StateValues, list] = {}
+        self.vaults = [_NumpyVault(self, f) for f in range(self._num_features)]
+
+    # -- indexing ----------------------------------------------------------
+
+    def _plane_indices(self, value: int) -> tuple[int, ...]:
+        cached = self._index_cache.get(value)
+        if cached is None:
+            cached = plane_indices(value, self._shifts, self._entries)
+            if len(self._index_cache) > _CACHE_LIMIT:
+                self._index_cache.clear()
+            self._index_cache[value] = cached
+        return cached
+
+    def _vault_rows(self, feature: int, value: int) -> list[int]:
+        """Flat row ids of *value*'s partial rows in *feature*'s vault."""
+        base = feature * self._num_planes
+        entries = self._entries
+        return [
+            (base + p) * entries + i
+            for p, i in enumerate(self._plane_indices(value))
+        ]
+
+    def _state_entry(self, state: StateValues) -> tuple:
+        entry = self._state_cache.get(state)
+        if entry is None:
+            rows: list[int] = []
+            for f, value in enumerate(state):
+                rows.extend(self._vault_rows(f, value))
+            bases = [r * self._num_actions for r in rows]
+            entry = (_np.array(rows), rows, bases, itemgetter(*rows))
+            if len(self._state_cache) > _CACHE_LIMIT:
+                self._state_cache.clear()
+                self._q_cache.clear()
+            self._state_cache[state] = entry
+        return entry
+
+    # -- mutation ----------------------------------------------------------
+
+    def _apply_step(self, rows: list[int], action: int, step: float) -> None:
+        """In-place TD step on *rows* (distinct by construction).
+
+        Scalar read-modify-writes on the 1-D view: cheaper than one
+        fancy-indexed ``+=`` at features·planes ≈ 6 touched elements.
+        """
+        ravel = self._ravel
+        num_actions = self._num_actions
+        versions = self._versions
+        for r in rows:
+            e = r * num_actions + action
+            ravel[e] = ravel.item(e) + step
+            versions[r] += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def q_values(self, state: StateValues):
+        """Q(S, A) for every action: max over vaults (Eqn 3)."""
+        entry = self._state_entry(state)
+        version_key = entry[3](self._versions)
+        cached = self._q_cache.get(state)
+        if cached is not None and cached[0] == version_key:
+            return cached[1]
+        gathered = self._flat[entry[0]].reshape(
+            self._num_features, self._num_planes, self._num_actions
+        )
+        q = gathered.sum(axis=1)
+        q = q.max(axis=0) if self._num_features > 1 else q[0]
+        if len(self._q_cache) > _CACHE_LIMIT:
+            self._q_cache.clear()
+        self._q_cache[state] = [version_key, q, -1]
+        return q
+
+    def q_value(self, state: StateValues, action: int) -> float:
+        """Q(S, A) for one action.
+
+        Touches exactly the features·planes scalars that back the
+        (state, action) pair — the SARSA bootstrap reads per record stay
+        off the vectorized row path entirely.  Summation and max order
+        match the pure-Python store bit for bit.
+        """
+        item = self._ravel.item
+        planes = self._num_planes
+        bases = self._state_entry(state)[2]
+        best = None
+        for f in range(0, len(bases), planes):
+            q = item(bases[f] + action)
+            for p in range(1, planes):
+                q += item(bases[f + p] + action)
+            if best is None or q > best:
+                best = q
+        return best
+
+    def best_action(self, state: StateValues) -> tuple[int, float]:
+        """Action index with the maximum Q-value, and that value.
+
+        ``argmax`` returns the first maximal index, matching the pure-
+        Python store's strict-``>`` scan; the index is memoized on the
+        cached Q-row so repeat selections of a stable state cost one
+        dict probe.
+        """
+        q = self.q_values(state)
+        cached = self._q_cache.get(state)
+        if cached is not None and cached[1] is q:
+            action = cached[2]
+            if action < 0:
+                action = int(q.argmax())
+                cached[2] = action
+        else:  # pragma: no cover - cache cleared between the two probes
+            action = int(q.argmax())
+        return action, q.item(action)
+
+    def sarsa_update(
+        self,
+        state: StateValues,
+        action: int,
+        reward: float,
+        next_state: StateValues,
+        next_action: int,
+    ) -> float:
+        """One SARSA step (Eqn 1 / Algorithm 1 line 29); returns the TD error.
+
+        If *state*'s cached Q-row was valid going in, it is patched in
+        place instead of being invalidated: this update touches exactly
+        one action column of exactly the rows the cached reduction came
+        from, so recomputing that single scalar keeps the cache exact.
+        Loop-heavy traces hammer one state with interleaved
+        select/update, making this the difference between a cache that
+        always hits and one that always misses.
+        """
+        q_sa = self.q_value(state, action)
+        q_next = self.q_value(next_state, next_action)
+        td_error = reward + self.config.gamma * q_next - q_sa
+        step = self.config.alpha * td_error
+        entry = self._state_entry(state)
+        cached = self._q_cache.get(state)
+        was_valid = cached is not None and cached[0] == entry[3](self._versions)
+        self._apply_step(entry[1], action, step)
+        if was_valid:
+            cached[1][action] = self.q_value(state, action)
+            cached[0] = entry[3](self._versions)
+            cached[2] = -1  # argmax may have moved; recompute lazily
+        return td_error
+
+    @property
+    def storage_entries(self) -> int:
+        """Total Q-value entries across vaults (Table 4 accounting)."""
+        return self._table.size
+
+
+def make_qvstore(config: PythiaConfig):
+    """Instantiate the Q-store implementation the config selects.
+
+    ``qvstore_impl``: ``"auto"`` (NumPy when installed, else the pure-
+    Python fallback), ``"numpy"``, or ``"python"``.  Both produce
+    bit-identical Q-values; the choice is purely a speed/dependency
+    trade-off, so it is excluded from result fingerprints.
+    """
+    impl = getattr(config, "qvstore_impl", "auto")
+    if impl == "python":
+        return QVStore(config)
+    if impl == "numpy":
+        return NumpyQVStore(config)
+    if impl == "auto":
+        return NumpyQVStore(config) if _np is not None else QVStore(config)
+    raise ValueError(f"unknown qvstore_impl {impl!r}; use auto|numpy|python")

@@ -16,14 +16,22 @@ without a side channel.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.types import page_of_line, offset_of_line
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class DemandContext:
     """Everything a prefetcher may observe about one training event.
+
+    One instance is built per training event (every L1 demand miss), so
+    the class is slotted (and not frozen — frozen-dataclass ``__init__``
+    pays an ``object.__setattr__`` per field) and the page/offset
+    decomposition — which most prefetchers read several times per event
+    — is computed once at construction rather than per property access.
+    Treat instances as immutable: they are shared across every
+    prefetcher observing the event.
 
     Attributes:
         pc: program counter of the demand instruction.
@@ -32,6 +40,8 @@ class DemandContext:
         is_load: True for loads (stores also train, as in ChampSim).
         bandwidth_utilization: DRAM data-bus busy fraction (0..1).
         bandwidth_high: the thresholded high/low bandwidth signal.
+        page: physical page number of the demanded line (derived).
+        offset: in-page offset (0..63) of the demanded line (derived).
     """
 
     pc: int
@@ -40,16 +50,12 @@ class DemandContext:
     is_load: bool = True
     bandwidth_utilization: float = 0.0
     bandwidth_high: bool = False
+    page: int = field(init=False)
+    offset: int = field(init=False)
 
-    @property
-    def page(self) -> int:
-        """Physical page number of the demanded line."""
-        return page_of_line(self.line)
-
-    @property
-    def offset(self) -> int:
-        """In-page offset (0..63) of the demanded line."""
-        return offset_of_line(self.line)
+    def __post_init__(self) -> None:
+        self.page = page_of_line(self.line)
+        self.offset = offset_of_line(self.line)
 
 
 class Prefetcher(ABC):

@@ -147,6 +147,68 @@ def create(name: str, **overrides: object) -> "Prefetcher":
     return registry[name](**overrides)
 
 
+#: Memo for resolved prefetcher descriptions, keyed by a canonical JSON
+#: rendering of (name, overrides) — override *values* may be unhashable
+#: (lists, dicts), so ``lru_cache`` over the raw values cannot be used.
+_RESOLVED_CONFIG_CACHE: dict[str, object] = {}
+
+
+def _resolved_prefetcher_config(name: str, overrides: dict) -> object:
+    import dataclasses
+    import inspect
+
+    from repro.api.fingerprint import canonical
+
+    prefetcher = create(name, **overrides)
+    description: dict[str, object] = {"class": type(prefetcher).__name__}
+    config = getattr(prefetcher, "config", None)
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        # Config-object prefetchers (Pythia): the complete resolved
+        # config — preset defaults, named-preset deltas, overrides.
+        description["config"] = canonical(config)
+    else:
+        # Plain prefetchers: constructor defaults merged with overrides,
+        # so retuning a default parameter changes the description.
+        try:
+            params = {
+                p.name: p.default
+                for p in inspect.signature(type(prefetcher).__init__).parameters.values()
+                if p.default is not inspect.Parameter.empty
+            }
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            params = {}
+        params.update(overrides)
+        description["params"] = canonical(params)
+        members = getattr(prefetcher, "members", None)
+        if members is not None:  # composites: resolve each member
+            description["members"] = [
+                resolved_prefetcher_config(m.name) for m in members
+            ]
+    return description
+
+
+def resolved_prefetcher_config(name: str, **overrides: object) -> object:
+    """Canonical description of the *resolved* prefetcher configuration.
+
+    Used by result-store fingerprints so cache entries self-invalidate
+    when a preset or constructor default is retuned, instead of relying
+    on a manual ``SCHEMA_VERSION`` bump.  Memoized per (name, overrides)
+    — composites recurse into their members.
+    """
+    import json
+
+    from repro.api.fingerprint import canonical
+
+    key = json.dumps([name, canonical(overrides)], sort_keys=True)
+    cached = _RESOLVED_CONFIG_CACHE.get(key)
+    if cached is None:
+        if len(_RESOLVED_CONFIG_CACHE) > 256:
+            _RESOLVED_CONFIG_CACHE.clear()
+        cached = _resolved_prefetcher_config(name, overrides)
+        _RESOLVED_CONFIG_CACHE[key] = cached
+    return cached
+
+
 # --------------------------------------------------------------------------
 # Workloads / traces
 # --------------------------------------------------------------------------
@@ -174,6 +236,18 @@ def cached_trace(name: str, length: int = 20_000) -> "Trace":
     process-pool workers each warm their own.
     """
     return make_trace(name, length)
+
+
+@functools.lru_cache(maxsize=1024)
+def trace_stamp(name: str, length: int = 20_000) -> int:
+    """Content stamp (CRC32) of the named trace at *length*.
+
+    Result-store fingerprints fold this in so entries self-invalidate
+    when a workload generator changes the records it emits — the
+    (name, length) pair alone cannot see generator code changes.  Uses
+    the memoized trace, so sweeps pay the generation cost once.
+    """
+    return cached_trace(name, length).content_stamp
 
 
 def suite_of(trace_name: str) -> str:

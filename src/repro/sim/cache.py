@@ -5,11 +5,20 @@ prefetch and whether it has been used by a demand access since fill.
 That bookkeeping is what lets the metrics layer compute the paper's
 coverage and overprediction numbers, and what lets prefetchers receive
 "prefetch line was useful/useless" feedback.
+
+The data structures are organized for the simulator's per-record hot
+path: each set carries a tag→way dict beside the way list, so
+``lookup``/``probe``/``fill`` resolve residency in O(1) instead of a
+linear way scan, and invalid ways sit in a per-set min-heap so fills
+consume them lowest-index-first without building a validity list per
+fill.  Replacement policies therefore only ever see full sets
+(:mod:`repro.sim.replacement`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappop, heappush
 
 from repro.sim.config import CacheGeometry
 from repro.sim.replacement import make_policy
@@ -53,9 +62,9 @@ class CacheStats:
         return self.useful_prefetches / judged
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
-    """One way of one set."""
+    """One way of one set (slotted: millions live per simulation)."""
 
     tag: int = -1
     valid: bool = False
@@ -64,16 +73,29 @@ class _Line:
     fill_cycle: int = 0
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class LookupResult:
-    """Outcome of a cache lookup."""
+    """Outcome of a cache lookup.
+
+    The four possible outcomes are preallocated module-level constants
+    (lookups happen several times per simulated record); the class is
+    frozen so the shared instances cannot be corrupted.
+    """
 
     hit: bool
     was_prefetched_line: bool = False
     first_use_of_prefetch: bool = False
 
 
-@dataclass
+_MISS = LookupResult(hit=False)
+_HIT = LookupResult(hit=True)
+_HIT_PREFETCHED = LookupResult(hit=True, was_prefetched_line=True)
+_HIT_FIRST_USE = LookupResult(
+    hit=True, was_prefetched_line=True, first_use_of_prefetch=True
+)
+
+
+@dataclass(slots=True)
 class EvictedLine:
     """Information about a line pushed out of the cache by a fill."""
 
@@ -104,6 +126,11 @@ class Cache:
         self.latency = geometry.latency
         self.stats = CacheStats()
         self._policy = make_policy(geometry.replacement)
+        # LRU's touch bookkeeping is one int store; inlining it saves a
+        # Python call on every lookup hit and fill (L1/L2 are LRU).
+        from repro.sim.replacement import LruPolicy
+
+        self._policy_is_lru = type(self._policy) is LruPolicy
         self._sets: list[list[_Line]] = [
             [_Line() for _ in range(self.ways)] for _ in range(self.num_sets)
         ]
@@ -111,23 +138,30 @@ class Cache:
             [self._policy.new_meta() for _ in range(self.ways)]
             for _ in range(self.num_sets)
         ]
+        # Per-set tag→way index: O(1) residency checks beside the way list.
+        self._tags: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        # Per-set min-heaps of invalid ways: fills take the lowest index
+        # first, matching the historical "first invalid way" victim rule.
+        self._free: list[list[int]] = [
+            list(range(self.ways)) for _ in range(self.num_sets)
+        ]
         self._tick = 0
 
     def _index(self, line: int) -> int:
         return line % self.num_sets
 
     def _find(self, line: int) -> tuple[int, int] | None:
-        set_idx = self._index(line)
-        for way, entry in enumerate(self._sets[set_idx]):
-            if entry.valid and entry.tag == line:
-                return set_idx, way
-        return None
+        set_idx = line % self.num_sets
+        way = self._tags[set_idx].get(line)
+        if way is None:
+            return None
+        return set_idx, way
 
     # -- public API ---------------------------------------------------------
 
     def probe(self, line: int) -> bool:
         """Check presence without touching stats or replacement state."""
-        return self._find(line) is not None
+        return line in self._tags[line % self.num_sets]
 
     def lookup(self, line: int, pc: int, is_load: bool, is_prefetch: bool) -> LookupResult:
         """Access the cache; updates stats and replacement state.
@@ -136,38 +170,39 @@ class Cache:
         is flagged so the caller can credit the prefetcher.
         """
         self._tick += 1
-        found = self._find(line)
+        stats = self.stats
+        set_idx = line % self.num_sets
+        way = self._tags[set_idx].get(line)
         if is_prefetch:
-            self.stats.prefetch_accesses += 1
+            stats.prefetch_accesses += 1
         else:
-            self.stats.demand_accesses += 1
+            stats.demand_accesses += 1
 
-        if found is None:
+        if way is None:
             if is_prefetch:
-                self.stats.prefetch_misses += 1
+                stats.prefetch_misses += 1
             else:
-                self.stats.demand_misses += 1
+                stats.demand_misses += 1
                 if is_load:
-                    self.stats.load_misses += 1
-            return LookupResult(hit=False)
+                    stats.load_misses += 1
+            return _MISS
 
-        set_idx, way = found
         entry = self._sets[set_idx][way]
-        self._policy.on_hit(self._meta[set_idx], way, pc, self._tick)
-        first_use = False
-        if not is_prefetch:
-            self.stats.demand_hits += 1
-            if entry.prefetched and not entry.used:
-                entry.used = True
-                first_use = True
-                self.stats.useful_prefetches += 1
+        if self._policy_is_lru:
+            self._meta[set_idx][way] = self._tick
         else:
-            self.stats.prefetch_hits += 1
-        return LookupResult(
-            hit=True,
-            was_prefetched_line=entry.prefetched,
-            first_use_of_prefetch=first_use,
-        )
+            self._policy.on_hit(self._meta[set_idx], way, pc, self._tick)
+        if not is_prefetch:
+            stats.demand_hits += 1
+            if entry.prefetched:
+                if not entry.used:
+                    entry.used = True
+                    stats.useful_prefetches += 1
+                    return _HIT_FIRST_USE
+                return _HIT_PREFETCHED
+            return _HIT
+        stats.prefetch_hits += 1
+        return _HIT_PREFETCHED if entry.prefetched else _HIT
 
     def fill(self, line: int, pc: int, is_prefetch: bool, cycle: int = 0) -> EvictedLine | None:
         """Insert *line*, evicting a victim if the set is full.
@@ -177,36 +212,48 @@ class Cache:
         metadata.
         """
         self._tick += 1
-        existing = self._find(line)
-        set_idx = self._index(line)
+        set_idx = line % self.num_sets
+        tags = self._tags[set_idx]
         meta = self._meta[set_idx]
+        existing = tags.get(line)
         if existing is not None:
             # Duplicate fill (e.g. a demand fill racing a prefetch fill):
             # refresh but never downgrade a demand-fetched line to a
             # prefetched one.
-            _, way = existing
-            entry = self._sets[set_idx][way]
+            entry = self._sets[set_idx][existing]
             if not is_prefetch:
                 entry.prefetched = entry.prefetched and entry.used
             return None
 
-        valid = [e.valid for e in self._sets[set_idx]]
-        way = self._policy.victim(meta, valid)
-        entry = self._sets[set_idx][way]
+        free = self._free[set_idx]
         evicted: EvictedLine | None = None
-        if entry.valid:
+        is_lru = self._policy_is_lru
+        if free:
+            way = heappop(free)
+            entry = self._sets[set_idx][way]
+        else:
+            # The is_lru arm inlines LruPolicy.victim (evictions happen
+            # on nearly every post-warmup fill); keep the two in sync.
+            way = meta.index(min(meta)) if is_lru else self._policy.victim(meta)
+            entry = self._sets[set_idx][way]
             self.stats.evictions += 1
             if entry.prefetched and not entry.used:
                 self.stats.useless_evictions += 1
-            self._policy.on_evict(meta, way, entry.used)
+            if not is_lru:  # LRU's on_evict is a no-op
+                self._policy.on_evict(meta, way, entry.used)
             evicted = EvictedLine(entry.tag, entry.prefetched, entry.used)
+            del tags[entry.tag]
 
+        tags[line] = way
         entry.tag = line
         entry.valid = True
         entry.prefetched = is_prefetch
         entry.used = not is_prefetch
         entry.fill_cycle = cycle
-        self._policy.on_fill(meta, way, pc, is_prefetch, self._tick)
+        if is_lru:
+            meta[way] = self._tick
+        else:
+            self._policy.on_fill(meta, way, pc, is_prefetch, self._tick)
         self.stats.fills += 1
         if is_prefetch:
             self.stats.prefetch_fills += 1
@@ -214,18 +261,19 @@ class Cache:
 
     def invalidate(self, line: int) -> bool:
         """Remove *line* if present; returns True if it was present."""
-        found = self._find(line)
-        if found is None:
+        set_idx = line % self.num_sets
+        way = self._tags[set_idx].pop(line, None)
+        if way is None:
             return False
-        set_idx, way = found
         self._sets[set_idx][way] = _Line()
         self._meta[set_idx][way] = self._policy.new_meta()
+        heappush(self._free[set_idx], way)
         return True
 
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
-        return sum(1 for s in self._sets for e in s if e.valid)
+        return sum(len(tags) for tags in self._tags)
 
     @property
     def capacity_lines(self) -> int:

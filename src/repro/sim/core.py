@@ -28,6 +28,8 @@ class CoreModel:
 
     def __init__(self, config: CoreConfig) -> None:
         self._config = config
+        self._width = config.width
+        self._rob_size = config.rob_size
         self.cycle: float = 0.0
         self.instructions: int = 0
         self.stall_cycles: float = 0.0
@@ -54,9 +56,10 @@ class CoreModel:
         if instructions <= 0:
             return
         self.instructions += instructions
-        self.cycle += instructions / self._config.width
-        self._drain_completed()
-        self._enforce_rob()
+        self.cycle += instructions / self._width
+        if self._outstanding:
+            self._drain_completed()
+            self._enforce_rob()
 
     def issue_load(self, completion_cycle: float) -> None:
         """Issue one load completing at *completion_cycle*.
@@ -67,15 +70,17 @@ class CoreModel:
         via :meth:`_enforce_rob`.
         """
         self.instructions += 1
-        self.cycle += 1.0 / self._config.width
-        self._drain_completed()
+        self.cycle += 1.0 / self._width
+        if self._outstanding:
+            self._drain_completed()
         if completion_cycle > self.cycle:
             self._outstanding.append((self.instructions, completion_cycle))
-        self._enforce_rob()
+        if self._outstanding:
+            self._enforce_rob()
 
     def _enforce_rob(self) -> None:
         """Stall until the oldest load completes if the ROB filled behind it."""
-        rob = self._config.rob_size
+        rob = self._rob_size
         while self._outstanding:
             issued_at, completion = self._outstanding[0]
             if self.instructions - issued_at < rob:

@@ -15,6 +15,8 @@ built from the same signal.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.sim.config import DramConfig
 
 
@@ -23,6 +25,12 @@ class _Channel:
 
     def __init__(self, config: DramConfig) -> None:
         self._config = config
+        # Geometry/timing scalars hoisted out of the per-request path.
+        self._row_size_lines = config.row_size_lines
+        self._banks = config.banks_per_channel
+        self._row_hit_latency = config.row_hit_latency
+        self._row_miss_latency = config.row_miss_latency
+        self._cycles_per_transfer = config.cycles_per_transfer
         self._bus_free = 0.0
         self._demand_bus_free = 0.0
         self._bank_free = [0.0] * config.banks_per_channel
@@ -48,22 +56,21 @@ class _Channel:
         priority cannot help — the saturation behaviour behind the
         paper's bandwidth-constrained results.
         """
-        cfg = self._config
-        bank_idx = (line // cfg.row_size_lines) % cfg.banks_per_channel
-        row = line // (cfg.row_size_lines * cfg.banks_per_channel)
+        bank_idx = (line // self._row_size_lines) % self._banks
+        row = line // (self._row_size_lines * self._banks)
 
         start = max(float(now), self._bank_free[bank_idx])
         if self._open_row[bank_idx] == row:
-            access_latency = cfg.row_hit_latency
-            bank_occupancy = cfg.cycles_per_transfer
+            access_latency = self._row_hit_latency
+            bank_occupancy = self._cycles_per_transfer
             self.row_hits += 1
         else:
-            access_latency = cfg.row_miss_latency
-            bank_occupancy = cfg.row_miss_latency
+            access_latency = self._row_miss_latency
+            bank_occupancy = self._row_miss_latency
             self._open_row[bank_idx] = row
             self.row_misses += 1
 
-        transfer = cfg.cycles_per_transfer
+        transfer = self._cycles_per_transfer
         data_at_bank = start + access_latency
         if is_prefetch:
             transfer_start = max(data_at_bank, self._bus_free)
@@ -90,9 +97,11 @@ class Dram:
     def __init__(self, config: DramConfig) -> None:
         self.config = config
         self._channels = [_Channel(config) for _ in range(config.channels)]
-        # Sliding-window utilization: (cycle, busy_cycles) events.
-        self._events: list[tuple[int, float]] = []
-        self._events_start = 0
+        # Sliding-window utilization as O(1) rolling counters: a
+        # monotonic (cycle, busy_cycles) event deque drained by
+        # timestamp, plus the running busy sum of the retained window.
+        self._events: deque[tuple[int, float]] = deque()
+        self._window_busy = 0.0
         self.total_requests = 0
         self.demand_requests = 0
         self.prefetch_requests = 0
@@ -127,25 +136,36 @@ class Dram:
 
     def _record(self, now: int, busy: float) -> None:
         self._events.append((now, busy))
+        self._window_busy += busy
+        # Drain events that fell out of the window *before* the bucket
+        # accounting queries utilization: each event is appended and
+        # popped exactly once, so accounting is amortized O(1) per
+        # request instead of an O(window) re-sum per query, and the
+        # query below never rescans stale heads.
+        cutoff = now - self.config.utilization_window
+        events = self._events
+        while events and events[0][0] < cutoff:
+            self._window_busy -= events.popleft()[1]
         self._advance_buckets(now)
-        # Lazily drop events older than the window to bound memory.
-        window = self.config.utilization_window
-        while (
-            self._events_start < len(self._events)
-            and self._events[self._events_start][0] < now - window
-        ):
-            self._events_start += 1
-        if self._events_start > 4096:
-            self._events = self._events[self._events_start :]
-            self._events_start = 0
 
     def utilization(self, now: int) -> float:
-        """Data-bus busy fraction over the trailing window, capped at 1."""
+        """Data-bus busy fraction over the trailing window, capped at 1.
+
+        Served from the rolling counter.  Events are only *retired* on
+        the (monotonic) record path; a query whose horizon has moved
+        past retained events subtracts them without mutating, because
+        in multi-core lockstep a slightly older core may still query an
+        earlier horizon afterwards.
+        """
         window = self.config.utilization_window
         start = now - window
-        busy = sum(
-            b for (t, b) in self._events[self._events_start :] if t >= start
-        )
+        busy = self._window_busy
+        events = self._events
+        if events and events[0][0] < start:
+            for t, b in events:
+                if t >= start:
+                    break
+                busy -= b
         capacity = window * self.config.channels
         if capacity <= 0:
             return 0.0

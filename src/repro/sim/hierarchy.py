@@ -49,11 +49,26 @@ class CacheHierarchy:
         self.core_id = core_id
         self.prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
         self.l1_prefetcher = l1_prefetcher
+        # The no-prefetching baseline never issues anything, so its
+        # training path (context construction included) is skipped
+        # entirely — observable behaviour is identical.
+        self._train_l2 = type(self.prefetcher) is not NoPrefetcher
         self.l1 = Cache(f"L1[{core_id}]", config.l1)
         self.l2 = Cache(f"L2[{core_id}]", config.l2)
         self.llc = llc if llc is not None else Cache("LLC", config.llc)
         self.dram = dram if dram is not None else Dram(config.dram)
         self.mshr = MshrFile(config.llc.mshrs)
+        # Hot-path hoists: bound methods and latencies resolved once so
+        # the per-record demand path does no repeated attribute walks.
+        self._l1_lookup = self.l1.lookup
+        self._l1_fill = self.l1.fill
+        self._l2_lookup = self.l2.lookup
+        self._l2_fill = self.l2.fill
+        self._llc_lookup = self.llc.lookup
+        self._llc_fill = self.llc.fill
+        self._l1_latency = self.l1.latency
+        self._l2_latency = self.l2.latency
+        self._llc_latency = self.llc.latency
         # Min-heap of (completion_cycle, line) pending prefetch fills.
         self._pending_fills: list[tuple[int, int]] = []
         self._inflight_prefetch: dict[int, int] = {}
@@ -66,16 +81,17 @@ class CacheHierarchy:
 
     def process_fills(self, now: int) -> None:
         """Apply all prefetch fills whose data has arrived by cycle *now*."""
-        while self._pending_fills and self._pending_fills[0][0] <= now:
-            completion, line = heapq.heappop(self._pending_fills)
+        pending = self._pending_fills
+        while pending and pending[0][0] <= now:
+            completion, line = heapq.heappop(pending)
             self._inflight_prefetch.pop(line, None)
             # A line a demand already merged into fills as demand-owned.
             as_prefetch = line not in self._merged_inflight
             self._merged_inflight.discard(line)
-            evicted = self.llc.fill(line, pc=0, is_prefetch=as_prefetch, cycle=completion)
+            evicted = self._llc_fill(line, 0, as_prefetch, completion)
             if evicted is not None and evicted.prefetched and not evicted.used:
                 self.prefetcher.on_prefetch_useless(evicted.line, completion)
-            self.l2.fill(line, pc=0, is_prefetch=as_prefetch, cycle=completion)
+            self._l2_fill(line, 0, as_prefetch, completion)
             self.prefetcher.on_prefetch_fill(line, completion)
 
     # -- demand path ------------------------------------------------------------
@@ -86,26 +102,34 @@ class CacheHierarchy:
         Also trains the prefetcher(s) and issues any resulting prefetch
         requests at cycle *now*.
         """
-        self.process_fills(now)
-        self.mshr.reclaim(now)
+        # Inline the empty-queue fast paths of process_fills/reclaim:
+        # most records have nothing due, and the call alone costs more
+        # than these peeks (sibling-class internals, same package).
+        pending = self._pending_fills
+        if pending and pending[0][0] <= now:
+            self.process_fills(now)
+        mshr_heap = self.mshr._by_completion
+        if mshr_heap and mshr_heap[0][0] <= now:
+            self.mshr.reclaim(now)
         pc, line = record.pc, record.line
 
         if self.l1_prefetcher is not None:
             self._train_l1_prefetcher(record, now)
 
-        l1_result = self.l1.lookup(line, pc, record.is_load, is_prefetch=False)
+        l1_result = self._l1_lookup(line, pc, record.is_load, False)
         if l1_result.hit:
-            return now + self.l1.latency
+            return now + self._l1_latency
 
         # L1 miss: this is the prefetcher's training event.
-        self._train_l2_prefetcher(record, now)
+        if self._train_l2:
+            self._train_l2_prefetcher(record, now)
 
-        l2_result = self.l2.lookup(line, pc, record.is_load, is_prefetch=False)
+        l2_result = self._l2_lookup(line, pc, record.is_load, False)
         if l2_result.hit:
             if l2_result.first_use_of_prefetch:
                 self.prefetcher.on_demand_hit_prefetched(line, now)
-            self.l1.fill(line, pc, is_prefetch=False, cycle=now)
-            return now + self.l2.latency
+            self._l1_fill(line, pc, False, now)
+            return now + self._l2_latency
 
         # An in-flight prefetch covering this line counts as a (late)
         # covered miss: the load does not cause its own DRAM read — it
@@ -119,21 +143,21 @@ class CacheHierarchy:
             stats.demand_hits += 1
             stats.useful_prefetches += 1
             self.prefetcher.on_demand_hit_prefetched(line, now)
-            completion = max(inflight, now + self.llc.latency)
-            self.l1.fill(line, pc, is_prefetch=False, cycle=completion)
+            completion = max(inflight, now + self._llc_latency)
+            self._l1_fill(line, pc, False, completion)
             return completion
 
-        llc_result = self.llc.lookup(line, pc, record.is_load, is_prefetch=False)
+        llc_result = self._llc_lookup(line, pc, record.is_load, False)
         if llc_result.hit:
             if llc_result.first_use_of_prefetch:
                 self.prefetcher.on_demand_hit_prefetched(line, now)
-            self.l2.fill(line, pc, is_prefetch=False, cycle=now)
-            self.l1.fill(line, pc, is_prefetch=False, cycle=now)
-            return now + self.llc.latency
+            self._l2_fill(line, pc, False, now)
+            self._l1_fill(line, pc, False, now)
+            return now + self._llc_latency
 
         entry = self.mshr.outstanding(line)
         if entry is not None:
-            completion = max(entry.completion, now + self.llc.latency)
+            completion = max(entry.completion, now + self._llc_latency)
             return completion
 
         if self.mshr.is_full():
@@ -143,11 +167,11 @@ class CacheHierarchy:
             self.mshr.reclaim(wait_until)
             now = max(now, wait_until)
 
-        completion = self.dram.access(line, now + self.llc.latency, is_prefetch=False)
+        completion = self.dram.access(line, now + self._llc_latency, is_prefetch=False)
         self.mshr.allocate(line, completion, is_prefetch=False)
-        self.llc.fill(line, pc, is_prefetch=False, cycle=completion)
-        self.l2.fill(line, pc, is_prefetch=False, cycle=completion)
-        self.l1.fill(line, pc, is_prefetch=False, cycle=completion)
+        self._llc_fill(line, pc, False, completion)
+        self._l2_fill(line, pc, False, completion)
+        self._l1_fill(line, pc, False, completion)
         return completion
 
     # -- prefetcher plumbing ------------------------------------------------------
@@ -185,13 +209,14 @@ class CacheHierarchy:
 
     def _issue_prefetches(self, candidates: list[int], trigger_line: int, now: int) -> None:
         issued = 0
-        seen: set[int] = set()
+        max_degree = self.config.max_prefetch_degree
+        if len(candidates) > 1:  # C-level order-preserving dedup
+            candidates = list(dict.fromkeys(candidates))
         for line in candidates:
-            if issued >= self.config.max_prefetch_degree:
+            if issued >= max_degree:
                 break
-            if line < 0 or line in seen:
+            if line < 0:
                 continue
-            seen.add(line)
             # Out-of-page prefetches are dropped by the hardware (every
             # post-L1 prefetcher works within a physical page); prefetchers
             # that want credit/penalty for them handle it internally.
@@ -210,12 +235,16 @@ class CacheHierarchy:
             self.prefetches_issued += 1
 
     def _fetch_for_prefetch(self, line: int, now: int) -> int | None:
-        """Send a prefetch to LLC/DRAM; returns completion or None if dropped."""
-        self.mshr.reclaim(now)
-        llc_result = self.llc.lookup(line, 0, is_load=False, is_prefetch=True)
+        """Send a prefetch to LLC/DRAM; returns completion or None if dropped.
+
+        MSHRs were already reclaimed at *now* by :meth:`demand_access`
+        (prefetch issue happens within the same cycle), so no re-reclaim
+        is needed here.
+        """
+        llc_result = self._llc_lookup(line, 0, False, True)
         if llc_result.hit:
             # LLC hit: fill into L2 quickly without DRAM traffic.
-            completion = now + self.llc.latency
+            completion = now + self._llc_latency
             heapq.heappush(self._pending_fills, (completion, line))
             self._inflight_prefetch[line] = completion
             return completion
@@ -223,7 +252,7 @@ class CacheHierarchy:
             return None
         if self.mshr.is_full():
             return None  # shed prefetch pressure, as hardware does
-        completion = self.dram.access(line, now + self.llc.latency, is_prefetch=True)
+        completion = self.dram.access(line, now + self._llc_latency, is_prefetch=True)
         self.mshr.allocate(line, completion, is_prefetch=True)
         heapq.heappush(self._pending_fills, (completion, line))
         self._inflight_prefetch[line] = completion
@@ -234,7 +263,4 @@ class CacheHierarchy:
     def flush_pending(self) -> None:
         """Drain all pending prefetch fills (end-of-simulation tidy-up)."""
         if self._pending_fills:
-            last = self._pending_fills[-1][0]
-            horizon = max(c for c, _ in self._pending_fills)
-            del last
-            self.process_fills(horizon)
+            self.process_fills(max(c for c, _ in self._pending_fills))

@@ -5,14 +5,21 @@ sustain.  A second miss to a line already outstanding merges into the
 existing entry (no extra DRAM traffic); a miss arriving with all MSHRs
 busy must wait for the earliest completion.  Prefetch requests that find
 no free MSHR are dropped — exactly how hardware sheds prefetch pressure.
+
+Reclaim is driven by a completion-ordered min-heap beside the line dict,
+so the per-record ``reclaim`` is O(1) when nothing completed (one heap
+peek) instead of a scan over every outstanding entry.  Heap slots whose
+line was reclaimed and reallocated in the meantime are dropped lazily by
+checking them against the live dict entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     """One in-flight miss."""
 
@@ -29,6 +36,8 @@ class MshrFile:
             raise ValueError("MSHR capacity must be positive")
         self.capacity = capacity
         self._entries: dict[int, MshrEntry] = {}
+        # (completion, line) min-heap; stale slots are pruned lazily.
+        self._by_completion: list[tuple[int, int]] = []
         self.merged = 0
         self.allocations = 0
         self.stalls = 0
@@ -38,9 +47,13 @@ class MshrFile:
 
     def reclaim(self, now: int) -> None:
         """Release entries whose miss completed by cycle *now*."""
-        done = [line for line, e in self._entries.items() if e.completion <= now]
-        for line in done:
-            del self._entries[line]
+        heap = self._by_completion
+        entries = self._entries
+        while heap and heap[0][0] <= now:
+            completion, line = heappop(heap)
+            entry = entries.get(line)
+            if entry is not None and entry.completion == completion:
+                del entries[line]
 
     def outstanding(self, line: int) -> MshrEntry | None:
         """Return the in-flight entry for *line*, if any."""
@@ -52,9 +65,15 @@ class MshrFile:
 
     def earliest_completion(self) -> int:
         """Completion cycle of the soonest-finishing outstanding miss."""
-        if not self._entries:
-            raise RuntimeError("no outstanding misses")
-        return min(e.completion for e in self._entries.values())
+        heap = self._by_completion
+        entries = self._entries
+        while heap:
+            completion, line = heap[0]
+            entry = entries.get(line)
+            if entry is not None and entry.completion == completion:
+                return completion
+            heappop(heap)
+        raise RuntimeError("no outstanding misses")
 
     def allocate(self, line: int, completion: int, is_prefetch: bool) -> MshrEntry:
         """Track a new outstanding miss; caller must ensure a slot is free."""
@@ -62,6 +81,7 @@ class MshrFile:
             raise RuntimeError("MSHR file full")
         entry = MshrEntry(line, completion, is_prefetch)
         self._entries[line] = entry
+        heappush(self._by_completion, (completion, line))
         self.allocations += 1
         return entry
 

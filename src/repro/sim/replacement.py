@@ -1,14 +1,22 @@
 """Cache replacement policies: LRU and SHiP.
 
 The paper's LLC uses SHiP (Signature-based Hit Predictor, Wu et al.,
-MICRO 2011) while L1 and L2 use LRU.  Both policies operate on a per-set
+MICRO 2011) while L1 and L2 uses LRU.  Both policies operate on a per-set
 list of ways; the cache stores per-way metadata and delegates victim
 selection and promotion decisions here.
+
+Victim selection only ever sees *full* sets: the cache satisfies fills
+from its per-set free-way pool first (see :class:`repro.sim.cache.Cache`),
+so policies no longer rescan a ``valid`` list per fill.  SHiP keeps its
+RRIP aging incremental — one pass computes the distance to the next
+RRPV-saturated way and ages every way by that amount at once, instead of
+looping scan-and-increment rounds.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 
 class ReplacementPolicy(ABC):
@@ -17,7 +25,9 @@ class ReplacementPolicy(ABC):
     The cache calls :meth:`on_fill` when a line is inserted,
     :meth:`on_hit` when a line is re-referenced, and :meth:`victim` to
     choose the way to evict in a full set.  ``meta`` is the per-way
-    metadata list for the set, parallel to the tag array.
+    metadata list for the set, parallel to the tag array.  Metadata
+    objects are mutated in place across a way's lifetime — policies must
+    fully reinitialize them in :meth:`on_fill`.
     """
 
     @abstractmethod
@@ -33,7 +43,7 @@ class ReplacementPolicy(ABC):
         """Record a hit on *way*."""
 
     @abstractmethod
-    def victim(self, meta: list, valid: list[bool]) -> int:
+    def victim(self, meta: list) -> int:
         """Choose the way to evict from a full set."""
 
     def on_evict(self, meta: list, way: int, was_reused: bool) -> None:
@@ -44,7 +54,8 @@ class LruPolicy(ReplacementPolicy):
     """Classic least-recently-used replacement.
 
     Metadata per way is the tick of the last touch; the victim is the way
-    with the smallest tick.
+    with the smallest tick, found with a C-level ``min`` over the int
+    list rather than a Python scan.
     """
 
     def new_meta(self) -> int:
@@ -56,16 +67,19 @@ class LruPolicy(ReplacementPolicy):
     def on_hit(self, meta: list, way: int, pc: int, tick: int) -> None:
         meta[way] = tick
 
-    def victim(self, meta: list, valid: list[bool]) -> int:
-        best_way = 0
-        best_tick = None
-        for way, tick in enumerate(meta):
-            if not valid[way]:
-                return way
-            if best_tick is None or tick < best_tick:
-                best_tick = tick
-                best_way = way
-        return best_way
+    def victim(self, meta: list) -> int:
+        # Cache.fill inlines this expression on its eviction path for
+        # speed; change both together.
+        return meta.index(min(meta))
+
+
+@dataclass(slots=True)
+class ShipMeta:
+    """Per-way SHiP state: re-reference interval, signature, reuse bit."""
+
+    rrpv: int
+    sig: int
+    reused: bool
 
 
 class ShipPolicy(ReplacementPolicy):
@@ -88,45 +102,54 @@ class ShipPolicy(ReplacementPolicy):
     def _signature(self, pc: int) -> int:
         return (pc ^ (pc >> 10)) % self.SHCT_SIZE
 
-    def new_meta(self) -> dict:
-        return {"rrpv": self.RRPV_MAX, "sig": 0, "reused": False}
+    def new_meta(self) -> ShipMeta:
+        return ShipMeta(rrpv=self.RRPV_MAX, sig=0, reused=False)
 
     def on_fill(self, meta: list, way: int, pc: int, is_prefetch: bool, tick: int) -> None:
         sig = self._signature(pc)
         counter = self._shct[sig]
+        entry = meta[way]
         # Unpromising signatures (counter == 0) insert at distant RRPV;
         # prefetches are also inserted at distant RRPV so useless
         # prefetches leave quickly (standard SHiP prefetch handling).
         if counter == 0 or is_prefetch:
-            rrpv = self.RRPV_MAX
+            entry.rrpv = self.RRPV_MAX
         else:
-            rrpv = self.RRPV_MAX - 1
-        meta[way] = {"rrpv": rrpv, "sig": sig, "reused": False}
+            entry.rrpv = self.RRPV_MAX - 1
+        entry.sig = sig
+        entry.reused = False
 
     def on_hit(self, meta: list, way: int, pc: int, tick: int) -> None:
         entry = meta[way]
-        entry["rrpv"] = 0
-        if not entry["reused"]:
-            entry["reused"] = True
-            sig = entry["sig"]
+        entry.rrpv = 0
+        if not entry.reused:
+            entry.reused = True
+            sig = entry.sig
             if self._shct[sig] < self.SHCT_MAX:
                 self._shct[sig] += 1
 
-    def victim(self, meta: list, valid: list[bool]) -> int:
-        for way, ok in enumerate(valid):
-            if not ok:
-                return way
-        while True:
-            for way, entry in enumerate(meta):
-                if entry["rrpv"] >= self.RRPV_MAX:
-                    return way
+    def victim(self, meta: list) -> int:
+        # Equivalent to the textbook "scan for RRPV_MAX, else age all by
+        # one and rescan" loop: the way that saturates first is the
+        # lowest-indexed way holding the maximum RRPV, and every way
+        # ages by the same saturation distance.
+        best_way = 0
+        best_rrpv = meta[0].rrpv
+        for way in range(1, len(meta)):
+            rrpv = meta[way].rrpv
+            if rrpv > best_rrpv:
+                best_rrpv = rrpv
+                best_way = way
+        age = self.RRPV_MAX - best_rrpv
+        if age > 0:
             for entry in meta:
-                entry["rrpv"] += 1
+                entry.rrpv += age
+        return best_way
 
     def on_evict(self, meta: list, way: int, was_reused: bool) -> None:
         entry = meta[way]
-        if not entry["reused"]:
-            sig = entry["sig"]
+        if not entry.reused:
+            sig = entry.sig
             if self._shct[sig] > 0:
                 self._shct[sig] -= 1
 

@@ -14,7 +14,11 @@ excluded from every reported statistic.
 from __future__ import annotations
 
 import dataclasses
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from itertools import islice
+from typing import Iterable
 
 from repro.prefetchers.base import Prefetcher, NoPrefetcher
 from repro.sim.cache import Cache, CacheStats
@@ -22,7 +26,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.core import CoreModel
 from repro.sim.dram import Dram
 from repro.sim.hierarchy import CacheHierarchy
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceRecord
 
 
 @dataclass
@@ -108,11 +112,46 @@ class _RunState:
         )
 
 
-def _run_core(hierarchy: CacheHierarchy, core: CoreModel, trace: Trace) -> None:
-    for record in trace:
-        core.advance(record.gap)
-        completion = hierarchy.demand_access(record, int(core.cycle))
-        core.issue_load(completion)
+@contextmanager
+def _gc_paused():
+    """Pause cyclic GC around the replay loop.
+
+    The per-record hot path allocates heavily (EQ entries, contexts,
+    state tuples) but creates no reference cycles, so generational
+    collections only burn time scanning live simulator state.  The
+    collector is re-enabled on exit (even on error); no collection is
+    forced — a full collect here would scan every resident trace, and
+    the next natural collection reclaims any cycles just as well.
+    """
+    if not gc.isenabled():
+        yield  # already managed by an outer run (e.g. simulate_multi)
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _run_core(
+    hierarchy: CacheHierarchy,
+    core: CoreModel,
+    records: Iterable[TraceRecord],
+) -> None:
+    """Replay *records* through one core + hierarchy.
+
+    This is the innermost simulation loop: every record costs exactly
+    three calls, with the bound methods hoisted out of the loop so the
+    per-record attribute walks disappear from the profile.  Callers pass
+    any record iterable (``itertools.islice`` views for the
+    warmup/measure split), so the trace is never re-sliced or copied.
+    """
+    advance = core.advance
+    demand_access = hierarchy.demand_access
+    issue_load = core.issue_load
+    for record in records:
+        advance(record.gap)
+        issue_load(demand_access(record, int(core.cycle)))
     core.drain()
 
 
@@ -138,12 +177,14 @@ def simulate(
     core = CoreModel(config.core)
     state = _RunState(hierarchy, core)
 
+    records = trace.records
     split = int(len(trace) * warmup_fraction)
-    if split > 0:
-        _run_core(hierarchy, core, trace.slice(0, split))
-    state.mark()
-    _run_core(hierarchy, core, trace.slice(split, len(trace)))
-    hierarchy.flush_pending()
+    with _gc_paused():
+        if split > 0:
+            _run_core(hierarchy, core, islice(records, 0, split))
+        state.mark()
+        _run_core(hierarchy, core, islice(records, split, None))
+        hierarchy.flush_pending()
 
     llc_stats = _stats_delta(hierarchy.llc.stats, state.mark_llc)
     l2_stats = _stats_delta(hierarchy.l2.stats, state.mark_l2)
@@ -234,16 +275,17 @@ def simulate_multi(
             measured[core_idx] += 1
 
     # Kick off warmup/measurement: advance the earliest core each step.
-    while any(m < records_per_core for m in measured):
-        active = [
-            i for i in range(config.num_cores) if measured[i] < records_per_core
-        ]
-        core_idx = min(active, key=lambda i: cores[i].cycle)
-        step(core_idx)
+    with _gc_paused():
+        while any(m < records_per_core for m in measured):
+            active = [
+                i for i in range(config.num_cores) if measured[i] < records_per_core
+            ]
+            core_idx = min(active, key=lambda i: cores[i].cycle)
+            step(core_idx)
 
-    for core, h in zip(cores, hierarchies):
-        core.drain()
-        h.flush_pending()
+        for core, h in zip(cores, hierarchies):
+            core.drain()
+            h.flush_pending()
 
     instructions = 0
     cycles = 0.0

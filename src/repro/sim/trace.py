@@ -16,15 +16,19 @@ repeatable experiments.
 from __future__ import annotations
 
 import io
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.types import line_of
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One memory instruction in a trace.
+
+    Slotted: a trace holds one instance per memory instruction and the
+    simulation loop reads their fields once per replayed record.
 
     Attributes:
         pc: program counter of the memory instruction.
@@ -62,6 +66,7 @@ class Trace:
         self.name = name
         self.suite = suite
         self._records: list[TraceRecord] = list(records)
+        self._content_stamp: int | None = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -84,6 +89,23 @@ class Trace:
     def total_instructions(self) -> int:
         """Total instructions represented, memory and non-memory."""
         return sum(r.instruction_count for r in self._records)
+
+    @property
+    def content_stamp(self) -> int:
+        """CRC32 over the full record content (memoized).
+
+        Used by the result-store fingerprints: two traces with the same
+        name but different content (a changed generator, a re-recorded
+        file) must never share cache entries.
+        """
+        if self._content_stamp is None:
+            crc = 0
+            for r in self._records:
+                crc = zlib.crc32(
+                    b"%x %x %d %d;" % (r.pc, r.line, r.is_load, r.gap), crc
+                )
+            self._content_stamp = crc
+        return self._content_stamp
 
     def slice(self, start: int, stop: int) -> "Trace":
         """Return a sub-trace of records ``[start:stop)``."""

@@ -1,0 +1,215 @@
+"""Hot-path equivalence: the PR 2 fast paths are pinned to the originals.
+
+The simulator's per-record fast paths (NumPy Q-store, fused
+observe+encode, O(1) DRAM counters, dict-indexed caches) are pure
+optimizations: simulated behaviour must be *identical*.  This suite pins
+that, at three levels:
+
+1. Q-store: the NumPy and pure-Python implementations produce identical
+   action selections and Q-updates on scripted and randomized episodes.
+2. Feature path: the fused ``observe_basic`` equals observe+encode for
+   the paper's basic state-vector, including interleaved calls.
+3. End to end: full ``SimulationResult`` stats match across store
+   implementations, and the quick-smoke matrix matches the
+   pre-optimization reference captured in
+   ``tests/data/quick_smoke_expected.json`` (within 1e-6 relative).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import registry
+from repro.core.config import PythiaConfig
+from repro.core.features import (
+    BASIC_FEATURES,
+    FeatureExtractor,
+    compile_encoder,
+    encode_feature,
+)
+from repro.core.qvstore import NumpyQVStore, QVStore, make_qvstore
+from repro.prefetchers.base import DemandContext
+from repro.sim.system import simulate
+from repro.types import make_line
+
+EXPECTED_FILE = Path(__file__).parent / "data" / "quick_smoke_expected.json"
+
+
+def both_stores(**config_kwargs):
+    config = dataclasses.replace(PythiaConfig(), **config_kwargs)
+    return QVStore(config), NumpyQVStore(config)
+
+
+def assert_q_equal(py_store, np_store, state):
+    py_q = py_store.q_values(state)
+    np_q = np_store.q_values(state)
+    assert list(py_q) == list(np_q), f"Q-rows diverge for state {state}"
+    assert py_store.best_action(state) == np_store.best_action(state)
+
+
+class TestStoreEquivalence:
+    def test_make_qvstore_selects_implementation(self):
+        assert isinstance(make_qvstore(PythiaConfig(qvstore_impl="python")), QVStore)
+        assert isinstance(make_qvstore(PythiaConfig(qvstore_impl="numpy")), NumpyQVStore)
+        assert isinstance(make_qvstore(PythiaConfig()), (QVStore, NumpyQVStore))
+        with pytest.raises(ValueError):
+            make_qvstore(PythiaConfig(qvstore_impl="fortran"))
+
+    def test_initial_rows_identical(self):
+        py_store, np_store = both_stores()
+        for state in [(0, 0), (1, 2), (12345, 67890)]:
+            assert_q_equal(py_store, np_store, state)
+
+    def test_scripted_episode_identical(self):
+        """A fixed train/select/update script leaves both stores equal."""
+        py_store, np_store = both_stores(alpha=0.1)
+        states = [(7, 9), (7, 11), (100, 200), (7, 9)]
+        script = [
+            (states[0], 3, 12.0, states[1], 5),
+            (states[1], 5, -4.0, states[2], 0),
+            (states[2], 0, -12.0, states[0], 3),
+            (states[0], 3, 20.0, states[3], 3),  # revisit after update
+        ]
+        for s, a, r, ns, na in script:
+            td_py = py_store.sarsa_update(s, a, r, ns, na)
+            td_np = np_store.sarsa_update(s, a, r, ns, na)
+            assert td_py == td_np
+            for state in states:
+                assert_q_equal(py_store, np_store, state)
+
+    def test_vault_updates_identical(self):
+        """Direct vault pokes (the introspection API) stay in sync."""
+        py_store, np_store = both_stores()
+        for store in (py_store, np_store):
+            store.vaults[0].update(7, action=5, step=2.0)
+            store.vaults[1].update(9, action=5, step=-2.0)
+        assert_q_equal(py_store, np_store, (7, 9))
+        assert list(py_store.vaults[0].q_row(7)) == list(np_store.vaults[0].q_row(7))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_episode_identical(self, seed):
+        """Random interleavings of updates/selects over a small state set
+        (heavy revisiting exercises the version-counter invalidation)."""
+        rng = random.Random(seed)
+        py_store, np_store = both_stores(alpha=0.05)
+        state_pool = [(rng.randrange(1 << 16), rng.randrange(1 << 16)) for _ in range(12)]
+        for _ in range(400):
+            op = rng.random()
+            state = rng.choice(state_pool)
+            if op < 0.5:
+                next_state = rng.choice(state_pool)
+                action = rng.randrange(16)
+                next_action = rng.randrange(16)
+                reward = rng.uniform(-22.0, 20.0)
+                td_py = py_store.sarsa_update(state, action, reward, next_state, next_action)
+                td_np = np_store.sarsa_update(state, action, reward, next_state, next_action)
+                assert td_py == td_np
+            elif op < 0.75:
+                assert py_store.best_action(state) == np_store.best_action(state)
+            else:
+                action = rng.randrange(16)
+                assert py_store.q_value(state, action) == np_store.q_value(state, action)
+        for state in state_pool:
+            assert_q_equal(py_store, np_store, state)
+
+    def test_storage_entries_match(self):
+        py_store, np_store = both_stores()
+        assert py_store.storage_entries == np_store.storage_entries
+
+
+class TestFeaturePathEquivalence:
+    @staticmethod
+    def _contexts(count=300, seed=3):
+        rng = random.Random(seed)
+        return [
+            DemandContext(
+                pc=rng.choice([0x400, 0x404, 0x890]),
+                line=make_line(rng.randrange(300), rng.randrange(64)),
+                cycle=i,
+            )
+            for i in range(count)
+        ]
+
+    def test_observe_basic_matches_observe_plus_encode(self):
+        fused = FeatureExtractor()
+        generic = FeatureExtractor()
+        for ctx in self._contexts():
+            state_fused = fused.observe_basic(ctx)
+            obs = generic.observe(ctx)
+            state_generic = tuple(
+                encode_feature(spec, obs) for spec in BASIC_FEATURES
+            )
+            assert state_fused == state_generic
+
+    def test_observe_basic_interleaves_safely(self):
+        """Mixing the fused and generic paths advances state identically."""
+        mixed = FeatureExtractor()
+        generic = FeatureExtractor()
+        for i, ctx in enumerate(self._contexts()):
+            obs = generic.observe(ctx)
+            expected = tuple(encode_feature(spec, obs) for spec in BASIC_FEATURES)
+            if i % 2 == 0:
+                assert mixed.observe_basic(ctx) == expected
+            else:
+                obs_mixed = mixed.observe(ctx)
+                assert obs_mixed == obs
+
+    def test_compiled_encoders_match_encode_feature(self):
+        from repro.core.features import all_feature_specs
+
+        extractor = FeatureExtractor()
+        observations = [extractor.observe(ctx) for ctx in self._contexts(100)]
+        for spec in all_feature_specs():
+            compiled = compile_encoder(spec)
+            for obs in observations:
+                assert compiled(obs) == encode_feature(spec, obs)
+
+
+class TestSimulationEquivalence:
+    @pytest.mark.parametrize("trace_name", ["spec06/lbm-1", "ligra/cc-1"])
+    def test_store_implementations_bit_identical(self, trace_name):
+        """Pythia with the NumPy store == Pythia with the Python store."""
+        trace = registry.cached_trace(trace_name, 2000)
+        results = {}
+        for impl in ("python", "numpy"):
+            pf = registry.create("pythia", qvstore_impl=impl)
+            results[impl] = dataclasses.asdict(
+                simulate(trace, prefetcher=pf, warmup_fraction=0.2)
+            )
+        assert results["python"] == results["numpy"]
+
+    def test_quick_smoke_matrix_matches_preoptimization_reference(self):
+        """Stats match the values captured before the hot-loop rework.
+
+        The reference JSON was recorded from the seed implementation; a
+        1e-6 relative drift budget is allowed, but in practice the fast
+        paths are bit-identical.
+        """
+        expected = json.loads(EXPECTED_FILE.read_text())
+        for key, exp in expected.items():
+            trace_name, pf_name = key.split("|")
+            trace = registry.cached_trace(trace_name, 2000)
+            result = dataclasses.asdict(
+                simulate(
+                    trace,
+                    prefetcher=registry.create(pf_name),
+                    warmup_fraction=0.2,
+                )
+            )
+            for field_name, value in exp.items():
+                got = result[field_name]
+                if isinstance(value, list):
+                    assert got == pytest.approx(value, rel=1e-6), (
+                        f"{key}.{field_name}"
+                    )
+                elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                    assert got == pytest.approx(value, rel=1e-6), (
+                        f"{key}.{field_name}: {value!r} -> {got!r}"
+                    )
+                else:
+                    assert got == value, f"{key}.{field_name}"

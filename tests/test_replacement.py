@@ -1,8 +1,13 @@
-"""Tests for LRU and SHiP replacement policies."""
+"""Tests for LRU and SHiP replacement policies.
+
+Policies only ever see full sets: the cache consumes invalid ways from
+its per-set free pool before consulting ``victim`` (covered by
+``tests/test_cache.py``), so ``victim(meta)`` takes no validity list.
+"""
 
 import pytest
 
-from repro.sim.replacement import LruPolicy, ShipPolicy, make_policy
+from repro.sim.replacement import LruPolicy, ShipMeta, ShipPolicy, make_policy
 
 
 def test_make_policy():
@@ -13,26 +18,24 @@ def test_make_policy():
 
 
 class TestLru:
-    def test_prefers_invalid_way(self):
-        policy = LruPolicy()
-        meta = [5, 1, 9]
-        valid = [True, False, True]
-        assert policy.victim(meta, valid) == 1
-
     def test_evicts_least_recent(self):
         policy = LruPolicy()
         meta = [policy.new_meta() for _ in range(4)]
-        valid = [True] * 4
         for tick, way in enumerate([0, 1, 2, 3]):
             policy.on_fill(meta, way, pc=0, is_prefetch=False, tick=tick)
         policy.on_hit(meta, 0, pc=0, tick=10)
-        assert policy.victim(meta, valid) == 1
+        assert policy.victim(meta) == 1
 
     def test_hit_promotes(self):
         policy = LruPolicy()
         meta = [1, 2]
         policy.on_hit(meta, 0, pc=0, tick=99)
-        assert policy.victim(meta, [True, True]) == 1
+        assert policy.victim(meta) == 1
+
+    def test_tie_breaks_to_lowest_way(self):
+        policy = LruPolicy()
+        meta = [7, 3, 3, 9]
+        assert policy.victim(meta) == 1
 
 
 class TestShip:
@@ -40,22 +43,22 @@ class TestShip:
         policy = ShipPolicy()
         meta = [policy.new_meta() for _ in range(2)]
         policy.on_fill(meta, 0, pc=0x400, is_prefetch=False, tick=0)
-        assert meta[0]["rrpv"] == ShipPolicy.RRPV_MAX - 1
+        assert meta[0].rrpv == ShipPolicy.RRPV_MAX - 1
 
     def test_prefetch_inserts_distant(self):
         policy = ShipPolicy()
         meta = [policy.new_meta() for _ in range(2)]
         policy.on_fill(meta, 0, pc=0x400, is_prefetch=True, tick=0)
-        assert meta[0]["rrpv"] == ShipPolicy.RRPV_MAX
+        assert meta[0].rrpv == ShipPolicy.RRPV_MAX
 
     def test_hit_resets_rrpv_and_trains(self):
         policy = ShipPolicy()
         meta = [policy.new_meta()]
         policy.on_fill(meta, 0, pc=0x400, is_prefetch=False, tick=0)
-        sig = meta[0]["sig"]
+        sig = meta[0].sig
         before = policy._shct[sig]
         policy.on_hit(meta, 0, pc=0x400, tick=1)
-        assert meta[0]["rrpv"] == 0
+        assert meta[0].rrpv == 0
         assert policy._shct[sig] == min(ShipPolicy.SHCT_MAX, before + 1)
 
     def test_victim_ages_until_distant(self):
@@ -64,14 +67,31 @@ class TestShip:
         for way in range(2):
             policy.on_fill(meta, way, pc=0x400, is_prefetch=False, tick=way)
             policy.on_hit(meta, way, pc=0x400, tick=way + 10)
-        victim = policy.victim(meta, [True, True])
+        victim = policy.victim(meta)
         assert victim in (0, 1)
+        # Aging saturated the chosen way at exactly RRPV_MAX.
+        assert meta[victim].rrpv == ShipPolicy.RRPV_MAX
+
+    def test_incremental_aging_matches_scan_loop(self):
+        """One-pass victim == the textbook scan-and-increment rounds."""
+        policy = ShipPolicy()
+        meta = [ShipMeta(rrpv=r, sig=0, reused=False) for r in (1, 2, 0, 2)]
+        reference = [e.rrpv for e in meta]
+        victim = policy.victim(meta)
+        # Reference: age everything until the first way reaches RRPV_MAX.
+        while not any(r >= ShipPolicy.RRPV_MAX for r in reference):
+            reference = [r + 1 for r in reference]
+        expected_way = next(
+            i for i, r in enumerate(reference) if r >= ShipPolicy.RRPV_MAX
+        )
+        assert victim == expected_way == 1
+        assert [e.rrpv for e in meta] == reference
 
     def test_unreused_eviction_decrements_shct(self):
         policy = ShipPolicy()
         meta = [policy.new_meta()]
         policy.on_fill(meta, 0, pc=0x888, is_prefetch=False, tick=0)
-        sig = meta[0]["sig"]
+        sig = meta[0].sig
         before = policy._shct[sig]
         policy.on_evict(meta, 0, was_reused=False)
         assert policy._shct[sig] == max(0, before - 1)
@@ -83,4 +103,4 @@ class TestShip:
         sig = policy._signature(pc)
         policy._shct[sig] = 0
         policy.on_fill(meta, 0, pc=pc, is_prefetch=False, tick=0)
-        assert meta[0]["rrpv"] == ShipPolicy.RRPV_MAX
+        assert meta[0].rrpv == ShipPolicy.RRPV_MAX
