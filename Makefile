@@ -3,6 +3,9 @@
 #   make quick     - sub-minute smoke tier (the `quick` pytest marker):
 #                    Session API end-to-end on small traces plus the
 #                    perf smoke.  CI's per-push gate.
+#   make sweep-smoke - declarative-sweep smoke: a tiny grid search and a
+#                    2-core mix through both executors against a
+#                    persistent store (subset of the quick tier).
 #   make test      - full unit suite (tests/), ~1 min.
 #   make bench     - figure/table regeneration suite (benchmarks/), slow.
 #   make perfbench - tracked throughput bench; rewrites BENCH_perf.json
@@ -14,10 +17,13 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: quick test bench perfbench profile all
+.PHONY: quick sweep-smoke test bench perfbench profile all
 
 quick:
 	$(PY) -m pytest -m quick -q
+
+sweep-smoke:
+	$(PY) -m pytest benchmarks/test_sweep_smoke.py -q
 
 test:
 	$(PY) -m pytest tests -q

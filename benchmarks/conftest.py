@@ -6,9 +6,9 @@ prints the same rows/series the paper plots.  Benches assert only weak
 sanity properties; the printed output is the artifact.
 
 Execution runs on a shared memory-only :class:`repro.api.Session`
-(memory-only so pytest-benchmark times simulation, not disk reads); the
-legacy ``runner`` fixture is a shim over the same session, so baselines
-are shared between session-based and runner-based benches.
+(memory-only so pytest-benchmark times simulation, not disk reads);
+every bench — single-core sweeps, multi-core mixes, tuning searches —
+goes through it, so baselines are shared across the whole suite.
 
 Scale knobs:
 
@@ -30,7 +30,6 @@ import os
 import pytest
 
 from repro.api import ResultStore, Session, default_executor
-from repro.harness import Runner
 
 #: Accesses per trace for all benches.
 BENCH_LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "9000"))
@@ -74,12 +73,6 @@ def session() -> Session:
         trace_length=BENCH_LENGTH,
         warmup_fraction=BENCH_WARMUP,
     )
-
-
-@pytest.fixture(scope="session")
-def runner(session: Session) -> Runner:
-    """Legacy Runner shim sharing the bench session's store."""
-    return Runner(session=session)
 
 
 @pytest.fixture(scope="session")

@@ -2,34 +2,43 @@
 
 The paper sweeps 1-12 cores with DRAM channels scaling 1/2/4; this bench
 runs 1- and 2-core points (4-core with REPRO_BENCH_LENGTH raised) and
-prints the speedup series per prefetcher.
+prints the speedup series per prefetcher.  The whole sweep is one
+declarative experiment: every (mix, core count, prefetcher) point is a
+:class:`repro.api.MixCell` batched through the session's executor, each
+mix running on the ``<n>c`` baseline matching its core count.
 """
 
-from conftest import BENCH_LENGTH, once
+from conftest import once
 from repro.harness.rollup import format_table
-from repro.sim.config import baseline_multi_core
-from repro.sim.metrics import geomean
-from repro.workloads import homogeneous_mix
+from repro.workloads import homogeneous_mix_names
 
 PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
 MIX_WORKLOADS = ["spec06/lbm", "ligra/cc"]
 CORE_COUNTS = [1, 2]
 
 
-def test_fig08a_core_scaling(runner, benchmark):
+def test_fig08a_core_scaling(session, benchmark):
+    experiment = (
+        session.experiment("fig8a")
+        .with_mixes(
+            *[
+                (f"{workload}@{cores}c", homogeneous_mix_names(workload, cores))
+                for cores in CORE_COUNTS
+                for workload in MIX_WORKLOADS
+            ]
+        )
+        .with_prefetchers(*PREFETCHERS)
+    )
+
     def run():
-        series: dict[str, list[float]] = {pf: [] for pf in PREFETCHERS}
-        for cores in CORE_COUNTS:
-            config = baseline_multi_core(cores)
-            per_pf: dict[str, list[float]] = {pf: [] for pf in PREFETCHERS}
-            for workload in MIX_WORKLOADS:
-                traces = homogeneous_mix(workload, cores, length=BENCH_LENGTH)
-                for pf in PREFETCHERS:
-                    result, baseline = runner.run_mix(traces, pf, config)
-                    per_pf[pf].append(result.ipc / baseline.ipc)
-            for pf in PREFETCHERS:
-                series[pf].append(geomean(per_pf[pf]))
-        return series
+        results = session.run(experiment)
+        return {
+            pf: [
+                results.filter(prefetcher=pf, system=f"{cores}c").geomean()
+                for cores in CORE_COUNTS
+            ]
+            for pf in PREFETCHERS
+        }
 
     series = once(benchmark, run)
     rows = [

@@ -15,14 +15,14 @@ TRACES = ["spec06/lbm-1", "ligra/cc-1", "parsec/canneal-1", "cloudsuite/cassandr
 MTPS_POINTS = [300, 1200, 2400, 9600]
 
 
-def test_fig08b_bandwidth_sweep(runner, benchmark):
+def test_fig08b_bandwidth_sweep(session, benchmark):
     def run():
         series: dict[str, dict[int, float]] = {pf: {} for pf in PREFETCHERS}
         for mtps in MTPS_POINTS:
             config = baseline_single_core().with_mtps(mtps)
             for pf in PREFETCHERS:
                 speedups = [
-                    runner.run(trace, pf, config).speedup for trace in TRACES
+                    session.run_one(trace, pf, system=config).speedup for trace in TRACES
                 ]
                 series[pf][mtps] = geomean(speedups)
         return series

@@ -15,14 +15,14 @@ SCHEMES = [
 ]
 
 
-def test_fig08d_multilevel(runner, benchmark):
+def test_fig08d_multilevel(session, benchmark):
     def run():
         series: dict[str, dict[int, float]] = {label: {} for label, _, _ in SCHEMES}
         for mtps in MTPS_POINTS:
             config = baseline_single_core().with_mtps(mtps)
             for label, l2, l1 in SCHEMES:
                 speedups = [
-                    runner.run(trace, l2, config, l1_prefetcher_name=l1).speedup
+                    session.run_one(trace, l2, system=config, l1_prefetcher=l1).speedup
                     for trace in TRACES
                 ]
                 series[label][mtps] = geomean(speedups)

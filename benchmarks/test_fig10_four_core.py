@@ -1,27 +1,32 @@
-"""Fig 10: four-core performance (homogeneous + heterogeneous mixes)."""
+"""Fig 10: four-core performance (homogeneous + heterogeneous mixes).
+
+One declarative experiment: both mixes cross the prefetcher axis into
+:class:`repro.api.MixCell` work units on the 4-core baseline.
+"""
 
 from conftest import BENCH_LENGTH, once
 from repro.harness.rollup import format_table
-from repro.sim.config import baseline_multi_core
 from repro.sim.metrics import geomean
-from repro.workloads import heterogeneous_mixes, homogeneous_mix
+from repro.workloads import heterogeneous_mix_names, homogeneous_mix_names
 
 PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
 
 
-def test_fig10_four_core(runner, benchmark):
-    config = baseline_multi_core(4)
+def test_fig10_four_core(session, benchmark):
     length = max(2000, BENCH_LENGTH // 2)  # 4 cores: keep wall time bounded
+    experiment = (
+        session.experiment("fig10")
+        .with_mixes(
+            ("lbm-homog", homogeneous_mix_names("spec06/lbm", 4)),
+            *heterogeneous_mix_names(num_cores=4, num_mixes=1),
+        )
+        .with_prefetchers(*PREFETCHERS)
+        .with_length(length)
+    )
 
     def run():
-        mixes = [("lbm-homog", homogeneous_mix("spec06/lbm", 4, length=length))]
-        mixes += heterogeneous_mixes(num_cores=4, num_mixes=1, length=length)
-        series: dict[str, list[float]] = {pf: [] for pf in PREFETCHERS}
-        for _, traces in mixes:
-            for pf in PREFETCHERS:
-                result, baseline = runner.run_mix(traces, pf, config)
-                series[pf].append(result.ipc / baseline.ipc)
-        return series
+        results = session.run(experiment)
+        return {pf: results.filter(prefetcher=pf).values() for pf in PREFETCHERS}
 
     series = once(benchmark, run)
     rows = [(pf, f"{geomean(series[pf]):.3f}") for pf in PREFETCHERS]

@@ -13,17 +13,17 @@ TRACES = ["ligra/cc-1", "ligra/pagerankdelta-1", "cloudsuite/cassandra-1"]
 MTPS_POINTS = [300, 600, 2400, 9600]
 
 
-def test_fig11_bw_oblivious(runner, benchmark):
+def test_fig11_bw_oblivious(session, benchmark):
     def run():
         rows = []
         for mtps in MTPS_POINTS:
             config = baseline_single_core().with_mtps(mtps)
             basic = geomean(
-                [runner.run(t, "pythia", config).speedup for t in TRACES]
+                [session.run_one(t, "pythia", system=config).speedup for t in TRACES]
             )
             oblivious = geomean(
                 [
-                    runner.run(t, "pythia_bw_oblivious", config).speedup
+                    session.run_one(t, "pythia_bw_oblivious", system=config).speedup
                     for t in TRACES
                 ]
             )

@@ -7,11 +7,11 @@ from repro.workloads import cvp_trace_names
 PREFETCHERS = ["spp", "bingo", "mlop", "pythia"]
 
 
-def test_fig12_unseen_traces(runner, benchmark):
+def test_fig12_unseen_traces(session, benchmark):
     traces = cvp_trace_names(per_workload=1)
 
     def run():
-        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+        return [session.run_one(t, pf) for t in traces for pf in PREFETCHERS]
 
     records = once(benchmark, run)
     rollup = per_suite_geomean(records)

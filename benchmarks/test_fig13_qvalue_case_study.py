@@ -14,8 +14,8 @@ from repro.sim.config import baseline_single_core
 from repro.sim.system import simulate
 
 
-def test_fig13_qvalue_case_study(runner, benchmark):
-    trace = runner.trace("spec06/gemsfdtd-1")
+def test_fig13_qvalue_case_study(session, benchmark):
+    trace = session.trace("spec06/gemsfdtd-1")
 
     def run():
         pythia = Pythia()

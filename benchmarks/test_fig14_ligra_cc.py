@@ -11,9 +11,9 @@ from repro.harness.rollup import format_table
 PREFETCHERS = ["none", "spp", "bingo", "mlop", "pythia", "pythia_strict"]
 
 
-def test_fig14_ligra_cc(runner, benchmark):
+def test_fig14_ligra_cc(session, benchmark):
     def run():
-        return {pf: runner.run("ligra/cc-1", pf) for pf in PREFETCHERS}
+        return {pf: session.run_one("ligra/cc-1", pf) for pf in PREFETCHERS}
 
     records = once(benchmark, run)
     rows = []

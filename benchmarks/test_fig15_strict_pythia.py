@@ -18,12 +18,12 @@ LIGRA_TRACES = [
 ]
 
 
-def test_fig15_strict_pythia(runner, benchmark):
+def test_fig15_strict_pythia(session, benchmark):
     def run():
         rows = []
         for trace in LIGRA_TRACES:
-            basic = runner.run(trace, "pythia")
-            strict = runner.run(trace, "pythia_strict")
+            basic = session.run_one(trace, "pythia")
+            strict = session.run_one(trace, "pythia_strict")
             rows.append((trace, basic.speedup, strict.speedup))
         return rows
 

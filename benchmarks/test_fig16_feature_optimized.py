@@ -29,12 +29,12 @@ CANDIDATES = [
 ]
 
 
-def test_fig16_feature_optimized(runner, benchmark):
+def test_fig16_feature_optimized(session, benchmark):
     def run():
         rows = []
         for trace in TRACES:
             scores = [
-                evaluate_feature_vector(features, [trace], runner)
+                evaluate_feature_vector(features, [trace], session)
                 for features in CANDIDATES
             ]
             basic = scores[0]

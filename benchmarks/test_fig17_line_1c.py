@@ -12,11 +12,11 @@ from repro.harness.rollup import format_table, sorted_speedups
 PREFETCHERS = ["spp", "bingo", "pythia"]
 
 
-def test_fig17_line_single_core(runner, benchmark):
+def test_fig17_line_single_core(session, benchmark):
     traces = all_sample_traces()
 
     def run():
-        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+        return [session.run_one(t, pf) for t in traces for pf in PREFETCHERS]
 
     records = once(benchmark, run)
     line = sorted_speedups(records, "pythia")

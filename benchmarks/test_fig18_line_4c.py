@@ -2,23 +2,24 @@
 
 Sorted per-mix speedups of Pythia on heterogeneous mixes (the paper uses
 272 four-core mixes; this bench runs a 2-core sample for wall-time).
+All mixes batch through the executor as one declarative experiment.
 """
 
-from conftest import BENCH_LENGTH, once
+from conftest import once
 from repro.harness.rollup import format_table
-from repro.sim.config import baseline_multi_core
-from repro.workloads import heterogeneous_mixes
+from repro.workloads import heterogeneous_mix_names
 
 
-def test_fig18_line_multicore(runner, benchmark):
-    config = baseline_multi_core(2)
-    mixes = heterogeneous_mixes(num_cores=2, num_mixes=4, length=BENCH_LENGTH)
+def test_fig18_line_multicore(session, benchmark):
+    experiment = (
+        session.experiment("fig18")
+        .with_mixes(*heterogeneous_mix_names(num_cores=2, num_mixes=4))
+        .with_prefetchers("pythia")
+    )
 
     def run():
-        rows = []
-        for name, traces in mixes:
-            result, baseline = runner.run_mix(traces, "pythia", config)
-            rows.append((name, result.ipc / baseline.ipc))
+        results = session.run(experiment)
+        rows = [(record.trace_name, record.speedup) for record in results]
         rows.sort(key=lambda pair: pair[1])
         return rows
 

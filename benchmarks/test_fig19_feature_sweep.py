@@ -18,9 +18,9 @@ VECTORS = [
 ]
 
 
-def test_fig19_feature_sweep(runner, benchmark):
+def test_fig19_feature_sweep(session, benchmark):
     def run():
-        return feature_selection(TRACES, runner, vectors=VECTORS)
+        return feature_selection(TRACES, session, vectors=VECTORS)
 
     scores = once(benchmark, run)
     rows = [

@@ -1,35 +1,32 @@
 """Fig 20 (appendix B.3): sensitivity to the exploration rate ε and the
-learning rate α."""
-
-import dataclasses
+learning rate α — each axis one declarative grid search
+(:meth:`repro.api.Session.search`), so the points fan out through the
+bench session's executor and share its cached baselines.
+"""
 
 from conftest import once
-from repro.core import Pythia, PythiaConfig
 from repro.harness.rollup import format_table
-from repro.sim.config import baseline_single_core
-from repro.sim.metrics import geomean, speedup
-from repro.sim.system import simulate
 
 TRACES = ["spec06/gemsfdtd-1", "spec06/lbm-1"]
 EPSILONS = [0.005, 0.1, 0.5]
 ALPHAS = [0.001, 0.02, 0.2]
 
 
-def _score(runner, **overrides):
-    config = dataclasses.replace(PythiaConfig(), **overrides)
-    speeds = []
-    for name in TRACES:
-        trace = runner.trace(name)
-        base = runner.baseline(name, baseline_single_core())
-        result = simulate(trace, baseline_single_core(), Pythia(config),
-                          warmup_fraction=runner.warmup_fraction)
-        speeds.append(speedup(result, base))
-    return geomean(speeds)
+def _sweep(session, name, **axis):
+    result = (
+        session.search(name)
+        .over(**axis)
+        .with_prefetcher("pythia")
+        .phase1(TRACES)
+        .run()
+    )
+    (param,) = axis
+    return {entry.point[param]: entry.score for entry in result}
 
 
-def test_fig20a_epsilon_sensitivity(runner, benchmark):
+def test_fig20a_epsilon_sensitivity(session, benchmark):
     def run():
-        return {eps: _score(runner, epsilon=eps) for eps in EPSILONS}
+        return _sweep(session, "fig20a", epsilon=EPSILONS)
 
     scores = once(benchmark, run)
     rows = [(eps, f"{scores[eps]:.3f}") for eps in EPSILONS]
@@ -39,9 +36,9 @@ def test_fig20a_epsilon_sensitivity(runner, benchmark):
     assert scores[0.5] <= max(scores[e] for e in EPSILONS[:2]) + 0.01
 
 
-def test_fig20b_alpha_sensitivity(runner, benchmark):
+def test_fig20b_alpha_sensitivity(session, benchmark):
     def run():
-        return {alpha: _score(runner, alpha=alpha) for alpha in ALPHAS}
+        return _sweep(session, "fig20b", alpha=ALPHAS)
 
     scores = once(benchmark, run)
     rows = [(alpha, f"{scores[alpha]:.3f}") for alpha in ALPHAS]

@@ -12,11 +12,11 @@ from repro.sim.metrics import geomean
 PREFETCHERS = ["cp_hw", "pythia"]
 
 
-def test_fig21_pythia_vs_cp_hw(runner, benchmark):
+def test_fig21_pythia_vs_cp_hw(session, benchmark):
     traces = [t for suite in SAMPLE_TRACES.values() for t in suite[:2]]
 
     def run():
-        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+        return [session.run_one(t, pf) for t in traces for pf in PREFETCHERS]
 
     records = once(benchmark, run)
     rollup = per_suite_geomean(records)

@@ -11,11 +11,11 @@ from repro.sim.metrics import geomean
 PREFETCHERS = ["power7", "pythia"]
 
 
-def test_fig22_pythia_vs_power7(runner, benchmark):
+def test_fig22_pythia_vs_power7(session, benchmark):
     traces = [t for suite in SAMPLE_TRACES.values() for t in suite[:2]]
 
     def run():
-        return [runner.run(t, pf) for t in traces for pf in PREFETCHERS]
+        return [session.run_one(t, pf) for t in traces for pf in PREFETCHERS]
 
     records = once(benchmark, run)
     rollup = per_suite_geomean(records)
@@ -33,8 +33,8 @@ def test_fig22_pythia_vs_power7(runner, benchmark):
     assert pythia >= power7 - 0.02
 
 
-def test_fig22_delta_pattern_gap(runner):
+def test_fig22_delta_pattern_gap(session):
     """On the delta workload POWER7's streaming depths are useless."""
-    pythia = runner.run("spec06/gemsfdtd-1", "pythia")
-    power7 = runner.run("spec06/gemsfdtd-1", "power7")
+    pythia = session.run_one("spec06/gemsfdtd-1", "pythia")
+    power7 = session.run_one("spec06/gemsfdtd-1", "power7")
     assert pythia.coverage > power7.coverage

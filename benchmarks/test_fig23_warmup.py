@@ -12,14 +12,14 @@ WARMUPS = [0.0, 0.1, 0.3]
 PREFETCHERS = ["spp", "bingo", "pythia"]
 
 
-def test_fig23_warmup_sensitivity(runner, benchmark):
+def test_fig23_warmup_sensitivity(session, benchmark):
     def run():
         table = {}
         for warmup in WARMUPS:
             for pf in PREFETCHERS:
                 speeds = []
                 for name in TRACES:
-                    trace = runner.trace(name)
+                    trace = session.trace(name)
                     base = simulate(
                         trace, baseline_single_core(), warmup_fraction=warmup
                     )

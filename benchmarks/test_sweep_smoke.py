@@ -1,0 +1,84 @@
+"""Sweep smoke tier (``make sweep-smoke``): declarative sweeps end-to-end.
+
+Sub-minute sanity for the two sweep kinds the paper's headline results
+are built from — a tiny two-phase grid search and a 2-core mix sweep —
+each run through :meth:`repro.api.Session.run` under **both** executors
+against a disk-persistent store, asserting the second pass is served
+entirely from the store (``cached == cells``, zero re-simulation).
+
+Part of the ``quick`` marker tier CI runs on every push.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import QUICK_LENGTH
+from repro.api import ProcessPoolExecutor, ResultStore, SerialExecutor, Session
+
+pytestmark = pytest.mark.quick
+
+TRACES = ("spec06/lbm-1", "spec06/gemsfdtd-1")
+MIX = ("mix-smoke", ("spec06/lbm-1", "spec06/mcf-1"))
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "process-pool": lambda: ProcessPoolExecutor(max_workers=2),
+}
+
+
+@pytest.fixture(params=sorted(EXECUTORS))
+def sweep_session(request, tmp_path):
+    return Session(
+        store=ResultStore(tmp_path / "store"),
+        executor=EXECUTORS[request.param](),
+        trace_length=QUICK_LENGTH,
+    )
+
+
+def _fresh_clone(session: Session) -> Session:
+    """Same disk store, empty memory layer — a brand-new process's view."""
+    return Session(
+        store=ResultStore(session.store.path),
+        executor=session.executor,
+        trace_length=session.trace_length,
+    )
+
+
+def test_mix_sweep_smoke(sweep_session):
+    experiment = (
+        sweep_session.experiment("sweep-smoke-mix")
+        .with_mixes(MIX)
+        .with_prefetchers("stride", "spp")
+    )
+    first = sweep_session.run(experiment)
+    assert len(first) == 2
+    assert all(record.suite == "MIX" for record in first)
+    assert len(first.per_core_rows()) == 2 * len(MIX[1])
+
+    again = _fresh_clone(sweep_session).run(experiment)
+    assert again.stats["simulated"] == 0
+    assert again.stats["cached"] == again.stats["cells"]
+
+
+def test_grid_search_smoke(sweep_session):
+    def search(session: Session):
+        return (
+            session.search("sweep-smoke-grid")
+            .over(alpha=(0.01, 0.05), epsilon=(0.005,))
+            .with_prefetcher("pythia")
+            .phase1(TRACES)
+            .phase2(TRACES, top_k=2)
+            .run()
+        )
+
+    first = search(sweep_session)
+    assert len(first) == 2
+    assert first.best.score == max(e.score for e in first.phase1_entries)
+    # Identical phase-2 traces: finalists reuse phase-1 scores outright.
+    assert first.stats["phase2"]["simulated"] == 0
+
+    again = search(_fresh_clone(sweep_session))
+    assert again.stats["phase1"]["simulated"] == 0
+    assert again.stats["phase1"]["cached"] == again.stats["phase1"]["cells"]
+    assert [e.point for e in again] == [e.point for e in first]

@@ -3,9 +3,10 @@
 Runs the three tuning procedures the paper used to derive Pythia's basic
 configuration: feature selection over candidate state-vectors, action
 pruning by leave-one-out impact, and a small hyperparameter grid search.
-The tuning loops execute on a shared :class:`repro.api.Session` (through
-the legacy ``Runner`` shim they expect), so every baseline is cached by
-complete fingerprint; the final comparison then runs the winning config
+The tuning loops speak :class:`repro.api.Session` natively — each one is
+a declarative grid search whose candidate points batch through the
+session's executor and land in its store, so every baseline is cached by
+complete fingerprint.  The final comparison then runs the winning config
 against stock Pythia as one declarative experiment, with the tuned
 hyperparameters passed as registry overrides — no hand-built config
 plumbing.
@@ -15,7 +16,6 @@ Run:  python examples/design_space_exploration.py
 
 from repro.api import ResultStore, Session
 from repro.core.features import ControlFlow, DataFlow, FeatureSpec
-from repro.harness import Runner
 from repro.tuning import (
     feature_selection,
     grid_search_hyperparameters,
@@ -27,7 +27,6 @@ TRACES = ["spec06/gemsfdtd-1", "spec06/lbm-1", "ligra/cc-1"]
 
 def main() -> None:
     session = Session(store=ResultStore(), trace_length=8_000)
-    runner = Runner(session=session)
 
     print("=== Feature selection (sample of the 32-feature space) ===")
     vectors = [
@@ -37,13 +36,13 @@ def main() -> None:
         (FeatureSpec(ControlFlow.PC, DataFlow.OFFSET),),
         (FeatureSpec(ControlFlow.NONE, DataFlow.LAST4_OFFSETS),),
     ]
-    for score in feature_selection(TRACES, runner, vectors=vectors):
+    for score in feature_selection(TRACES, session, vectors=vectors):
         print(f"  {score.label:40s} speedup {score.geomean_speedup:.3f} "
               f"coverage {100 * score.mean_coverage:4.1f}%")
 
     print("\n=== Action pruning (leave-one-out impact) ===")
     initial = (-6, -1, 0, 1, 3, 11, 23, 30)
-    pruned, impacts = prune_actions(TRACES, initial, keep=6, runner=runner)
+    pruned, impacts = prune_actions(TRACES, initial, keep=6, session=session)
     for report in sorted(impacts, key=lambda i: -i.impact):
         print(f"  offset {report.action:+3d}: impact {report.impact:+.4f}")
     print(f"  pruned action list: {pruned}")
@@ -55,7 +54,7 @@ def main() -> None:
         gammas=(0.556,),
         epsilons=(0.005, 0.05),
         top_k=3,
-        runner=runner,
+        session=session,
     )
     for result in results:
         cfg = result.config

@@ -20,11 +20,17 @@ Pieces (all replaceable independently):
   execution backends for independent cells.
 * :class:`ResultStore` — content-addressed, disk-persistent cache keyed
   by complete simulation fingerprints.
-* :class:`ResultSet` / :class:`CellResult` — typed results with
-  group / pivot / rollup queries.
+* :class:`ResultSet` / :class:`CellResult` / :class:`MixCellResult` —
+  typed results with group / pivot / rollup queries (mixes carry
+  per-core records).
+* :class:`GridSearch` / :class:`SearchResult` — declarative parameter
+  searches (the paper's two-phase grid searches) riding the same
+  executor/store path; see :mod:`repro.api.search`.
 
-The legacy ``repro.harness.Runner`` API remains as a thin shim over a
-memory-only :class:`Session`.
+Multi-core mixes are first-class: :meth:`Experiment.with_mixes` expands
+them into :class:`MixCell` work units batched through the executors.
+The legacy ``repro.harness.Runner`` API is a deprecated shim over a
+memory-only :class:`Session`, slated for removal.
 """
 
 from repro.api.executors import (
@@ -34,9 +40,17 @@ from repro.api.executors import (
     default_executor,
     execute_cell,
 )
-from repro.api.experiment import Cell, Experiment, PrefetcherSpec, SystemSpec
+from repro.api.experiment import (
+    Cell,
+    Experiment,
+    MixCell,
+    PrefetcherSpec,
+    SystemSpec,
+    WorkCell,
+)
 from repro.api.fingerprint import canonical, fingerprint
-from repro.api.resultset import CellResult, ResultSet
+from repro.api.resultset import CellResult, MixCellResult, ResultSet
+from repro.api.search import GridSearch, ParamSpace, SearchEntry, SearchResult
 from repro.api.session import Session
 from repro.api.store import ResultStore
 
@@ -45,13 +59,20 @@ __all__ = [
     "CellResult",
     "Executor",
     "Experiment",
+    "GridSearch",
+    "MixCell",
+    "MixCellResult",
+    "ParamSpace",
     "PrefetcherSpec",
     "ProcessPoolExecutor",
     "ResultSet",
     "ResultStore",
+    "SearchEntry",
+    "SearchResult",
     "SerialExecutor",
     "Session",
     "SystemSpec",
+    "WorkCell",
     "canonical",
     "default_executor",
     "execute_cell",

@@ -20,28 +20,17 @@ import os
 from concurrent import futures
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
-from repro.api.experiment import Cell
+from repro.api.experiment import WorkCell
 from repro.sim.system import SimulationResult
 
 
-def execute_cell(cell: Cell) -> SimulationResult:
-    """Simulate one cell from its declarative spec.
+def execute_cell(cell: WorkCell) -> SimulationResult:
+    """Simulate one work unit (single-core cell or multi-core mix).
 
-    Module-level (picklable) so process pools can ship it to workers.
+    Module-level (picklable) so process pools can ship it to workers;
+    dispatches to the cell's own :meth:`execute`.
     """
-    from repro import registry
-    from repro.sim.system import simulate
-
-    trace = registry.cached_trace(cell.trace, cell.trace_length)
-    prefetcher = cell.prefetcher.build()
-    l1 = cell.l1_prefetcher.build() if cell.l1_prefetcher is not None else None
-    return simulate(
-        trace,
-        cell.system.config,
-        prefetcher,
-        warmup_fraction=cell.warmup_fraction,
-        l1_prefetcher=l1,
-    )
+    return cell.execute()
 
 
 def _init_worker(extra_prefetchers: dict) -> None:
@@ -61,7 +50,7 @@ def _init_worker(extra_prefetchers: dict) -> None:
 class Executor(Protocol):
     """Anything that can turn cells into results, in order."""
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[SimulationResult]:
+    def run_cells(self, cells: Sequence[WorkCell]) -> list[SimulationResult]:
         """Simulate every cell, returning results in input order."""
         ...
 
@@ -71,7 +60,7 @@ class SerialExecutor:
 
     name = "serial"
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[SimulationResult]:
+    def run_cells(self, cells: Sequence[WorkCell]) -> list[SimulationResult]:
         return [execute_cell(cell) for cell in cells]
 
 
@@ -91,7 +80,7 @@ class ProcessPoolExecutor:
         self.max_workers = max_workers
         self.start_method = start_method
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[SimulationResult]:
+    def run_cells(self, cells: Sequence[WorkCell]) -> list[SimulationResult]:
         if not cells:
             return []
         workers = min(self.max_workers or os.cpu_count() or 1, len(cells))

@@ -2,8 +2,8 @@
 
 An :class:`Experiment` is an immutable value object describing a sweep;
 nothing runs until :meth:`repro.api.Session.run` expands it into
-:class:`Cell` work units.  Builder methods return new instances, so
-sweeps compose::
+:class:`Cell` / :class:`MixCell` work units.  Builder methods return new
+instances, so sweeps compose::
 
     ex = (Experiment.define("fig8b")
           .with_suites("SPEC06")
@@ -13,6 +13,14 @@ sweeps compose::
 Every axis is string-addressable through :mod:`repro.registry`:
 prefetchers by registry name (with optional overrides), systems by name
 plus ``@key=value`` modifiers, traces by workload/trace name.
+
+Multi-programmed multi-core mixes are a fourth axis
+(:meth:`Experiment.with_mixes`): each mix names one trace per core and
+expands — crossed with the prefetcher axis — into :class:`MixCell` work
+units that ride the same executor/store machinery as single-core cells.
+Both cell kinds share the polymorphic work-unit contract the session and
+executors rely on: ``fingerprint()``, ``baseline_cell()``,
+``is_baseline``, ``execute()``, and ``record()``.
 """
 
 from __future__ import annotations
@@ -172,33 +180,216 @@ class Cell:
     def is_baseline(self) -> bool:
         return self.prefetcher.name == "none" and self.l1_prefetcher is None
 
+    def execute(self):
+        """Simulate this cell from its declarative spec."""
+        from repro import registry
+        from repro.sim.system import simulate
+
+        trace = registry.cached_trace(self.trace, self.trace_length)
+        prefetcher = self.prefetcher.build()
+        l1 = self.l1_prefetcher.build() if self.l1_prefetcher is not None else None
+        return simulate(
+            trace,
+            self.system.config,
+            prefetcher,
+            warmup_fraction=self.warmup_fraction,
+            l1_prefetcher=l1,
+        )
+
+    def record(self, result, baseline):
+        """Pair a measurement with its baseline as a typed record."""
+        from repro import registry
+        from repro.api.resultset import CellResult
+
+        return CellResult(
+            trace_name=result.trace_name,
+            suite=registry.suite_of(self.trace),
+            prefetcher=self.prefetcher.display,
+            system=self.system.label,
+            result=result,
+            baseline=baseline,
+        )
+
+
+@dataclass(frozen=True)
+class MixCell:
+    """One multi-programmed multi-core mix as a declarative work unit.
+
+    The mix analogue of :class:`Cell`: pure picklable data naming one
+    registry-addressable trace per core, sharing the complete-fingerprint
+    scheme (trace content stamps, resolved prefetcher config, full system
+    config, warmup) so mixes land in the same
+    :class:`~repro.api.store.ResultStore` and fan out through the same
+    executors as single-core cells.
+    """
+
+    name: str
+    traces: tuple[str, ...]
+    prefetcher: PrefetcherSpec
+    system: SystemSpec
+    trace_length: int
+    warmup_fraction: float
+    records_per_core: int | None = None
+
+    def fingerprint(self) -> str:
+        """Content hash over every outcome-determining field.
+
+        The payload layout matches the historical ``Session.run_mix``
+        key, so store entries written before mixes became declarative
+        stay valid.
+        """
+        from repro import registry
+
+        return fingerprint(
+            {
+                "kind": "mix",
+                "traces": [
+                    (t, self.trace_length, registry.trace_stamp(t, self.trace_length))
+                    for t in self.traces
+                ],
+                "prefetcher": {
+                    "name": self.prefetcher.name,
+                    "overrides": fingerprint_overrides(self.prefetcher.overrides),
+                    "resolved": registry.resolved_prefetcher_config(
+                        self.prefetcher.name, **dict(self.prefetcher.overrides)
+                    ),
+                },
+                "system": canonical(self.system.config),
+                "warmup_fraction": self.warmup_fraction,
+                "records_per_core": self.records_per_core,
+            }
+        )
+
+    def baseline_cell(self) -> "MixCell":
+        """The no-prefetching run of the same mix."""
+        return replace(self, prefetcher=PrefetcherSpec("none"))
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.prefetcher.name == "none"
+
+    def execute(self):
+        """Simulate the mix: one trace per core, shared LLC/DRAM."""
+        from repro import registry
+        from repro.sim.system import simulate_multi
+
+        traces = [
+            registry.cached_trace(t, self.trace_length) for t in self.traces
+        ]
+        return simulate_multi(
+            traces,
+            self.system.config,
+            prefetcher_factory=self.prefetcher.build,
+            warmup_fraction=self.warmup_fraction,
+            records_per_core=self.records_per_core,
+        )
+
+    def record(self, result, baseline):
+        """Mix-level record carrying the per-core trace list."""
+        from repro.api.resultset import MixCellResult
+
+        return MixCellResult(
+            trace_name=self.name,
+            suite="MIX",
+            prefetcher=self.prefetcher.display,
+            system=self.system.label,
+            result=result,
+            baseline=baseline,
+            traces=self.traces,
+        )
+
+
+#: Either kind of declarative work unit an experiment expands into.
+WorkCell = Cell | MixCell
+
+
+def _trace_name(trace) -> str:
+    """Coerce a trace spec (name or materialized Trace) to its name."""
+    name = getattr(trace, "name", None)
+    return name if name is not None else str(trace)
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One named mix on the experiment's mix axis: traces plus system."""
+
+    name: str
+    traces: tuple[str, ...]
+    system: SystemSpec
+
+    @staticmethod
+    def of(spec, default_system=None) -> "MixEntry":
+        """Coerce ``(name, traces)`` / ``(name, traces, system)`` pairs.
+
+        A bare trace sequence is also accepted; its name defaults to the
+        ``+``-joined trace list.  When no system is given, the mix runs
+        on the paper's ``<n>c`` baseline for its core count.
+        """
+        from repro import registry
+
+        if isinstance(spec, MixEntry):
+            return spec
+        system = default_system
+        if (
+            isinstance(spec, tuple)
+            and len(spec) in (2, 3)
+            and isinstance(spec[0], str)
+            and isinstance(spec[1], (list, tuple))
+        ):
+            name, traces = spec[0], spec[1]
+            if len(spec) == 3:
+                system = spec[2]
+        else:
+            name, traces = None, spec
+        names = tuple(_trace_name(t) for t in traces)
+        if not names:
+            raise ValueError("a mix needs at least one trace")
+        if name is None:
+            name = "+".join(names)
+        if system is None:
+            system = f"{len(names)}c"
+        spec_system = SystemSpec.of(system)
+        if spec_system.config.num_cores != len(names):
+            raise ValueError(
+                f"mix {name!r} has {len(names)} traces but system "
+                f"{spec_system.label!r} has {spec_system.config.num_cores} cores"
+            )
+        return MixEntry(name=name, traces=names, system=spec_system)
+
 
 _DEFAULT_SYSTEMS = (SystemSpec("1c", baseline_single_core()),)
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """A declarative sweep: traces × prefetchers × systems.
+    """A declarative sweep: (traces × systems + mixes) × prefetchers.
 
     Attributes:
         name: experiment identifier (e.g. ``"fig9a"``).
         traces: trace names (``workload-seed``; bare workload names mean
             seed 1).
         prefetchers: prefetcher specs to compare.
-        systems: labelled system configs to sweep over.
+        systems: labelled system configs to sweep over (single-core
+            cells only; each mix carries its own system).
+        mixes: multi-programmed mixes, each one trace per core; crossed
+            with the prefetcher axis into :class:`MixCell` work units.
         trace_length: accesses per generated trace.
         warmup_fraction: leading fraction excluded from statistics.
-        l1_prefetcher: optional L1 prefetcher applied to every cell
-            (multi-level experiments, Fig 8d).
+        l1_prefetcher: optional L1 prefetcher applied to every
+            single-core cell (multi-level experiments, Fig 8d).
+        records_per_core: measured records per core for mixes (defaults
+            to the shortest trace's post-warmup length).
     """
 
     name: str = "experiment"
     traces: tuple[str, ...] = ()
     prefetchers: tuple[PrefetcherSpec, ...] = ()
     systems: tuple[SystemSpec, ...] = _DEFAULT_SYSTEMS
+    mixes: tuple[MixEntry, ...] = ()
     trace_length: int = 20_000
     warmup_fraction: float = 0.2
     l1_prefetcher: PrefetcherSpec | None = None
+    records_per_core: int | None = None
 
     @classmethod
     def define(cls, name: str, **kwargs) -> "Experiment":
@@ -285,17 +476,36 @@ class Experiment:
             l1_prefetcher=None if spec is None else PrefetcherSpec.of(spec),
         )
 
+    def with_mixes(
+        self, *mixes, system=None, records_per_core: int | None = None
+    ) -> "Experiment":
+        """Replace the mix axis: multi-programmed multi-core sweeps.
+
+        Each mix is ``(name, traces)``, ``(name, traces, system)``, or a
+        bare trace sequence; traces may be names or materialized
+        :class:`~repro.sim.trace.Trace` objects (their names are kept —
+        mixes must stay registry-addressable so executors can rebuild
+        them in worker processes).  *system* sets the default system for
+        entries that name none; otherwise each mix runs on the ``<n>c``
+        baseline matching its core count.
+        """
+        return replace(
+            self,
+            mixes=tuple(MixEntry.of(m, default_system=system) for m in mixes),
+            records_per_core=records_per_core,
+        )
+
     # ---- expansion ------------------------------------------------------
 
-    def cells(self) -> list[Cell]:
+    def cells(self) -> list[WorkCell]:
         """Expand the declarative cross product into work units."""
-        if not self.traces:
-            raise ValueError(f"experiment {self.name!r} has no traces")
+        if not self.traces and not self.mixes:
+            raise ValueError(f"experiment {self.name!r} has no traces or mixes")
         if not self.prefetchers:
             raise ValueError(f"experiment {self.name!r} has no prefetchers")
-        if not self.systems:
+        if self.traces and not self.systems:
             raise ValueError(f"experiment {self.name!r} has no systems")
-        return [
+        cells: list[WorkCell] = [
             Cell(
                 trace=trace,
                 prefetcher=prefetcher,
@@ -308,6 +518,22 @@ class Experiment:
             for trace in self.traces
             for prefetcher in self.prefetchers
         ]
+        cells.extend(
+            MixCell(
+                name=mix.name,
+                traces=mix.traces,
+                prefetcher=prefetcher,
+                system=mix.system,
+                trace_length=self.trace_length,
+                warmup_fraction=self.warmup_fraction,
+                records_per_core=self.records_per_core,
+            )
+            for mix in self.mixes
+            for prefetcher in self.prefetchers
+        )
+        return cells
 
     def __len__(self) -> int:
-        return len(self.traces) * len(self.prefetchers) * len(self.systems)
+        return (
+            len(self.traces) * len(self.systems) + len(self.mixes)
+        ) * len(self.prefetchers)

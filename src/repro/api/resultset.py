@@ -3,8 +3,11 @@
 A :class:`ResultSet` is what :meth:`repro.api.Session.run` returns: an
 ordered collection of :class:`CellResult` records, each pairing one
 measurement with its no-prefetching baseline (every metric in the paper
-is relative to that baseline).  The query methods replace the hand-rolled
-aggregation loops the figure builders and benchmarks used to carry:
+is relative to that baseline).  Multi-core mixes appear as
+:class:`MixCellResult` records — mix-level for the rollups, with the
+per-core breakdown via :meth:`ResultSet.per_core_rows`.  The query
+methods replace the hand-rolled aggregation loops the figure builders
+and benchmarks used to carry:
 
 * :meth:`ResultSet.filter` / :meth:`ResultSet.where` — subset selection;
 * :meth:`ResultSet.group` — split by a key into sub-sets;
@@ -69,6 +72,50 @@ class CellResult:
     def metric(self, name: str) -> float:
         """Look up a metric by name (``"speedup"``, ``"coverage"``, ...)."""
         return getattr(self, name)
+
+
+@dataclass
+class MixCellResult(CellResult):
+    """One multi-programmed mix paired with its baseline.
+
+    ``trace_name`` is the mix label and ``suite`` is ``"MIX"``, so the
+    usual group/pivot/rollup queries give mix-level rollups; the
+    per-core breakdown is available via :meth:`per_core`.
+    """
+
+    traces: tuple[str, ...] = ()
+
+    @property
+    def per_core_speedups(self) -> list[float]:
+        """Per-core IPC over the same core's no-prefetching IPC."""
+        return [
+            ipc / base if base > 0 else 0.0
+            for ipc, base in zip(
+                self.result.per_core_ipc, self.baseline.per_core_ipc
+            )
+        ]
+
+    def per_core(self) -> list[dict]:
+        """Per-core record rows: core index, trace, IPCs, speedup."""
+        return [
+            {
+                "mix": self.trace_name,
+                "core": core,
+                "trace": trace,
+                "prefetcher": self.prefetcher,
+                "system": self.system,
+                "ipc": ipc,
+                "baseline_ipc": base,
+                "speedup": ipc / base if base > 0 else 0.0,
+            }
+            for core, (trace, ipc, base) in enumerate(
+                zip(
+                    self.traces,
+                    self.result.per_core_ipc,
+                    self.baseline.per_core_ipc,
+                )
+            )
+        ]
 
 
 class ResultSet:
@@ -174,6 +221,19 @@ class ResultSet:
             }
             for record in self.records
         ]
+
+    def per_core_rows(self) -> list[dict]:
+        """Flattened per-core rows of every mix record in the set.
+
+        Single-core records contribute nothing; each
+        :class:`MixCellResult` contributes one row per core.
+        """
+        rows: list[dict] = []
+        for record in self.records:
+            per_core = getattr(record, "per_core", None)
+            if per_core is not None:
+                rows.extend(per_core())
+        return rows
 
     def table(
         self,

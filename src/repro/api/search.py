@@ -1,0 +1,363 @@
+"""Declarative parameter searches: grid sweeps as first-class experiments.
+
+The paper's §4.3.3 two-phase hyperparameter/reward grid search (Fig 20)
+— and every other tuning loop in :mod:`repro.tuning` — is a *sweep over
+configuration points*: expand a grid, score each point by the geomean
+speedup of one prefetcher configuration over a trace list, keep the
+best.  This module makes that shape declarative so it rides the same
+``Experiment → Executor → ResultStore`` machinery as every other sweep::
+
+    result = (session.search("fig20")
+              .over(alpha=EXPONENTIAL_GRID, gamma=(0.3, 0.556, 0.8),
+                    epsilon=(0.002, 0.005, 0.02))
+              .with_prefetcher("pythia")
+              .phase1(test_traces)
+              .phase2(full_traces, top_k=5)
+              .run())
+    best = result.best        # SearchEntry: point, spec, score
+    print(result.table())
+
+Pieces:
+
+* :class:`ParamSpace` — named axes × value grids, expanded to points.
+* :class:`GridSearch` — immutable builder binding a space to a scoring
+  prefetcher, trace phases, and a session; :meth:`GridSearch.run` turns
+  every point into prefetcher cells of **one** experiment per phase, so
+  independent points fan out through the session's executor and land in
+  the persistent store.
+* :class:`SearchResult` / :class:`SearchEntry` — the typed leaderboard.
+
+Phase 2 re-ranks the phase-1 finalists on a larger trace list.  When the
+two lists are identical the finalists' phase-1 scores are reused
+outright — zero extra simulations, not even store hits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from repro.api.experiment import PrefetcherSpec, SystemSpec
+from repro.api.resultset import ResultSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.session import Session
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """Named parameter axes, each a tuple of candidate values.
+
+    Axes are kept as ``(name, values)`` pairs (insertion-ordered, like
+    the keyword arguments that built them) so the space is hashable and
+    its cross product is deterministic.
+    """
+
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+
+    @staticmethod
+    def of(**axes: Sequence[Any]) -> "ParamSpace":
+        """Build a space from keyword axes: ``ParamSpace.of(alpha=(...))``."""
+        frozen = {name: tuple(values) for name, values in axes.items()}
+        for name, values in frozen.items():
+            if not values:
+                raise ValueError(f"parameter axis {name!r} has no values")
+        return ParamSpace(tuple(frozen.items()))
+
+    def points(self) -> list[dict[str, Any]]:
+        """The cross product, one dict per configuration point."""
+        if not self.axes:
+            return []
+        names = [name for name, _ in self.axes]
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*(vals for _, vals in self.axes))
+        ]
+
+    def __len__(self) -> int:
+        n = 1 if self.axes else 0
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+
+@dataclass(frozen=True)
+class SearchEntry:
+    """One evaluated configuration point of a search leaderboard."""
+
+    #: Grid coordinates, axis name → value.
+    point: dict[str, Any]
+    #: Factory overrides the point resolved to (identity unless mapped).
+    overrides: dict[str, Any]
+    #: The exact prefetcher spec the point ran as.
+    spec: PrefetcherSpec
+    #: Score on the ranking phase (phase 2 for finalists, else phase 1).
+    score: float
+    #: Phase-1 score (always present).
+    phase1_score: float
+    #: Phase-2 score, when the entry survived into phase 2.
+    phase2_score: float | None = None
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Typed leaderboard returned by :meth:`GridSearch.run`.
+
+    Attributes:
+        name: the search's name.
+        entries: the final ranking, best first — the re-ranked phase-2
+            finalists when a second phase ran, else all phase-1 points.
+        phase1_entries: every point ranked by phase-1 score.
+        metric / agg: what the scores are (e.g. geomean speedup).
+        stats: per-phase execution statistics
+            (``{"phase1": {"cells": ..., "simulated": ..., "cached": ...}}``);
+            a skipped phase 2 reports all-zero stats.
+        phase1_results / phase2_results: the underlying result sets, for
+            secondary metrics (coverage, overprediction, ...).
+    """
+
+    name: str
+    entries: tuple[SearchEntry, ...]
+    phase1_entries: tuple[SearchEntry, ...]
+    metric: str
+    agg: str
+    stats: dict[str, dict[str, int]]
+    phase1_results: ResultSet
+    phase2_results: ResultSet | None = None
+
+    @property
+    def best(self) -> SearchEntry:
+        """The winning configuration point."""
+        return self.entries[0]
+
+    def __iter__(self) -> Iterator[SearchEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def table(self, fmt: str = "{:.3f}") -> str:
+        """Plain-text leaderboard (point coordinates + score columns)."""
+        from repro.harness.rollup import format_table
+
+        axes = list(self.entries[0].point) if self.entries else []
+        header = ["#", *axes, f"{self.agg} {self.metric}"]
+        body = [
+            [
+                str(rank),
+                *[repr(entry.point[axis]) for axis in axes],
+                fmt.format(entry.score),
+            ]
+            for rank, entry in enumerate(self.entries, start=1)
+        ]
+        return format_table(header, body)
+
+
+def _identity_points(point: dict[str, Any]) -> dict[str, Any]:
+    return dict(point)
+
+
+@dataclass(frozen=True)
+class GridSearch:
+    """Immutable declarative search builder bound to a session.
+
+    Build one with :meth:`repro.api.Session.search`; every builder
+    method returns a new instance, so searches compose like experiments.
+    The search scores each :class:`ParamSpace` point by running
+    *prefetcher* with the point's overrides across the phase's traces
+    and aggregating a :class:`~repro.api.resultset.ResultSet` metric
+    (geomean speedup by default).
+    """
+
+    name: str
+    session: "Session" = field(repr=False)
+    space: ParamSpace = ParamSpace()
+    prefetcher: str = "pythia"
+    base_overrides: tuple[tuple[str, Any], ...] = ()
+    point_mapper: Callable[[dict[str, Any]], dict[str, Any]] = _identity_points
+    phase1_traces: tuple[str, ...] = ()
+    phase2_traces: tuple[str, ...] | None = None
+    top_k: int = 5
+    system: SystemSpec | None = None
+    trace_length: int | None = None
+    metric: str = "speedup"
+    agg: str = "geomean"
+
+    # ---- builder methods (each returns a new GridSearch) ----------------
+
+    def over(self, **axes: Sequence[Any]) -> "GridSearch":
+        """Set the parameter space from keyword axes."""
+        return replace(self, space=ParamSpace.of(**axes))
+
+    def with_prefetcher(self, name: str, **base_overrides: Any) -> "GridSearch":
+        """Set the registry prefetcher the points configure.
+
+        *base_overrides* apply to every point; point overrides win on
+        conflict.
+        """
+        return replace(
+            self,
+            prefetcher=name,
+            base_overrides=tuple(sorted(base_overrides.items())),
+        )
+
+    def map_points(
+        self, mapper: Callable[[dict[str, Any]], dict[str, Any]]
+    ) -> "GridSearch":
+        """Transform grid points into factory overrides.
+
+        For searches whose axes are not direct factory keywords — e.g.
+        the §4.3.3 reward search, where three grid axes fold into one
+        :class:`~repro.core.rewards.RewardConfig` override.
+        """
+        return replace(self, point_mapper=mapper)
+
+    def phase1(self, traces: Sequence[str]) -> "GridSearch":
+        """Set the phase-1 (full grid) trace list."""
+        return replace(self, phase1_traces=tuple(traces))
+
+    def phase2(self, traces: Sequence[str], top_k: int = 5) -> "GridSearch":
+        """Re-rank the phase-1 top-*top_k* on a second trace list."""
+        return replace(self, phase2_traces=tuple(traces), top_k=top_k)
+
+    def with_system(self, spec) -> "GridSearch":
+        """Score on a specific system (default: the 1c baseline)."""
+        return replace(self, system=SystemSpec.of(spec))
+
+    def with_length(self, trace_length: int) -> "GridSearch":
+        """Override the session's trace length for this search."""
+        return replace(self, trace_length=trace_length)
+
+    def scored_by(self, metric: str, agg: str = "geomean") -> "GridSearch":
+        """Change the ranking metric/aggregation (default geomean speedup)."""
+        return replace(self, metric=metric, agg=agg)
+
+    # ---- execution -------------------------------------------------------
+
+    def _specs(self) -> list[tuple[dict[str, Any], dict[str, Any], PrefetcherSpec]]:
+        """(point, overrides, labelled spec) for every grid point."""
+        out = []
+        for index, point in enumerate(self.space.points()):
+            overrides = dict(self.base_overrides)
+            overrides.update(self.point_mapper(point))
+            spec = PrefetcherSpec(
+                self.prefetcher,
+                overrides=tuple(sorted(overrides.items())),
+                label=f"{self.name}#{index}",
+            )
+            out.append((point, overrides, spec))
+        return out
+
+    def _experiment(self, phase: str, traces, specs):
+        experiment = (
+            self.session.experiment(f"{self.name}/{phase}")
+            .with_traces(*traces)
+            .with_prefetchers(*specs)
+        )
+        if self.system is not None:
+            experiment = experiment.with_systems(self.system)
+        if self.trace_length is not None:
+            experiment = experiment.with_length(self.trace_length)
+        return experiment
+
+    def _score(self, results: ResultSet, specs) -> dict[str, float]:
+        by_label = results.rollup("prefetcher", metric=self.metric, agg=self.agg)
+        return {spec.label: by_label[spec.label] for _, _, spec in specs}
+
+    def run(self) -> SearchResult:
+        """Expand, execute and rank the search on the bound session.
+
+        One experiment per phase: all points batch through the session's
+        executor together and land in its result store, so repeating a
+        search (or overlapping it with another) re-simulates nothing.
+        """
+        if not self.phase1_traces:
+            raise ValueError(f"search {self.name!r} has no phase-1 traces")
+        specs = self._specs()
+        if not specs:
+            raise ValueError(f"search {self.name!r} has an empty parameter space")
+
+        phase1_results = self.session.run(
+            self._experiment("phase1", self.phase1_traces, [s for _, _, s in specs])
+        )
+        scores = self._score(phase1_results, specs)
+        phase1_entries = tuple(
+            sorted(
+                (
+                    SearchEntry(
+                        point=point,
+                        overrides=overrides,
+                        spec=spec,
+                        score=scores[spec.label],
+                        phase1_score=scores[spec.label],
+                    )
+                    for point, overrides, spec in specs
+                ),
+                key=lambda e: -e.score,
+            )
+        )
+        stats = {
+            "phase1": dict(phase1_results.stats),
+            "phase2": {"cells": 0, "simulated": 0, "cached": 0},
+        }
+
+        if self.phase2_traces is None:
+            return SearchResult(
+                name=self.name,
+                entries=phase1_entries,
+                phase1_entries=phase1_entries,
+                metric=self.metric,
+                agg=self.agg,
+                stats=stats,
+                phase1_results=phase1_results,
+            )
+
+        finalists = phase1_entries[: self.top_k]
+        if tuple(self.phase2_traces) == tuple(self.phase1_traces):
+            # Identical trace lists: phase-2 scores are phase-1 scores.
+            # Reuse them outright — zero extra simulations.
+            entries = tuple(
+                replace(e, phase2_score=e.phase1_score) for e in finalists
+            )
+            return SearchResult(
+                name=self.name,
+                entries=entries,
+                phase1_entries=phase1_entries,
+                metric=self.metric,
+                agg=self.agg,
+                stats=stats,
+                phase1_results=phase1_results,
+            )
+
+        finalist_specs = [(e.point, e.overrides, e.spec) for e in finalists]
+        phase2_results = self.session.run(
+            self._experiment(
+                "phase2", self.phase2_traces, [s for _, _, s in finalist_specs]
+            )
+        )
+        rescored = self._score(phase2_results, finalist_specs)
+        entries = tuple(
+            sorted(
+                (
+                    replace(
+                        e,
+                        score=rescored[e.spec.label],
+                        phase2_score=rescored[e.spec.label],
+                    )
+                    for e in finalists
+                ),
+                key=lambda e: -e.score,
+            )
+        )
+        stats["phase2"] = dict(phase2_results.stats)
+        return SearchResult(
+            name=self.name,
+            entries=entries,
+            phase1_entries=phase1_entries,
+            metric=self.metric,
+            agg=self.agg,
+            stats=stats,
+            phase1_results=phase1_results,
+            phase2_results=phase2_results,
+        )

@@ -7,14 +7,18 @@ independent cells run), and per-session defaults (trace length, warmup)
 — and exposes the workflows every caller needs:
 
 * :meth:`Session.run` — expand a declarative
-  :class:`~repro.api.experiment.Experiment`, simulate only the cells the
-  store has never seen, and return a queryable
-  :class:`~repro.api.resultset.ResultSet` with every record paired to
-  its no-prefetching baseline.
+  :class:`~repro.api.experiment.Experiment` (single-core cells *and*
+  multi-core mixes), simulate only the cells the store has never seen,
+  and return a queryable :class:`~repro.api.resultset.ResultSet` with
+  every record paired to its no-prefetching baseline.
+* :meth:`Session.search` — declarative parameter searches
+  (:mod:`repro.api.search`): grids of configuration points batched
+  through the same executor/store path.
 * :meth:`Session.run_one` / :meth:`Session.baseline` — single-cell
-  conveniences used by the legacy ``Runner`` shim and the tuning loops.
-* :meth:`Session.run_mix` — multi-core multi-programmed mixes, cached
-  under the same fingerprint scheme.
+  conveniences used by the tuning loops and the deprecated ``Runner``
+  stub.
+* :meth:`Session.run_mix` — one multi-programmed mix, a thin wrapper
+  over the declarative :class:`~repro.api.experiment.MixCell` path.
 
 Everything is keyed by complete fingerprints, so two configs that differ
 in *any* outcome-affecting field (L2 geometry, warmup fraction, Pythia
@@ -29,15 +33,17 @@ from repro.api.executors import Executor, SerialExecutor
 from repro.api.experiment import (
     Cell,
     Experiment,
+    MixCell,
     PrefetcherSpec,
     SystemSpec,
-    fingerprint_overrides,
+    WorkCell,
+    _trace_name,
 )
-from repro.api.fingerprint import canonical, fingerprint
+from repro.api.fingerprint import canonical
 from repro.api.resultset import CellResult, ResultSet
 from repro.api.store import ResultStore
 from repro.sim.config import SystemConfig
-from repro.sim.system import SimulationResult, simulate_multi
+from repro.sim.system import SimulationResult
 from repro.sim.trace import Trace
 
 
@@ -83,6 +89,13 @@ class Session:
         length = length if length is not None else self.trace_length
         return registry.cached_trace(name, length)
 
+    def search(self, name: str = "search"):
+        """A fresh declarative :class:`~repro.api.search.GridSearch`
+        bound to this session (see :mod:`repro.api.search`)."""
+        from repro.api.search import GridSearch
+
+        return GridSearch(name=name, session=self)
+
     # ---- experiment execution -------------------------------------------
 
     def run(self, experiment: Experiment) -> ResultSet:
@@ -99,7 +112,7 @@ class Session:
 
         # Work list: requested cells plus each cell's baseline, deduped
         # by fingerprint (a "none" cell is its own baseline).
-        work: dict[str, Cell] = {}
+        work: dict[str, WorkCell] = {}
         baseline_keys: dict[str, str] = {}  # cell key -> its baseline's key
         for cell, key, baseline in keyed:
             work.setdefault(key, cell)
@@ -108,7 +121,7 @@ class Session:
             work.setdefault(baseline_key, baseline)
 
         results: dict[str, SimulationResult] = {}
-        pending: list[tuple[str, Cell]] = []
+        pending: list[tuple[str, WorkCell]] = []
         for key, cell in work.items():
             cached = self.store.get(key)
             if cached is not None:
@@ -122,17 +135,8 @@ class Session:
                 self.store.put(key, output, meta=canonical(cell))
                 results[key] = output
 
-        from repro import registry
-
         records = [
-            CellResult(
-                trace_name=results[key].trace_name,
-                suite=registry.suite_of(cell.trace),
-                prefetcher=cell.prefetcher.display,
-                system=cell.system.label,
-                result=results[key],
-                baseline=results[baseline_keys[key]],
-            )
+            cell.record(results[key], results[baseline_keys[key]])
             for cell, key, _ in keyed
         ]
         return ResultSet(
@@ -158,8 +162,6 @@ class Session:
         Accepts the same flexible specs as the experiment builder;
         *system* defaults to the paper's single-core baseline.
         """
-        from repro import registry
-
         cell = Cell(
             trace=trace,
             prefetcher=PrefetcherSpec.of(prefetcher),
@@ -176,14 +178,7 @@ class Session:
         baseline = (
             result if cell.is_baseline else self._run_cell(cell.baseline_cell())
         )
-        return CellResult(
-            trace_name=result.trace_name,
-            suite=registry.suite_of(cell.trace),
-            prefetcher=cell.prefetcher.display,
-            system=cell.system.label,
-            result=result,
-            baseline=baseline,
-        )
+        return cell.record(result, baseline)
 
     def baseline(
         self,
@@ -207,78 +202,67 @@ class Session:
             warmup_fraction=warmup_fraction,
         ).result
 
-    def _run_cell(self, cell: Cell) -> SimulationResult:
+    def _run_cell(self, cell: WorkCell) -> SimulationResult:
         """Fetch-or-simulate one cell without executor overhead."""
-        from repro.api.executors import execute_cell
-
         key = cell.fingerprint()
         cached = self.store.get(key)
         if cached is not None:
             return cached
-        result = execute_cell(cell)
+        result = cell.execute()
         self.store.put(key, result, meta=canonical(cell))
         return result
 
     # ---- multi-core mixes -------------------------------------------------
 
+    def mix_cell(
+        self,
+        traces: Sequence[Trace | str],
+        prefetcher,
+        system: SystemConfig | str | None = None,
+        records_per_core: int | None = None,
+        name: str | None = None,
+    ) -> MixCell:
+        """Build the declarative :class:`MixCell` for one mix.
+
+        Traces may be names or materialized :class:`Trace` objects; only
+        their registry-addressable names (and, for materialized traces,
+        their common length) are kept, so the cell stays pure data.
+        """
+        names = tuple(_trace_name(t) for t in traces)
+        lengths = {len(t) for t in traces if isinstance(t, Trace)}
+        if len(lengths) > 1:
+            raise ValueError(f"mix traces must share one length, got {sorted(lengths)}")
+        return MixCell(
+            name=name if name is not None else "+".join(names),
+            traces=names,
+            prefetcher=PrefetcherSpec.of(prefetcher),
+            system=SystemSpec.of(system if system is not None else f"{len(names)}c"),
+            trace_length=lengths.pop() if lengths else self.trace_length,
+            warmup_fraction=self.warmup_fraction,
+            records_per_core=records_per_core,
+        )
+
     def run_mix(
         self,
         traces: Sequence[Trace | str],
         prefetcher,
-        system: SystemConfig | str,
+        system: SystemConfig | str | None = None,
         records_per_core: int | None = None,
     ) -> tuple[SimulationResult, SimulationResult]:
-        """Run a multi-programmed mix; returns (result, baseline).
+        """Run one multi-programmed mix; returns (result, baseline).
 
-        One trace per core against a shared LLC/DRAM, cached under a
-        mix-kind fingerprint covering the trace identities and lengths,
-        the prefetcher spec, the full system config, and the warmup.
+        Thin convenience over the declarative cell path: builds a
+        :class:`MixCell` and fetch-or-simulates it (plus its baseline)
+        against the store.  Mix *sweeps* should go through
+        :meth:`Experiment.with_mixes` + :meth:`run` instead, which
+        batches independent mixes through the executor and returns a
+        queryable :class:`ResultSet`.
         """
-        from repro import registry
-
-        materialized = [
-            t if isinstance(t, Trace) else self.trace(t) for t in traces
-        ]
-        config = registry.system(system)
-        spec = PrefetcherSpec.of(prefetcher)
-
-        def mix_key(pf: PrefetcherSpec) -> str:
-            # Same self-invalidation scheme as Cell.fingerprint: trace
-            # content stamps plus the resolved prefetcher config.
-            return fingerprint(
-                {
-                    "kind": "mix",
-                    "traces": [
-                        (t.name, len(t), t.content_stamp) for t in materialized
-                    ],
-                    "prefetcher": {
-                        "name": pf.name,
-                        "overrides": fingerprint_overrides(pf.overrides),
-                        "resolved": registry.resolved_prefetcher_config(
-                            pf.name, **dict(pf.overrides)
-                        ),
-                    },
-                    "system": canonical(config),
-                    "warmup_fraction": self.warmup_fraction,
-                    "records_per_core": records_per_core,
-                }
-            )
-
-        def run(pf: PrefetcherSpec) -> SimulationResult:
-            key = mix_key(pf)
-            cached = self.store.get(key)
-            if cached is not None:
-                return cached
-            result = simulate_multi(
-                list(materialized),
-                config,
-                prefetcher_factory=pf.build,
-                warmup_fraction=self.warmup_fraction,
-                records_per_core=records_per_core,
-            )
-            self.store.put(key, result)
-            return result
-
-        result = run(spec)
-        baseline = result if spec.name == "none" else run(PrefetcherSpec("none"))
+        cell = self.mix_cell(
+            traces, prefetcher, system, records_per_core=records_per_core
+        )
+        result = self._run_cell(cell)
+        baseline = (
+            result if cell.is_baseline else self._run_cell(cell.baseline_cell())
+        )
         return result, baseline

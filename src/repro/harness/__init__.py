@@ -1,14 +1,14 @@
-"""Experiment harness: run specs, rollups, and per-figure builders.
+"""Experiment harness: rollups and per-figure builders.
 
 This is the Python replacement for the paper artifact's perl/slurm/Excel
-pipeline: :mod:`repro.harness.runner` executes (trace, prefetcher,
-system) tuples with baseline caching, :mod:`repro.harness.rollup`
-aggregates them the way the artifact's ``rollup.pl`` + pivot tables do,
-and :mod:`repro.harness.figures` regenerates each figure's rows.
+pipeline: :mod:`repro.harness.rollup` aggregates run records the way
+the artifact's ``rollup.pl`` + pivot tables do, and
+:mod:`repro.harness.figures` regenerates each figure's rows on
+:class:`repro.api.Session` queries.
 
-The execution layer now lives in :mod:`repro.api` (declarative
-experiments, pluggable executors, persistent result store); ``Runner``
-is a compatibility shim over a memory-only ``Session``.
+The execution layer lives in :mod:`repro.api` (declarative experiments
+and mixes, declarative searches, pluggable executors, persistent result
+store); ``Runner`` is a deprecated forwarding stub slated for removal.
 """
 
 from repro.harness.experiment import ExperimentSpec, RunRecord

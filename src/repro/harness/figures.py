@@ -7,29 +7,29 @@ data without pytest.  Each builder composes one
 :class:`repro.api.Experiment`, runs it through a
 :class:`repro.api.Session` (so cells are cached and can execute in
 parallel), and shapes the :class:`repro.api.ResultSet` with its
-group/pivot/rollup queries.  Builders accept either a ``Session`` or the
-legacy ``Runner`` shim and return plain dict/list structures ready for
-tabulation or plotting.
+group/pivot/rollup queries.  Builders take a ``Session`` (anything carrying a
+``.session`` attribute, such as the deprecated ``Runner`` shim, is also
+accepted) and return plain dict/list structures ready for tabulation or
+plotting.
 """
 
 from __future__ import annotations
 
 from repro.api import Session
 from repro.harness.rollup import coverage_rollup
-from repro.harness.runner import Runner
 from repro.sim.config import SystemConfig
 
 #: The paper's headline competitors in figure order.
 DEFAULT_PREFETCHERS: tuple[str, ...] = ("spp", "bingo", "mlop", "pythia")
 
 
-def _session(runner: Runner | Session) -> Session:
-    """Accept either the legacy Runner shim or a Session."""
-    return runner.session if isinstance(runner, Runner) else runner
+def _session(session) -> Session:
+    """Accept a Session or anything carrying one (the deprecated shim)."""
+    return session if isinstance(session, Session) else session.session
 
 
 def fig1_motivation(
-    runner: Runner | Session,
+    runner: Session,
     traces: list[str],
     prefetchers: tuple[str, ...] = ("spp", "bingo", "pythia"),
 ) -> list[dict]:
@@ -51,7 +51,7 @@ def fig1_motivation(
 
 
 def fig7_coverage(
-    runner: Runner | Session,
+    runner: Session,
     traces_by_suite: dict[str, list[str]],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
 ) -> dict[str, dict[str, tuple[float, float]]]:
@@ -65,7 +65,7 @@ def fig7_coverage(
 
 
 def fig8b_bandwidth_sweep(
-    runner: Runner | Session,
+    runner: Session,
     traces: list[str],
     mtps_points: list[int],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
@@ -89,7 +89,7 @@ def fig8b_bandwidth_sweep(
 
 
 def fig8c_llc_sweep(
-    runner: Runner | Session,
+    runner: Session,
     traces: list[str],
     llc_factors: list[float],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
@@ -113,7 +113,7 @@ def fig8c_llc_sweep(
 
 
 def fig9a_per_suite(
-    runner: Runner | Session,
+    runner: Session,
     traces_by_suite: dict[str, list[str]],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
     config: SystemConfig | None = None,
@@ -130,7 +130,7 @@ def fig9a_per_suite(
 
 
 def fig9b_combinations(
-    runner: Runner | Session,
+    runner: Session,
     traces: list[str],
     combos: tuple[str, ...] = ("st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"),
 ) -> dict[str, float]:
@@ -143,7 +143,7 @@ def fig9b_combinations(
 
 
 def fig15_strict_vs_basic(
-    runner: Runner | Session, ligra_traces: list[str]
+    runner: Session, ligra_traces: list[str]
 ) -> list[dict]:
     """Fig 15 rows: per-workload basic vs strict Pythia speedups."""
     session = _session(runner)

@@ -1,36 +1,28 @@
-"""Runner: legacy execution facade, now a thin shim over :mod:`repro.api`.
+"""Deprecated ``Runner`` shim — use :class:`repro.api.Session` instead.
 
-Historically this module owned its own in-memory caches; today it wraps
-a memory-only :class:`repro.api.Session`, which keys every result by a
-*complete* fingerprint of (trace, trace length, warmup fraction,
-prefetcher spec, full system config).  That fixes the old
-``_config_key`` under-keying bug where configs differing only in L1/L2
-geometry, trace length, or warmup silently shared a cached baseline.
-
-New code should use :class:`repro.api.Session` directly — it adds
-declarative experiments, parallel executors, and a disk-persistent
-result store.  ``Runner`` remains for the tuning loops and existing
-benchmarks.
+Every capability this facade ever had lives in :mod:`repro.api`:
+declarative experiments (:meth:`Session.run`), single cells
+(:meth:`Session.run_one` / :meth:`Session.baseline`), multi-core mixes
+(:meth:`Experiment.with_mixes` / :meth:`Session.run_mix`), parallel
+executors, and the persistent result store.  The tuning loops, figure
+builders, benches and examples all speak ``Session`` natively now; this
+stub remains only so external scripts keep importing, warns on
+construction, and is slated for removal in a future PR.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.api import ResultStore, Session
-from repro.harness.experiment import ExperimentSpec, RunRecord
+from repro.harness.experiment import RunRecord
 from repro.sim.config import SystemConfig
 from repro.sim.system import SimulationResult
 from repro.sim.trace import Trace
 
 
-def make_trace(name: str, length: int) -> Trace:
-    """Instantiate a trace by name (deprecated: use :func:`repro.registry.make_trace`)."""
-    from repro import registry
-
-    return registry.make_trace(name, length)
-
-
 class Runner:
-    """Executes (trace, prefetcher, system) tuples with caching.
+    """Deprecated thin forwarding shim over a memory-only :class:`Session`.
 
     Args:
         trace_length: accesses per generated trace.
@@ -46,6 +38,12 @@ class Runner:
         warmup_fraction: float | None = None,
         session: Session | None = None,
     ) -> None:
+        warnings.warn(
+            "repro.harness.Runner is deprecated and slated for removal; "
+            "use repro.api.Session directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if session is not None:
             if trace_length is not None or warmup_fraction is not None:
                 raise ValueError(
@@ -63,11 +61,11 @@ class Runner:
         self.warmup_fraction = self.session.warmup_fraction
 
     def trace(self, name: str) -> Trace:
-        """Cached trace instantiation."""
+        """Deprecated: use :meth:`Session.trace`."""
         return self.session.trace(name)
 
     def baseline(self, trace_name: str, config: SystemConfig) -> SimulationResult:
-        """Cached no-prefetching run of *trace_name* on *config*."""
+        """Deprecated: use :meth:`Session.baseline`."""
         return self.session.baseline(trace_name, config)
 
     def run(
@@ -77,7 +75,7 @@ class Runner:
         config: SystemConfig | None = None,
         l1_prefetcher_name: str | None = None,
     ) -> RunRecord:
-        """Run one (trace, prefetcher) pair and pair it with its baseline."""
+        """Deprecated: use :meth:`Session.run_one`."""
         cell = self.session.run_one(
             trace_name,
             prefetcher_name,
@@ -92,8 +90,8 @@ class Runner:
             baseline=cell.baseline,
         )
 
-    def run_experiment(self, spec: ExperimentSpec) -> list[RunRecord]:
-        """Run the full cross product of a spec's traces × prefetchers."""
+    def run_experiment(self, spec) -> list[RunRecord]:
+        """Deprecated: use :meth:`Session.run` with an :class:`Experiment`."""
         return [
             self.run(trace_name, prefetcher_name, spec.config)
             for trace_name in spec.trace_names
@@ -106,5 +104,5 @@ class Runner:
         prefetcher_name: str,
         config: SystemConfig,
     ) -> tuple[SimulationResult, SimulationResult]:
-        """Run a multi-core mix; returns (result, no-prefetch baseline)."""
+        """Deprecated: use :meth:`Experiment.with_mixes` or :meth:`Session.run_mix`."""
         return self.session.run_mix(traces, prefetcher_name, config)

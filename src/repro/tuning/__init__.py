@@ -4,6 +4,14 @@ Three procedures, miniaturized versions of what the paper ran on a
 compute grid for 44 hours: feature selection over the 32-feature space
 (§4.3.1), action-list pruning (§4.3.2), and uniform-grid reward /
 hyperparameter search (§4.3.3).
+
+All three are thin layers over the declarative
+:mod:`repro.api.search` subsystem: each candidate configuration becomes
+a grid point of one :class:`~repro.api.search.GridSearch`, so sweeps
+fan out through the session's executor (process pools included), land
+in the persistent result store, and re-runs simulate nothing.  Every
+entry point takes ``session=`` — a :class:`repro.api.Session` or
+``None`` for a private memory-only one.
 """
 
 from repro.tuning.feature_selection import (

@@ -5,17 +5,17 @@ individually and keeps only those whose removal costs measurable
 performance, landing on the 16-action list of Table 2.  Long action
 lists hurt twice: more exploration to converge, and more storage
 (+ a longer search pipeline, see :mod:`repro.core.pipeline`).
+
+The leave-one-out evaluation is one declarative search over candidate
+action lists (the full list plus every drop-one variant), so all
+variants batch through the session's executor in a single sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import Pythia, PythiaConfig
-from repro.harness.runner import Runner
-from repro.sim.config import SystemConfig
-from repro.sim.metrics import geomean, speedup
-from repro.sim.system import simulate
+from repro.tuning.common import as_session
 
 
 @dataclass(frozen=True)
@@ -32,32 +32,12 @@ class ActionImpact:
         return self.geomean_full - self.geomean_without
 
 
-def _evaluate_actions(
-    actions: tuple[int, ...],
-    trace_names: list[str],
-    runner: Runner,
-    config: SystemConfig,
-) -> float:
-    speeds = []
-    for name in trace_names:
-        trace = runner.trace(name)
-        baseline = runner.baseline(name, config)
-        import dataclasses
-
-        pythia = Pythia(dataclasses.replace(PythiaConfig(), actions=actions))
-        result = simulate(
-            trace, config, pythia, warmup_fraction=runner.warmup_fraction
-        )
-        speeds.append(speedup(result, baseline))
-    return geomean(speeds)
-
-
 def prune_actions(
     trace_names: list[str],
     initial_actions: tuple[int, ...],
     keep: int = 16,
-    runner: Runner | None = None,
-    config: SystemConfig | None = None,
+    session=None,
+    config=None,
     impact_threshold: float = 0.001,
 ) -> tuple[tuple[int, ...], list[ActionImpact]]:
     """Leave-one-out pruning of *initial_actions* down to *keep* actions.
@@ -67,20 +47,31 @@ def prune_actions(
     costs less than *impact_threshold* geomean speedup are dropped,
     lowest impact first.
     """
-    runner = runner if runner is not None else Runner(trace_length=8_000)
-    config = config if config is not None else SystemConfig()
-    full_score = _evaluate_actions(initial_actions, trace_names, runner, config)
+    session = as_session(session)
+    full = tuple(initial_actions)
+    variants = [full] + [
+        tuple(a for a in full if a != action) for action in full if action != 0
+    ]
+    search = (
+        session.search("actions")
+        .over(actions=variants)
+        .with_prefetcher("pythia")
+        .phase1(trace_names)
+    )
+    if config is not None:
+        search = search.with_system(config)
+    scores = {
+        entry.point["actions"]: entry.score for entry in search.run().phase1_entries
+    }
+    full_score = scores[full]
 
-    impacts: list[ActionImpact] = []
-    for action in initial_actions:
-        if action == 0:
-            continue  # no-prefetch is structural, never pruned
-        without = tuple(a for a in initial_actions if a != action)
-        score = _evaluate_actions(without, trace_names, runner, config)
-        impacts.append(ActionImpact(action, score, full_score))
-
+    impacts = [
+        ActionImpact(action, scores[tuple(a for a in full if a != action)], full_score)
+        for action in full
+        if action != 0  # no-prefetch is structural, never pruned
+    ]
     impacts.sort(key=lambda i: i.impact)
-    pruned = list(initial_actions)
+    pruned = list(full)
     for report in impacts:
         if len(pruned) <= keep:
             break

@@ -1,0 +1,29 @@
+"""Shared plumbing for the tuning loops: session coercion.
+
+Every tuning entry point takes a ``session`` argument that may be a
+:class:`repro.api.Session`, anything carrying one (the deprecated
+``Runner`` shim exposes ``.session``), or ``None`` for a private
+memory-only session at the historical tuning trace length.  The loops
+speak :mod:`repro.api` natively — nothing here imports the harness.
+"""
+
+from __future__ import annotations
+
+from repro.api import ResultStore, Session
+
+#: Historical default trace length of the tuning loops.
+TUNING_TRACE_LENGTH = 8_000
+
+
+def as_session(session=None, trace_length: int = TUNING_TRACE_LENGTH) -> Session:
+    """Coerce *session* (Session, session-carrier, or None) to a Session."""
+    if session is None:
+        return Session(store=ResultStore(), trace_length=trace_length)
+    if isinstance(session, Session):
+        return session
+    inner = getattr(session, "session", None)
+    if isinstance(inner, Session):
+        return inner
+    raise TypeError(
+        f"expected a repro.api.Session (or an object carrying one), got {session!r}"
+    )

@@ -4,7 +4,9 @@ The paper combines 4 control-flow × 8 data-flow components into 32
 candidate features, then evaluates any-1/any-2/any-3 combinations across
 all single-core traces, picking the state-vector with the highest
 geomean speedup.  This module implements the same search over arbitrary
-trace lists.
+trace lists: the whole candidate set becomes **one** declarative search
+(every vector a ``features=`` override point), so candidates fan out
+through the session's executor and repeat evaluations hit the store.
 """
 
 from __future__ import annotations
@@ -12,12 +14,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from repro.core import Pythia, PythiaConfig
 from repro.core.features import FeatureSpec, all_feature_specs
-from repro.harness.runner import Runner
-from repro.sim.config import SystemConfig
-from repro.sim.metrics import coverage, geomean, overprediction, speedup
-from repro.sim.system import simulate
+from repro.tuning.common import as_session
 
 
 @dataclass(frozen=True)
@@ -35,35 +33,6 @@ class FeatureVectorScore:
         return " | ".join(f.label for f in self.features)
 
 
-def evaluate_feature_vector(
-    features: tuple[FeatureSpec, ...],
-    trace_names: list[str],
-    runner: Runner,
-    config: SystemConfig | None = None,
-) -> FeatureVectorScore:
-    """Run Pythia with *features* on each trace; aggregate the metrics."""
-    config = config if config is not None else SystemConfig()
-    speeds: list[float] = []
-    covs: list[float] = []
-    overs: list[float] = []
-    for name in trace_names:
-        trace = runner.trace(name)
-        baseline = runner.baseline(name, config)
-        pythia = Pythia(PythiaConfig().with_features(features))
-        result = simulate(
-            trace, config, pythia, warmup_fraction=runner.warmup_fraction
-        )
-        speeds.append(speedup(result, baseline))
-        covs.append(coverage(result, baseline))
-        overs.append(overprediction(result, baseline))
-    return FeatureVectorScore(
-        features=features,
-        geomean_speedup=geomean(speeds),
-        mean_coverage=sum(covs) / len(covs),
-        mean_overprediction=sum(overs) / len(overs),
-    )
-
-
 def candidate_vectors(max_arity: int = 2) -> list[tuple[FeatureSpec, ...]]:
     """Any-1 .. any-``max_arity`` combinations of the 32 features."""
     specs = [s for s in all_feature_specs() if s.label != "none"]
@@ -75,19 +44,45 @@ def candidate_vectors(max_arity: int = 2) -> list[tuple[FeatureSpec, ...]]:
 
 def feature_selection(
     trace_names: list[str],
-    runner: Runner | None = None,
+    session=None,
     vectors: list[tuple[FeatureSpec, ...]] | None = None,
-    config: SystemConfig | None = None,
+    config=None,
 ) -> list[FeatureVectorScore]:
     """Score candidate state-vectors; best (highest geomean) first.
 
     The full any-2 space is ~500 vectors; pass a pre-filtered
     ``vectors`` list for tractable sweeps (the benches sample it).
     """
-    runner = runner if runner is not None else Runner(trace_length=8_000)
+    session = as_session(session)
     vectors = vectors if vectors is not None else candidate_vectors(1)
-    scores = [
-        evaluate_feature_vector(v, trace_names, runner, config) for v in vectors
+    search = (
+        session.search("features")
+        .over(features=[tuple(v) for v in vectors])
+        .with_prefetcher("pythia")
+        .phase1(trace_names)
+    )
+    if config is not None:
+        search = search.with_system(config)
+    result = search.run()
+    by_label = result.phase1_results.group("prefetcher")
+    return [
+        FeatureVectorScore(
+            features=entry.point["features"],
+            geomean_speedup=entry.score,
+            mean_coverage=by_label[entry.spec.label].mean("coverage"),
+            mean_overprediction=by_label[entry.spec.label].mean("overprediction"),
+        )
+        for entry in result
     ]
-    scores.sort(key=lambda s: -s.geomean_speedup)
-    return scores
+
+
+def evaluate_feature_vector(
+    features: tuple[FeatureSpec, ...],
+    trace_names: list[str],
+    session=None,
+    config=None,
+) -> FeatureVectorScore:
+    """Run Pythia with *features* on each trace; aggregate the metrics."""
+    return feature_selection(
+        trace_names, session, vectors=[tuple(features)], config=config
+    )[0]

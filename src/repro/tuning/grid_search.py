@@ -3,21 +3,21 @@
 The paper divides each hyperparameter's range into exponential grids
 (1e0, 1e-1, ...), runs every grid point on a 10-trace test suite, keeps
 the top-25 configurations, and re-ranks them on the full trace list.
-The same two-phase structure is implemented here at adjustable scale.
+The same two-phase structure is implemented here at adjustable scale, as
+a thin layer over the declarative :mod:`repro.api.search` subsystem —
+every grid point fans out through the session's executor, lands in its
+result store, and phase 2 reuses phase-1 scores outright when the two
+trace lists coincide.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import itertools
 from dataclasses import dataclass
 
-from repro.core import Pythia, PythiaConfig
+from repro.core import PythiaConfig
 from repro.core.rewards import RewardConfig
-from repro.harness.runner import Runner
-from repro.sim.config import SystemConfig
-from repro.sim.metrics import geomean, speedup
-from repro.sim.system import simulate
+from repro.tuning.common import as_session
 
 #: The exponential grid of §4.3.3 for each of α, γ, ε.
 EXPONENTIAL_GRID: tuple[float, ...] = (1e-4, 1e-3, 1e-2, 1e-1)
@@ -31,23 +31,6 @@ class TuningResult:
     geomean_speedup: float
 
 
-def _score(
-    config: PythiaConfig,
-    trace_names: list[str],
-    runner: Runner,
-    system: SystemConfig,
-) -> float:
-    speeds = []
-    for name in trace_names:
-        trace = runner.trace(name)
-        baseline = runner.baseline(name, system)
-        result = simulate(
-            trace, system, Pythia(config), warmup_fraction=runner.warmup_fraction
-        )
-        speeds.append(speedup(result, baseline))
-    return geomean(speeds)
-
-
 def grid_search_hyperparameters(
     test_traces: list[str],
     full_traces: list[str] | None = None,
@@ -55,33 +38,48 @@ def grid_search_hyperparameters(
     gammas: tuple[float, ...] = (0.3, 0.556, 0.8),
     epsilons: tuple[float, ...] = (0.002, 0.005, 0.02),
     top_k: int = 5,
-    runner: Runner | None = None,
-    system: SystemConfig | None = None,
+    session=None,
+    system=None,
 ) -> list[TuningResult]:
     """Two-phase (α, γ, ε) grid search; best configuration first.
 
     Phase 1 scores the full grid on *test_traces*; phase 2 re-ranks the
-    top-``top_k`` on *full_traces* (defaults to the test suite).
+    top-``top_k`` on *full_traces* (defaults to the test suite, in which
+    case phase-1 scores are reused without re-simulating anything).
     """
-    runner = runner if runner is not None else Runner(trace_length=8_000)
-    system = system if system is not None else SystemConfig()
-    full_traces = full_traces if full_traces is not None else test_traces
-
-    phase1: list[TuningResult] = []
-    for alpha, gamma, epsilon in itertools.product(alphas, gammas, epsilons):
-        config = dataclasses.replace(
-            PythiaConfig(), alpha=alpha, gamma=gamma, epsilon=epsilon
+    session = as_session(session)
+    search = (
+        session.search("hyperparams")
+        .over(alpha=alphas, gamma=gammas, epsilon=epsilons)
+        .with_prefetcher("pythia")
+        .phase1(test_traces)
+        .phase2(full_traces if full_traces is not None else test_traces, top_k=top_k)
+    )
+    if system is not None:
+        search = search.with_system(system)
+    return [
+        TuningResult(
+            config=dataclasses.replace(PythiaConfig(), **entry.overrides),
+            geomean_speedup=entry.score,
         )
-        phase1.append(TuningResult(config, _score(config, test_traces, runner, system)))
-    phase1.sort(key=lambda r: -r.geomean_speedup)
-
-    finalists = phase1[:top_k]
-    phase2 = [
-        TuningResult(r.config, _score(r.config, full_traces, runner, system))
-        for r in finalists
+        for entry in search.run()
     ]
-    phase2.sort(key=lambda r: -r.geomean_speedup)
-    return phase2
+
+
+def _reward_overrides(point: dict) -> dict:
+    """Fold the three reward grid axes into one ``rewards=`` override."""
+    ral = point["accurate_late"]
+    rin_h = point["inaccurate_high"]
+    rnp_h = point["no_prefetch_high"]
+    return {
+        "rewards": RewardConfig(
+            accurate_late=ral,
+            inaccurate_high_bw=rin_h,
+            inaccurate_low_bw=rin_h + 4.0,
+            no_prefetch_high_bw=rnp_h,
+            no_prefetch_low_bw=rnp_h - 1.0,
+        )
+    }
 
 
 def grid_search_rewards(
@@ -89,30 +87,32 @@ def grid_search_rewards(
     accurate_late_values: tuple[float, ...] = (4.0, 8.0, 12.0),
     inaccurate_high_values: tuple[float, ...] = (-14.0, -12.0, -8.0),
     no_prefetch_high_values: tuple[float, ...] = (-2.0, 0.0),
-    runner: Runner | None = None,
-    system: SystemConfig | None = None,
+    session=None,
+    system=None,
 ) -> list[TuningResult]:
     """Grid search over the reward levels the substrate is sensitive to.
 
     This is the search that produced this package's substrate-tuned
     defaults (see :class:`repro.core.rewards.RewardConfig`).
     """
-    runner = runner if runner is not None else Runner(trace_length=8_000)
-    system = system if system is not None else SystemConfig()
-    results: list[TuningResult] = []
-    for ral, rin_h, rnp_h in itertools.product(
-        accurate_late_values, inaccurate_high_values, no_prefetch_high_values
-    ):
-        rewards = RewardConfig(
-            accurate_late=ral,
-            inaccurate_high_bw=rin_h,
-            inaccurate_low_bw=rin_h + 4.0,
-            no_prefetch_high_bw=rnp_h,
-            no_prefetch_low_bw=rnp_h - 1.0,
+    session = as_session(session)
+    search = (
+        session.search("rewards")
+        .over(
+            accurate_late=accurate_late_values,
+            inaccurate_high=inaccurate_high_values,
+            no_prefetch_high=no_prefetch_high_values,
         )
-        config = PythiaConfig().with_rewards(rewards)
-        results.append(
-            TuningResult(config, _score(config, test_traces, runner, system))
+        .with_prefetcher("pythia")
+        .map_points(_reward_overrides)
+        .phase1(test_traces)
+    )
+    if system is not None:
+        search = search.with_system(system)
+    return [
+        TuningResult(
+            config=PythiaConfig().with_rewards(entry.overrides["rewards"]),
+            geomean_speedup=entry.score,
         )
-    results.sort(key=lambda r: -r.geomean_speedup)
-    return results
+        for entry in search.run()
+    ]

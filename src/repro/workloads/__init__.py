@@ -20,7 +20,12 @@ from repro.workloads.suites import (
     all_trace_names,
     motivation_traces,
 )
-from repro.workloads.mixes import homogeneous_mix, heterogeneous_mixes
+from repro.workloads.mixes import (
+    homogeneous_mix,
+    homogeneous_mix_names,
+    heterogeneous_mixes,
+    heterogeneous_mix_names,
+)
 from repro.workloads.cvp import cvp_trace_names, generate_cvp_trace
 
 __all__ = [
@@ -33,7 +38,9 @@ __all__ = [
     "all_trace_names",
     "motivation_traces",
     "homogeneous_mix",
+    "homogeneous_mix_names",
     "heterogeneous_mixes",
+    "heterogeneous_mix_names",
     "cvp_trace_names",
     "generate_cvp_trace",
 ]

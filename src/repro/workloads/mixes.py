@@ -3,6 +3,12 @@
 The paper's n-core evaluations run either n copies of one trace
 (homogeneous) or n randomly drawn traces (heterogeneous).  Mix drawing
 is seeded so experiment runs are repeatable.
+
+The ``*_names`` variants return registry-addressable trace *names* —
+the declarative form :meth:`repro.api.Experiment.with_mixes` wants, so
+mixes stay pure data and executors can rebuild each trace in worker
+processes.  The materializing variants remain for direct
+``simulate_multi`` callers.
 """
 
 from __future__ import annotations
@@ -14,16 +20,39 @@ from repro.workloads.generators import generate_trace
 from repro.workloads.suites import all_trace_names
 
 
-def homogeneous_mix(name: str, num_cores: int, length: int = 20_000) -> list[Trace]:
-    """*num_cores* independent instances of one workload trace.
+def homogeneous_mix_names(name: str, num_cores: int) -> list[str]:
+    """Trace names of *num_cores* independent instances of one workload.
 
     Each core gets its own seed so the copies do not trivially share
     cachelines (as independent processes would not).
     """
     base = name.rsplit("-", 1)[0] if "-" in name else name
+    return [f"{base}-{100 + core}" for core in range(num_cores)]
+
+
+def homogeneous_mix(name: str, num_cores: int, length: int = 20_000) -> list[Trace]:
+    """*num_cores* independent instances of one workload trace."""
     return [
-        generate_trace(base, length=length, seed=100 + core)
-        for core in range(num_cores)
+        generate_trace(trace_name, length=length)
+        for trace_name in homogeneous_mix_names(name, num_cores)
+    ]
+
+
+def heterogeneous_mix_names(
+    num_cores: int,
+    num_mixes: int,
+    seed: int = 7,
+) -> list[tuple[str, list[str]]]:
+    """Randomly drawn n-core mixes as ``(mix_name, [trace_name, ...])``.
+
+    The paper's "Mix" category; drawing is deterministic in *seed* and
+    matches :func:`heterogeneous_mixes` draw-for-draw.
+    """
+    rng = random.Random(seed)
+    pool = all_trace_names()
+    return [
+        (f"mix-{mix_idx}", rng.sample(pool, num_cores))
+        for mix_idx in range(num_mixes)
     ]
 
 
@@ -33,16 +62,8 @@ def heterogeneous_mixes(
     length: int = 20_000,
     seed: int = 7,
 ) -> list[tuple[str, list[Trace]]]:
-    """Randomly drawn n-core mixes, as the paper's "Mix" category.
-
-    Returns ``[(mix_name, [trace, ...]), ...]``; drawing is deterministic
-    in *seed*.
-    """
-    rng = random.Random(seed)
-    pool = all_trace_names()
-    mixes: list[tuple[str, list[Trace]]] = []
-    for mix_idx in range(num_mixes):
-        chosen = rng.sample(pool, num_cores)
-        traces = [generate_trace(name, length=length) for name in chosen]
-        mixes.append((f"mix-{mix_idx}", traces))
-    return mixes
+    """Randomly drawn n-core mixes, materialized as :class:`Trace` lists."""
+    return [
+        (mix_name, [generate_trace(name, length=length) for name in chosen])
+        for mix_name, chosen in heterogeneous_mix_names(num_cores, num_mixes, seed)
+    ]

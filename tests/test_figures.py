@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness import Runner
+from repro.api import ResultStore, Session
 from repro.harness.figures import (
     fig1_motivation,
     fig8b_bandwidth_sweep,
@@ -13,21 +13,21 @@ from repro.harness.figures import (
 
 
 @pytest.fixture(scope="module")
-def runner():
-    return Runner(trace_length=2500)
+def session():
+    return Session(store=ResultStore(), trace_length=2500)
 
 
-def test_fig1_rows(runner):
-    rows = fig1_motivation(runner, ["spec06/lbm-1"], prefetchers=("spp",))
+def test_fig1_rows(session):
+    rows = fig1_motivation(session, ["spec06/lbm-1"], prefetchers=("spp",))
     assert len(rows) == 1
     row = rows[0]
     assert {"workload", "prefetcher", "coverage", "overprediction",
             "ipc_improvement"} <= set(row)
 
 
-def test_fig8b_series_structure(runner):
+def test_fig8b_series_structure(session):
     series = fig8b_bandwidth_sweep(
-        runner, ["spec06/lbm-1"], mtps_points=[600, 2400],
+        session, ["spec06/lbm-1"], mtps_points=[600, 2400],
         prefetchers=("spp",),
     )
     assert set(series) == {"spp"}
@@ -35,9 +35,9 @@ def test_fig8b_series_structure(runner):
     assert all(v > 0 for v in series["spp"].values())
 
 
-def test_fig9a_nested_rollup(runner):
+def test_fig9a_nested_rollup(session):
     rollup = fig9a_per_suite(
-        runner,
+        session,
         {"SPEC06": ["spec06/lbm-1"], "LIGRA": ["ligra/cc-1"]},
         prefetchers=("stride",),
     )
@@ -45,12 +45,12 @@ def test_fig9a_nested_rollup(runner):
     assert "stride" in rollup["SPEC06"]
 
 
-def test_fig9b_combos(runner):
-    result = fig9b_combinations(runner, ["spec06/lbm-1"], combos=("st", "st+s"))
+def test_fig9b_combos(session):
+    result = fig9b_combinations(session, ["spec06/lbm-1"], combos=("st", "st+s"))
     assert set(result) == {"st", "st+s"}
 
 
-def test_fig15_rows(runner):
-    rows = fig15_strict_vs_basic(runner, ["ligra/cc-1"])
+def test_fig15_rows(session):
+    rows = fig15_strict_vs_basic(session, ["ligra/cc-1"])
     assert len(rows) == 1
     assert rows[0]["basic"] > 0 and rows[0]["strict"] > 0

@@ -1,72 +1,55 @@
-"""Tests for the experiment harness: runner, caching, rollups."""
+"""Tests for the harness layer: rollups, legacy specs, deprecated shim.
+
+Execution behaviour (caching, baselines, mixes) is covered by
+``test_api_session.py``/``test_search.py``; this module checks the
+rollup helpers against Session-produced records, the legacy
+``ExperimentSpec`` bridge, and that the deprecated ``Runner`` stub still
+forwards while warning.
+"""
 
 import pytest
 
+from repro.api import ResultStore, Session
 from repro.harness import Runner, per_prefetcher_geomean, per_suite_geomean
 from repro.harness.experiment import ExperimentSpec
 from repro.harness.rollup import coverage_rollup, format_table, sorted_speedups
-from repro.sim.config import SystemConfig
 
 
 @pytest.fixture(scope="module")
-def runner():
-    return Runner(trace_length=3000)
+def session():
+    return Session(store=ResultStore(), trace_length=3000)
 
 
-def test_trace_caching(runner):
-    a = runner.trace("spec06/lbm-1")
-    b = runner.trace("spec06/lbm-1")
-    assert a is b
-
-
-def test_baseline_caching(runner):
-    config = SystemConfig()
-    a = runner.baseline("spec06/lbm-1", config)
-    b = runner.baseline("spec06/lbm-1", config)
-    assert a is b
-
-
-def test_baseline_not_shared_across_configs(runner):
-    a = runner.baseline("spec06/lbm-1", SystemConfig())
-    b = runner.baseline("spec06/lbm-1", SystemConfig().with_mtps(300))
-    assert a is not b
-
-
-def test_run_record_metrics(runner):
-    record = runner.run("spec06/lbm-1", "stride")
+def test_run_record_metrics(session):
+    record = session.run_one("spec06/lbm-1", "stride")
     assert record.suite == "SPEC06"
     assert record.speedup > 0
     assert -1.0 <= record.coverage <= 1.0
 
 
-def test_none_prefetcher_speedup_is_one(runner):
-    record = runner.run("spec06/lbm-1", "none")
-    assert record.speedup == pytest.approx(1.0)
-    assert record.coverage == pytest.approx(0.0)
-
-
-def test_cvp_namespace(runner):
-    record = runner.run("cvp/fp-stencil-1", "stride")
+def test_cvp_namespace(session):
+    record = session.run_one("cvp/fp-stencil-1", "stride")
     assert record.suite == "CVP-FP"
 
 
-def test_run_experiment(runner):
+def test_experiment_spec_bridge(session):
     spec = ExperimentSpec(
         name="mini",
         trace_names=("spec06/lbm-1", "spec06/mcf-1"),
         prefetchers=("none", "stride"),
+        trace_length=3000,
     )
-    records = runner.run_experiment(spec)
+    records = session.run(spec)
     assert len(records) == 4
 
 
-def test_rollups(runner):
-    spec = ExperimentSpec(
-        name="mini",
-        trace_names=("spec06/lbm-1", "parsec/canneal-1"),
-        prefetchers=("stride", "spp"),
+def test_rollups(session):
+    results = session.run(
+        session.experiment("mini")
+        .with_traces("spec06/lbm-1", "parsec/canneal-1")
+        .with_prefetchers("stride", "spp")
     )
-    records = runner.run_experiment(spec)
+    records = list(results)
     flat = per_prefetcher_geomean(records)
     assert set(flat) == {"stride", "spp"}
     nested = per_suite_geomean(records)
@@ -78,18 +61,34 @@ def test_rollups(runner):
     assert line[0][1] <= line[1][1]
 
 
-def test_run_mix(runner):
-    from repro.sim.config import baseline_multi_core
-    from repro.workloads import homogeneous_mix
-
-    traces = homogeneous_mix("spec06/lbm", 2, length=2000)
-    result, baseline = runner.run_mix(traces, "stride", baseline_multi_core(2))
-    assert result.instructions > 0
-    assert baseline.prefetcher_name == "none"
-
-
 def test_format_table():
     text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
     lines = text.splitlines()
     assert len(lines) == 4
     assert "a" in lines[0] and "bb" in lines[0]
+
+
+# ---- the deprecated Runner stub -------------------------------------------
+
+
+def test_runner_stub_warns_and_forwards(session):
+    with pytest.deprecated_call():
+        runner = Runner(session=session)
+    record = runner.run("spec06/lbm-1", "stride")
+    assert record.prefetcher == "stride"
+    assert record.speedup > 0
+    # The shim shares its session's store: no extra simulation happened.
+    assert record.result is session.run_one("spec06/lbm-1", "stride").result
+
+
+def test_runner_stub_mix_forwards(session):
+    from repro.workloads import homogeneous_mix_names
+
+    with pytest.deprecated_call():
+        runner = Runner(session=session)
+    names = homogeneous_mix_names("spec06/lbm", 2)
+    result, baseline = runner.run_mix(names, "stride", "2c")
+    assert result.instructions > 0
+    assert baseline.prefetcher_name == "none"
+    direct, _ = session.run_mix(names, "stride", "2c")
+    assert direct is result

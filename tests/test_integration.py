@@ -6,8 +6,8 @@ tiny scale so the whole file runs in well under a minute.
 
 import pytest
 
+from repro.api import ResultStore, Session
 from repro.core import Pythia, PythiaConfig
-from repro.harness import Runner
 from repro.prefetchers import create
 from repro.sim import baseline_multi_core, baseline_single_core, simulate, simulate_multi
 from repro.sim.metrics import coverage, overprediction, speedup
@@ -15,28 +15,28 @@ from repro.workloads import generate_trace, homogeneous_mix
 
 
 @pytest.fixture(scope="module")
-def runner():
+def session():
     # Long enough for Pythia's optimistic exploration to settle on the
     # noise workloads; short enough that the whole module stays fast.
-    return Runner(trace_length=10_000)
+    return Session(store=ResultStore(), trace_length=10_000)
 
 
-def test_pythia_learns_delta_workload(runner):
+def test_pythia_learns_delta_workload(session):
     """GemsFDTD-like: Pythia's top offsets should be the pattern deltas."""
-    trace = runner.trace("spec06/gemsfdtd-1")
+    trace = session.trace("spec06/gemsfdtd-1")
     pythia = create("pythia")
     simulate(trace, baseline_single_core(), pythia)
     top_offsets = [offset for offset, _ in pythia.top_actions(4)]
     assert 23 in top_offsets or 11 in top_offsets
 
 
-def test_pythia_beats_baseline_on_prefetchable(runner):
-    record = runner.run("spec06/lbm-1", "pythia")
+def test_pythia_beats_baseline_on_prefetchable(session):
+    record = session.run_one("spec06/lbm-1", "pythia")
     assert record.speedup > 1.02
     assert record.coverage > 0.3
 
 
-def test_pythia_low_overprediction_on_irregular(runner):
+def test_pythia_low_overprediction_on_irregular(session):
     """On mcf-like noise Pythia learns to hold back (low overprediction).
 
     Early in the run the optimistic initialization makes Pythia try its
@@ -44,27 +44,27 @@ def test_pythia_low_overprediction_on_irregular(runner):
     overprediction must have decayed well below an always-prefetching
     policy (which would sit near 1.0).
     """
-    record = runner.run("spec06/mcf-1", "pythia")
+    record = session.run_one("spec06/mcf-1", "pythia")
     assert record.overprediction < 0.45
 
 
-def test_bingo_wins_region_workloads(runner):
+def test_bingo_wins_region_workloads(session):
     """Fig 1 regime: footprint predictors dominate sphinx/canneal."""
-    bingo = runner.run("parsec/canneal-1", "bingo")
-    spp = runner.run("parsec/canneal-1", "spp")
+    bingo = session.run_one("parsec/canneal-1", "bingo")
+    spp = session.run_one("parsec/canneal-1", "spp")
     assert bingo.coverage > spp.coverage
 
 
-def test_spp_handles_delta_workloads(runner):
-    spp = runner.run("spec06/gemsfdtd-1", "spp")
+def test_spp_handles_delta_workloads(session):
+    spp = session.run_one("spec06/gemsfdtd-1", "spp")
     assert spp.coverage > 0.2
     assert spp.speedup > 1.0
 
 
-def test_mlop_overpredicts_more_than_pythia(runner):
+def test_mlop_overpredicts_more_than_pythia(session):
     """Fig 7's overprediction ordering on an irregular-heavy workload."""
-    mlop = runner.run("ligra/cc-1", "mlop")
-    pythia = runner.run("ligra/cc-1", "pythia")
+    mlop = session.run_one("ligra/cc-1", "mlop")
+    pythia = session.run_one("ligra/cc-1", "pythia")
     assert mlop.overprediction > pythia.overprediction
 
 
@@ -102,10 +102,10 @@ def test_multicore_end_to_end():
     assert pythia.ipc > base.ipc * 0.9
 
 
-def test_multilevel_stride_plus_pythia(runner):
+def test_multilevel_stride_plus_pythia(session):
     """Fig 8d: L1 stride + L2 Pythia runs and helps."""
-    trace = runner.trace("spec06/leslie3d-1")
-    base = runner.baseline("spec06/leslie3d-1", baseline_single_core())
+    trace = session.trace("spec06/leslie3d-1")
+    base = session.baseline("spec06/leslie3d-1", baseline_single_core())
     result = simulate(
         trace,
         baseline_single_core(),
@@ -115,19 +115,19 @@ def test_multilevel_stride_plus_pythia(runner):
     assert speedup(result, base) > 0.95
 
 
-def test_prefetcher_combination_overpredicts_more(runner):
+def test_prefetcher_combination_overpredicts_more(session):
     """Fig 9b/10b: combining prefetchers combines overpredictions."""
-    combo = runner.run("ligra/bfs-1", "st+s+b+d+m")
-    single = runner.run("ligra/bfs-1", "spp")
+    combo = session.run_one("ligra/bfs-1", "st+s+b+d+m")
+    single = session.run_one("ligra/bfs-1", "spp")
     assert combo.overprediction >= single.overprediction - 0.05
 
 
-def test_strict_pythia_reduces_traffic_on_ligra(runner):
-    basic = runner.run("ligra/cc-1", "pythia")
-    strict = runner.run("ligra/cc-1", "pythia_strict")
+def test_strict_pythia_reduces_traffic_on_ligra(session):
+    basic = session.run_one("ligra/cc-1", "pythia")
+    strict = session.run_one("ligra/cc-1", "pythia_strict")
     assert strict.result.dram_prefetch_reads <= basic.result.dram_prefetch_reads * 1.1
 
 
-def test_unseen_traces_run(runner):
-    record = runner.run("cvp/fp-solver-1", "pythia")
+def test_unseen_traces_run(session):
+    record = session.run_one("cvp/fp-solver-1", "pythia")
     assert record.speedup > 0.8

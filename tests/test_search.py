@@ -1,0 +1,245 @@
+"""Tests for the declarative search subsystem (repro.api.search) and the
+mix-aware experiment layer: ParamSpace expansion, two-phase leaderboards,
+mix cells, and serial/process-pool equivalence down to store fingerprints.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    Experiment,
+    MixCell,
+    MixCellResult,
+    ParamSpace,
+    ProcessPoolExecutor,
+    ResultStore,
+    SerialExecutor,
+    Session,
+)
+
+pytestmark = pytest.mark.quick
+
+LENGTH = 1200
+TRACES = ("spec06/lbm-1", "spec06/gemsfdtd-1")
+MIX = ("m0", ("spec06/lbm-1", "spec06/mcf-1"))
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return Session(store=ResultStore(tmp_path / "store"), trace_length=LENGTH)
+
+
+# ---- parameter spaces -----------------------------------------------------
+
+
+def test_param_space_points_cross_product():
+    space = ParamSpace.of(alpha=(0.1, 0.2), gamma=(0.5,), epsilon=(1, 2, 3))
+    assert len(space) == 6
+    points = space.points()
+    assert len(points) == 6
+    assert points[0] == {"alpha": 0.1, "gamma": 0.5, "epsilon": 1}
+    assert len({tuple(sorted(p.items())) for p in points}) == 6
+
+
+def test_param_space_rejects_empty_axis():
+    with pytest.raises(ValueError):
+        ParamSpace.of(alpha=())
+
+
+def test_search_without_traces_or_points_raises(session):
+    with pytest.raises(ValueError):
+        session.search("x").over(alpha=(0.1,)).run()
+    with pytest.raises(ValueError):
+        session.search("x").phase1(TRACES).run()
+
+
+# ---- grid search ----------------------------------------------------------
+
+
+def test_search_leaderboard_sorted_and_typed(session):
+    result = (
+        session.search("lead")
+        .over(epsilon=(0.005, 0.5))
+        .with_prefetcher("pythia")
+        .phase1(TRACES)
+        .run()
+    )
+    assert len(result) == 2
+    scores = [entry.score for entry in result]
+    assert scores == sorted(scores, reverse=True)
+    assert result.best is result.entries[0]
+    assert result.best.point in ({"epsilon": 0.005}, {"epsilon": 0.5})
+    assert result.best.spec.name == "pythia"
+    assert "epsilon" in result.table()
+
+
+def test_search_two_phase_reranks_on_full_traces(session):
+    result = (
+        session.search("two-phase")
+        .over(epsilon=(0.005, 0.05, 0.5))
+        .with_prefetcher("pythia")
+        .phase1(TRACES[:1])
+        .phase2(TRACES, top_k=2)
+        .run()
+    )
+    assert len(result.phase1_entries) == 3
+    assert len(result.entries) == 2  # only the finalists survive
+    assert all(entry.phase2_score is not None for entry in result)
+    assert result.stats["phase2"]["cells"] > 0
+    # Finalists were chosen by phase-1 rank.
+    finalist_points = {tuple(e.point.items()) for e in result}
+    top2_phase1 = {tuple(e.point.items()) for e in result.phase1_entries[:2]}
+    assert finalist_points == top2_phase1
+
+
+def test_search_repeat_hits_store(session):
+    def run():
+        return (
+            session.search("cached")
+            .over(alpha=(0.01, 0.05))
+            .with_prefetcher("pythia")
+            .phase1(TRACES[:1])
+            .run()
+        )
+
+    run()
+    again = run()
+    assert again.stats["phase1"]["simulated"] == 0
+    assert again.stats["phase1"]["cached"] == again.stats["phase1"]["cells"]
+
+
+def test_search_base_overrides_and_mapper(session):
+    result = (
+        session.search("mapped")
+        .over(level=(1, 2))
+        .with_prefetcher("pythia", gamma=0.5)
+        .map_points(lambda point: {"epsilon": point["level"] / 100.0})
+        .phase1(TRACES[:1])
+        .run()
+    )
+    for entry in result:
+        overrides = dict(entry.spec.overrides)
+        assert overrides["gamma"] == 0.5
+        assert overrides["epsilon"] == entry.point["level"] / 100.0
+
+
+# ---- mixes as experiment cells --------------------------------------------
+
+
+def test_experiment_mix_expansion():
+    ex = (
+        Experiment.define("mix")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("stride", "none")
+        .with_mixes(MIX)
+        .with_length(LENGTH)
+    )
+    cells = ex.cells()
+    assert len(cells) == len(ex) == 4
+    mix_cells = [c for c in cells if isinstance(c, MixCell)]
+    assert len(mix_cells) == 2
+    assert all(c.system.config.num_cores == 2 for c in mix_cells)
+    assert len({c.fingerprint() for c in cells}) == 4
+
+
+def test_mix_system_core_count_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Experiment.define("bad").with_prefetchers("stride").with_mixes(
+            ("m", ("spec06/lbm-1", "spec06/mcf-1"), "4c")
+        )
+
+
+def test_mix_results_carry_per_core_records(session):
+    results = session.run(
+        session.experiment("mixres").with_mixes(MIX).with_prefetchers("stride")
+    )
+    (record,) = list(results)
+    assert isinstance(record, MixCellResult)
+    assert record.suite == "MIX"
+    assert record.traces == MIX[1]
+    per_core = record.per_core()
+    assert [row["trace"] for row in per_core] == list(MIX[1])
+    assert per_core == results.per_core_rows()
+    assert record.per_core_speedups == pytest.approx(
+        [row["speedup"] for row in per_core]
+    )
+
+
+def test_run_mix_is_thin_wrapper_over_cells(session):
+    """Session.run_mix and the declarative mix path share cache entries."""
+    results = session.run(
+        session.experiment("shared").with_mixes(MIX).with_prefetchers("stride")
+    )
+    result, baseline = session.run_mix(MIX[1], "stride", "2c")
+    assert result is results[0].result
+    assert baseline is results[0].baseline
+
+
+def test_run_mix_stores_meta(tmp_path):
+    """Regression: mix store entries must carry their canonical meta."""
+    import json
+
+    store = ResultStore(tmp_path / "meta-store")
+    session = Session(store=store, trace_length=LENGTH)
+    session.run_mix(MIX[1], "stride", "2c")
+    payloads = [
+        json.loads(f.read_text()) for f in store.path.glob("*/*.json")
+    ]
+    assert len(payloads) == 2  # mix + its baseline
+    for payload in payloads:
+        assert payload["meta"] is not None
+        assert payload["meta"]["__class__"] == "MixCell"
+
+
+# ---- executor equivalence -------------------------------------------------
+
+
+def _sweep_experiment(session):
+    return (
+        session.experiment("eq")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("stride", "spp")
+        .with_mixes(MIX)
+    )
+
+
+def _run_everything(tmp_path, executor, tag):
+    """One mix sweep + one small grid search on a fresh disk store."""
+    session = Session(
+        store=ResultStore(tmp_path / tag),
+        executor=executor,
+        trace_length=LENGTH,
+    )
+    sweep = session.run(_sweep_experiment(session))
+    search = (
+        session.search("eq-grid")
+        .over(epsilon=(0.005, 0.05))
+        .with_prefetcher("pythia")
+        .phase1(TRACES)
+        .run()
+    )
+    keys = {f.stem for f in session.store.path.glob("*/*.json")}
+    return sweep, search, keys
+
+
+def test_executor_equivalence_mix_and_search(tmp_path):
+    """The same experiment + search under SerialExecutor and
+    ProcessPoolExecutor must produce identical ResultSet tables and
+    identical store fingerprints."""
+    serial_sweep, serial_search, serial_keys = _run_everything(
+        tmp_path, SerialExecutor(), "serial"
+    )
+    pool_sweep, pool_search, pool_keys = _run_everything(
+        tmp_path, ProcessPoolExecutor(max_workers=2), "pool"
+    )
+
+    assert serial_keys == pool_keys
+    assert serial_sweep.table() == pool_sweep.table()
+    for a, b in zip(serial_sweep, pool_sweep):
+        assert dataclasses.asdict(a.result) == dataclasses.asdict(b.result)
+        assert dataclasses.asdict(a.baseline) == dataclasses.asdict(b.baseline)
+    assert [e.point for e in serial_search] == [e.point for e in pool_search]
+    assert [e.score for e in serial_search] == pytest.approx(
+        [e.score for e in pool_search]
+    )

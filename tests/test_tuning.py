@@ -1,14 +1,19 @@
-"""Tests for the automated design-space exploration (§4.3)."""
+"""Tests for the automated design-space exploration (§4.3).
+
+The tuning loops are thin layers over :mod:`repro.api.search`; they run
+on a shared :class:`repro.api.Session` here so candidate evaluations and
+baselines are cached across the module.
+"""
 
 import pytest
 
+from repro.api import ResultStore, Session
 from repro.core.features import (
     BASIC_FEATURES,
     ControlFlow,
     DataFlow,
     FeatureSpec,
 )
-from repro.harness import Runner
 from repro.tuning import (
     evaluate_feature_vector,
     feature_selection,
@@ -20,11 +25,29 @@ from repro.tuning.feature_selection import candidate_vectors
 
 
 @pytest.fixture(scope="module")
-def runner():
-    return Runner(trace_length=2500)
+def session():
+    return Session(store=ResultStore(), trace_length=2500)
 
 
 TRACES = ["spec06/lbm-1", "spec06/gemsfdtd-1"]
+
+
+def test_tuning_is_runner_free():
+    """The loops must speak repro.api natively: no Runner imports."""
+    import sys
+
+    import repro.tuning.action_pruning
+    import repro.tuning.feature_selection
+    import repro.tuning.grid_search  # noqa: F401  (imported for the check)
+
+    for name, module in sys.modules.items():
+        if not (name or "").startswith("repro.tuning"):
+            continue
+        assert "Runner" not in vars(module), f"{name} imports Runner"
+        assert not any(
+            getattr(value, "__module__", "") == "repro.harness.runner"
+            for value in vars(module).values()
+        ), f"{name} imports from repro.harness.runner"
 
 
 def test_candidate_vectors_counts():
@@ -34,52 +57,88 @@ def test_candidate_vectors_counts():
     assert len(any2) == 31 + 31 * 30 // 2
 
 
-def test_evaluate_feature_vector(runner):
-    score = evaluate_feature_vector(BASIC_FEATURES, TRACES, runner)
+def test_evaluate_feature_vector(session):
+    score = evaluate_feature_vector(BASIC_FEATURES, TRACES, session)
     assert score.geomean_speedup > 0
     assert "pc+delta" in score.label
 
 
-def test_feature_selection_ranks(runner):
+def test_feature_selection_ranks(session):
     vectors = [
         BASIC_FEATURES,
         (FeatureSpec(ControlFlow.PC, DataFlow.NONE),),
     ]
-    scores = feature_selection(TRACES, runner, vectors=vectors)
+    scores = feature_selection(TRACES, session, vectors=vectors)
     assert len(scores) == 2
     assert scores[0].geomean_speedup >= scores[1].geomean_speedup
 
 
-def test_prune_actions_keeps_no_prefetch(runner):
+def test_prune_actions_keeps_no_prefetch(session):
     initial = (-3, -1, 0, 1, 3, 30)
     pruned, impacts = prune_actions(
-        TRACES, initial, keep=4, runner=runner
+        TRACES, initial, keep=4, session=session
     )
     assert 0 in pruned
     assert len(pruned) >= 4
     assert len(impacts) == len(initial) - 1  # all but action 0 evaluated
 
 
-def test_grid_search_hyperparameters(runner):
+def test_grid_search_hyperparameters(session):
     results = grid_search_hyperparameters(
         TRACES,
         alphas=(0.02,),
         gammas=(0.556,),
         epsilons=(0.005, 0.05),
         top_k=2,
-        runner=runner,
+        session=session,
     )
     assert len(results) == 2
     assert results[0].geomean_speedup >= results[1].geomean_speedup
 
 
-def test_grid_search_rewards(runner):
+def test_grid_search_phase2_reuses_phase1_scores():
+    """Regression: with ``full_traces is test_traces`` phase 2 must not
+    re-simulate the finalists — phase-1 scores are reused outright."""
+    store = ResultStore()
+    session = Session(store=store, trace_length=2000)
+    puts_before = store.puts
+    results = grid_search_hyperparameters(
+        TRACES,
+        full_traces=TRACES,
+        alphas=(0.02,),
+        gammas=(0.556,),
+        epsilons=(0.005, 0.05),
+        top_k=2,
+        session=session,
+    )
+    # Phase 1: 2 grid cells per trace + 1 baseline per trace.
+    assert store.puts - puts_before == len(TRACES) * 3
+    assert len(results) == 2
+
+    # The declarative search reports it explicitly too.
+    search_result = (
+        session.search("reuse")
+        .over(epsilon=(0.005, 0.05))
+        .with_prefetcher("pythia")
+        .phase1(TRACES)
+        .phase2(TRACES, top_k=1)
+        .run()
+    )
+    assert search_result.stats["phase2"] == {
+        "cells": 0,
+        "simulated": 0,
+        "cached": 0,
+    }
+    assert search_result.best.phase2_score == search_result.best.phase1_score
+
+
+def test_grid_search_rewards(session):
     results = grid_search_rewards(
         TRACES,
         accurate_late_values=(8.0,),
         inaccurate_high_values=(-12.0,),
         no_prefetch_high_values=(0.0, -2.0),
-        runner=runner,
+        session=session,
     )
     assert len(results) == 2
     assert all(r.geomean_speedup > 0 for r in results)
