@@ -12,12 +12,16 @@
 #                    (commit the diff when a PR moves performance).
 #   make profile   - cProfile one cell; configure via PROFILE_ARGS, e.g.
 #                    PROFILE_ARGS="--prefetcher spp --length 50000".
+#   make coverage  - line coverage of src/repro/api + src/repro/workloads
+#                    (stdlib tracer, term-missing report) checked against
+#                    the floor in scripts/coverage_floor.json; re-record
+#                    with `python scripts/coverage.py --update-floor`.
 #   make all       - everything pytest collects (tier-1 verify).
 
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: quick sweep-smoke test bench perfbench profile all
+.PHONY: quick sweep-smoke test bench perfbench profile coverage all
 
 quick:
 	$(PY) -m pytest -m quick -q
@@ -36,6 +40,9 @@ perfbench:
 
 profile:
 	$(PY) scripts/profile.py $(PROFILE_ARGS)
+
+coverage:
+	$(PY) scripts/coverage.py
 
 all:
 	$(PY) -m pytest -q

@@ -1,6 +1,10 @@
 """Fig 9: single-core performance per suite, and prefetcher combinations.
 
-Panel (a): geomean speedup per workload suite for SPP/Bingo/MLOP/Pythia.
+Panel (a): geomean speedup per workload suite for SPP/Bingo/MLOP/Pythia,
+replicated across trace seeds (``with_seeds``) so the table carries
+±std error bars — Pythia's learning is stochastic by construction, and
+a single draw per workload cannot distinguish a real win from seed
+noise.
 Panel (b): Pythia against cumulative combinations Stride, Stride+SPP, …
 — the paper's demonstration that multi-feature learning beats bolting
 single-feature prefetchers together (combined coverage also combines
@@ -9,6 +13,9 @@ overpredictions).
 
 from conftest import COMPETITORS, all_sample_traces, once
 from repro.harness.rollup import format_table
+
+#: Trace replicates per cell in panel (a).
+FIG9A_SEEDS = 2
 
 COMBOS = ["st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"]
 COMBO_TRACES = ["spec06/lbm-1", "ligra/cc-1", "parsec/canneal-1", "spec06/mcf-1"]
@@ -20,21 +27,42 @@ def test_fig09a_per_suite(session, benchmark):
             session.experiment("fig9a")
             .with_traces(*all_sample_traces())
             .with_prefetchers(*COMPETITORS)
+            .with_seeds(FIG9A_SEEDS)
         )
 
     results = once(benchmark, run)
     rollup = results.rollup("suite", "prefetcher")
+
+    def seed_spread(subset):
+        """Mean across the suite's workloads of the per-workload
+        seed-replicate std — cross-workload heterogeneity must not leak
+        into the error bar, only seed noise."""
+        stds = [group.std() for group in subset.group("trace_name").values()]
+        return sum(stds) / len(stds)
+
     rows = [
-        (suite, *[f"{rollup[suite][pf]:.3f}" for pf in COMPETITORS])
-        for suite in rollup
+        (
+            suite,
+            *[
+                f"{rollup[suite][pf]:.3f} "
+                f"±{seed_spread(by_suite.filter(prefetcher=pf)):.3f}"
+                for pf in COMPETITORS
+            ],
+        )
+        for suite, by_suite in results.group("suite").items()
     ]
-    print("\nFig 9a: geomean speedup per suite (1C)")
+    print(
+        f"\nFig 9a: geomean speedup per suite "
+        f"(1C, {FIG9A_SEEDS} seeds, ± mean per-workload seed std)"
+    )
     print(format_table(["suite", *COMPETITORS], rows))
 
     overall = results.rollup("prefetcher")
     print("overall:", {pf: round(s, 3) for pf, s in overall.items()})
-    # Sanity: Pythia improves over no-prefetching on aggregate.
+    # Sanity: Pythia improves over no-prefetching on aggregate, and every
+    # record carries the seed it was drawn from.
     assert overall["pythia"] > 1.0
+    assert {r.seed for r in results} == set(range(1, FIG9A_SEEDS + 1))
 
 
 def test_fig09b_combinations(session):

@@ -50,3 +50,18 @@ def test_mix_smoke(quick_session):
     )
     assert result.instructions > 0
     assert baseline.prefetcher_name == "none"
+
+
+def test_replicated_smoke(quick_session):
+    """Seed replication end-to-end: mean/std/CI across trace seeds."""
+    results = quick_session.run(
+        quick_session.experiment("smoke-seeds")
+        .with_traces(TRACES[0])
+        .with_prefetchers("stride")
+        .with_seeds(2)
+    )
+    assert [r.seed for r in results] == [1, 2]
+    assert all(r.trace_name == "spec06/lbm" for r in results)
+    summary = results.summary("speedup")
+    assert summary["n"] == 2 and summary["mean"] > 0
+    assert results.rollup("trace_name", agg="std")["spec06/lbm"] >= 0.0

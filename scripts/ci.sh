@@ -11,6 +11,11 @@
 # regression floors too (BENCH_perf.json is rewritten by
 # `make perfbench`, not by CI).  The slow figure-regeneration suite
 # (`make bench`) is a separate, scheduled job.
+#
+# The final step re-runs the API/workloads-facing suites under the
+# stdlib coverage tracer (scripts/coverage.py) and fails the build if
+# line coverage of src/repro/api or src/repro/workloads drops below the
+# floor recorded in scripts/coverage_floor.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
@@ -19,3 +24,4 @@ python -m pytest benchmarks/test_sweep_smoke.py -q
 python -m pytest -m quick -q --ignore=benchmarks/test_sweep_smoke.py
 python -m pytest tests -q -m "not quick"
 python -m pytest benchmarks/test_perf_throughput.py -q -m "not quick"
+python scripts/coverage.py

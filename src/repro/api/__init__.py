@@ -29,8 +29,11 @@ Pieces (all replaceable independently):
 
 Multi-core mixes are first-class: :meth:`Experiment.with_mixes` expands
 them into :class:`MixCell` work units batched through the executors.
-The legacy ``repro.harness.Runner`` API is a deprecated shim over a
-memory-only :class:`Session`, slated for removal.
+Seed replication is too: :meth:`Experiment.with_seeds` fans every cell
+across trace seeds as :class:`ReplicatedCell` work units, and
+:class:`ResultSet` rollups report mean/std/CI across the replicates.
+External trace recordings join the same machinery through the
+registry's ``file/`` namespace (:mod:`repro.workloads.ingest`).
 """
 
 from repro.api.executors import (
@@ -45,6 +48,7 @@ from repro.api.experiment import (
     Experiment,
     MixCell,
     PrefetcherSpec,
+    ReplicatedCell,
     SystemSpec,
     WorkCell,
 )
@@ -65,6 +69,7 @@ __all__ = [
     "ParamSpace",
     "PrefetcherSpec",
     "ProcessPoolExecutor",
+    "ReplicatedCell",
     "ResultSet",
     "ResultStore",
     "SearchEntry",

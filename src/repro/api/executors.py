@@ -33,17 +33,20 @@ def execute_cell(cell: WorkCell) -> SimulationResult:
     return cell.execute()
 
 
-def _init_worker(extra_prefetchers: dict) -> None:
-    """Replicate the parent's runtime prefetcher registrations.
+def _init_worker(extra_prefetchers: dict, trace_files: dict | None = None) -> None:
+    """Replicate the parent's runtime registry registrations.
 
     Spawn/forkserver workers import a fresh :mod:`repro.registry` whose
-    ``register_prefetcher`` table is empty; without this, cells naming a
-    runtime-registered prefetcher would fail in the worker.  (System
-    specs need no replication — cells embed the resolved config.)
+    ``register_prefetcher`` / ``register_trace_file`` tables are empty;
+    without this, cells naming a runtime-registered prefetcher or a
+    ``file/<alias>`` trace would fail in the worker.  (System specs need
+    no replication — cells embed the resolved config.)
     """
     from repro import registry
 
     registry._EXTRA_PREFETCHERS.update(extra_prefetchers)
+    if trace_files:
+        registry._TRACE_FILES.update(trace_files)
 
 
 @runtime_checkable
@@ -98,7 +101,7 @@ class ProcessPoolExecutor:
             max_workers=workers,
             mp_context=mp_context,
             initializer=_init_worker,
-            initargs=(dict(registry._EXTRA_PREFETCHERS),),
+            initargs=(dict(registry._EXTRA_PREFETCHERS), dict(registry._TRACE_FILES)),
         ) as pool:
             return list(pool.map(execute_cell, cells, chunksize=chunksize))
 

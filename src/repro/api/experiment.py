@@ -212,6 +212,39 @@ class Cell:
 
 
 @dataclass(frozen=True)
+class ReplicatedCell(Cell):
+    """One seed-replicate of a cell (:meth:`Experiment.with_seeds`).
+
+    A plain :class:`Cell` whose :attr:`trace` is the *seed*-th replicate
+    of :attr:`base_trace`'s workload.  The fingerprint is inherited
+    unchanged, so a replicate shares its store entry with an equivalent
+    unreplicated cell on the same seeded trace — replication adds no new
+    cache keys, only a grouping convention: :meth:`record` reports the
+    *base* workload name and carries :attr:`seed`, so
+    :meth:`~repro.api.resultset.ResultSet.rollup` aggregates replicates
+    of one workload together (``agg="mean"``/``"std"``/``"ci95"``).
+    """
+
+    seed: int = 1
+    base_trace: str = ""
+
+    def record(self, result, baseline):
+        """Typed record keyed by the base workload, carrying the seed."""
+        from repro import registry
+        from repro.api.resultset import CellResult
+
+        return CellResult(
+            trace_name=self.base_trace or result.trace_name,
+            suite=registry.suite_of(self.trace),
+            prefetcher=self.prefetcher.display,
+            system=self.system.label,
+            result=result,
+            baseline=baseline,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
 class MixCell:
     """One multi-programmed multi-core mix as a declarative work unit.
 
@@ -379,6 +412,8 @@ class Experiment:
             single-core cell (multi-level experiments, Fig 8d).
         records_per_core: measured records per core for mixes (defaults
             to the shortest trace's post-warmup length).
+        seeds: trace replicates per single-core cell
+            (:meth:`with_seeds`); 1 means unreplicated.
     """
 
     name: str = "experiment"
@@ -390,6 +425,7 @@ class Experiment:
     warmup_fraction: float = 0.2
     l1_prefetcher: PrefetcherSpec | None = None
     records_per_core: int | None = None
+    seeds: int = 1
 
     @classmethod
     def define(cls, name: str, **kwargs) -> "Experiment":
@@ -495,7 +531,52 @@ class Experiment:
             records_per_core=records_per_core,
         )
 
+    def with_seeds(self, seeds: int) -> "Experiment":
+        """Replicate every single-core cell across *seeds* trace seeds.
+
+        Each declared trace expands into *seeds* replicates of its
+        workload (``spec06/lbm-1`` at 3 seeds → ``lbm-1``/``lbm-2``/
+        ``lbm-3`` as :class:`ReplicatedCell` work units) riding the
+        normal executor/store machinery; records report the *base*
+        workload name and carry their seed, so
+        :meth:`ResultSet.rollup(..., agg="mean"|"std"|"ci95")
+        <repro.api.resultset.ResultSet.rollup>` reports variance across
+        replicates.  A trace axis naming several seeds of one workload
+        (as ``with_suites`` does) collapses to one replicate set per
+        workload, so no replicate is double-counted.  Non-reseedable
+        traces (``file/`` recordings) run once.  Mixes are unaffected.
+        """
+        if seeds < 1:
+            raise ValueError(f"seeds must be >= 1, got {seeds}")
+        return replace(self, seeds=seeds)
+
     # ---- expansion ------------------------------------------------------
+
+    def _replicated(self, trace: str, prefetcher, system) -> list["Cell"]:
+        """The seed replicates of one (trace, prefetcher, system) cell."""
+        from repro import registry
+
+        cells: list[Cell] = []
+        base = registry.base_workload_name(trace)
+        for seed in range(1, self.seeds + 1):
+            seeded = registry.reseed_trace_name(trace, seed)
+            if seeded is None:  # fixed recording: one cell, no seed axis
+                if seed > 1:
+                    break
+                seeded = trace
+            cells.append(
+                ReplicatedCell(
+                    trace=seeded,
+                    prefetcher=prefetcher,
+                    system=system,
+                    trace_length=self.trace_length,
+                    warmup_fraction=self.warmup_fraction,
+                    l1_prefetcher=self.l1_prefetcher,
+                    seed=seed,
+                    base_trace=base,
+                )
+            )
+        return cells
 
     def cells(self) -> list[WorkCell]:
         """Expand the declarative cross product into work units."""
@@ -505,19 +586,36 @@ class Experiment:
             raise ValueError(f"experiment {self.name!r} has no prefetchers")
         if self.traces and not self.systems:
             raise ValueError(f"experiment {self.name!r} has no systems")
-        cells: list[WorkCell] = [
-            Cell(
-                trace=trace,
-                prefetcher=prefetcher,
-                system=system,
-                trace_length=self.trace_length,
-                warmup_fraction=self.warmup_fraction,
-                l1_prefetcher=self.l1_prefetcher,
-            )
-            for system in self.systems
-            for trace in self.traces
-            for prefetcher in self.prefetchers
-        ]
+        traces: Sequence[str] = self.traces
+        if self.seeds > 1 and traces:
+            # Replication expands each *workload* into its seed set, so a
+            # trace axis already naming several seeds of one workload
+            # (e.g. with_suites lists 2 per workload) must collapse to
+            # one entry each — otherwise every replicate appears once per
+            # listed seed and the variance statistics double-count.
+            from repro import registry
+
+            unique: dict[str, str] = {}
+            for trace in traces:
+                unique.setdefault(registry.base_workload_name(trace), trace)
+            traces = list(unique.values())
+        cells: list[WorkCell] = []
+        for system in self.systems:
+            for trace in traces:
+                for prefetcher in self.prefetchers:
+                    if self.seeds == 1:
+                        cells.append(
+                            Cell(
+                                trace=trace,
+                                prefetcher=prefetcher,
+                                system=system,
+                                trace_length=self.trace_length,
+                                warmup_fraction=self.warmup_fraction,
+                                l1_prefetcher=self.l1_prefetcher,
+                            )
+                        )
+                    else:
+                        cells.extend(self._replicated(trace, prefetcher, system))
         cells.extend(
             MixCell(
                 name=mix.name,
@@ -534,6 +632,8 @@ class Experiment:
         return cells
 
     def __len__(self) -> int:
+        if self.seeds > 1 and self.traces and self.prefetchers and self.systems:
+            return len(self.cells())
         return (
             len(self.traces) * len(self.systems) + len(self.mixes)
         ) * len(self.prefetchers)

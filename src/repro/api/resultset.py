@@ -19,16 +19,58 @@ and benchmarks used to carry:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.sim.metrics import coverage, geomean, overprediction, speedup
 from repro.sim.system import SimulationResult
 
-#: Aggregations usable in rollup/pivot queries.
+
+def _mean(vals: Sequence[float]) -> float:
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def _std(vals: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 below 2 samples."""
+    n = len(vals)
+    if n < 2:
+        return 0.0
+    mean = sum(vals) / n
+    return math.sqrt(sum((v - mean) ** 2 for v in vals) / (n - 1))
+
+
+#: Two-sided 95% Student-t critical values by degrees of freedom
+#: (standard table; beyond 30 the normal 1.96 is used).
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def _ci95(vals: Sequence[float]) -> float:
+    """Half-width of the 95% confidence interval of the mean.
+
+    Student-t based (the seed counts in replicated experiments are
+    small); 0.0 below 2 samples.
+    """
+    n = len(vals)
+    if n < 2:
+        return 0.0
+    return _T95.get(n - 1, 1.960) * _std(vals) / math.sqrt(n)
+
+
+#: Aggregations usable in rollup/pivot queries.  ``std``/``ci95`` are
+#: what replicated experiments (:meth:`Experiment.with_seeds`) report
+#: variance with.
 _AGGREGATIONS: dict[str, Callable[[Sequence[float]], float]] = {
     "geomean": geomean,
-    "mean": lambda vals: sum(vals) / len(vals) if vals else 0.0,
+    "mean": _mean,
+    "std": _std,
+    "ci95": _ci95,
     "min": min,
     "max": max,
 }
@@ -38,8 +80,10 @@ _AGGREGATIONS: dict[str, Callable[[Sequence[float]], float]] = {
 class CellResult:
     """One measured cell paired with its baseline.
 
-    Duck-type compatible with the harness's historical ``RunRecord`` —
-    the rollup helpers in :mod:`repro.harness.rollup` accept either.
+    For replicated cells (:meth:`Experiment.with_seeds`),
+    ``trace_name`` is the *base* workload name shared by every replicate
+    and ``seed`` identifies the replicate; unreplicated cells carry
+    ``seed=None``.
     """
 
     trace_name: str
@@ -48,6 +92,7 @@ class CellResult:
     system: str
     result: SimulationResult
     baseline: SimulationResult
+    seed: int | None = None
 
     @property
     def speedup(self) -> float:
@@ -182,12 +227,35 @@ class ResultSet:
         """Arithmetic mean of a metric across all records."""
         return _AGGREGATIONS["mean"](self.values(metric))
 
+    def std(self, metric: str = "speedup") -> float:
+        """Sample standard deviation of a metric across all records."""
+        return _std(self.values(metric))
+
+    def ci95(self, metric: str = "speedup") -> float:
+        """95% CI half-width of the metric's mean (Student-t)."""
+        return _ci95(self.values(metric))
+
+    def summary(self, metric: str = "speedup") -> dict[str, float]:
+        """``{"mean", "std", "ci95", "n"}`` of a metric — the error-bar
+        record for one group of seed replicates."""
+        values = self.values(metric)
+        return {
+            "mean": _mean(values),
+            "std": _std(values),
+            "ci95": _ci95(values),
+            "n": len(values),
+        }
+
     def rollup(
         self, *keys: str, metric: str = "speedup", agg: str = "geomean"
     ):
         """Nested aggregation: ``rollup("suite", "prefetcher")`` returns
         ``{suite: {prefetcher: geomean speedup}}``; zero keys reduce to a
-        scalar."""
+        scalar.  With seed-replicated records, ``agg="std"``/``"ci95"``
+        measure seed noise only when the group holds one workload's
+        replicates — include ``"trace_name"`` in the key chain (its
+        replicates share that name); coarser groups also fold in
+        cross-workload spread."""
         if agg not in _AGGREGATIONS:
             raise KeyError(f"unknown aggregation {agg!r}; known: {sorted(_AGGREGATIONS)}")
         if not keys:
@@ -217,6 +285,7 @@ class ResultSet:
                 "suite": record.suite,
                 "prefetcher": record.prefetcher,
                 "system": record.system,
+                "seed": record.seed,
                 **{name: record.metric(name) for name in metric_names},
             }
             for record in self.records

@@ -15,8 +15,7 @@ independent cells run), and per-session defaults (trace length, warmup)
   (:mod:`repro.api.search`): grids of configuration points batched
   through the same executor/store path.
 * :meth:`Session.run_one` / :meth:`Session.baseline` — single-cell
-  conveniences used by the tuning loops and the deprecated ``Runner``
-  stub.
+  conveniences used by the tuning loops.
 * :meth:`Session.run_mix` — one multi-programmed mix, a thin wrapper
   over the declarative :class:`~repro.api.experiment.MixCell` path.
 
@@ -103,8 +102,6 @@ class Session:
         cells go through the executor (in parallel when it is one), and
         every record is paired with its same-fingerprint-scheme baseline.
         """
-        if hasattr(experiment, "to_experiment"):  # legacy ExperimentSpec
-            experiment = experiment.to_experiment()
         cells = experiment.cells()
         keyed = [
             (cell, cell.fingerprint(), cell.baseline_cell()) for cell in cells

@@ -6,7 +6,8 @@ hit is guaranteed to be byte-equivalent to re-simulating.  The store is
 two-layered:
 
 * an in-memory dict (so repeated lookups within a session return the
-  same object — the behaviour ``Runner``'s old memoization provided);
+  same object — the behaviour the historical runner's memoization
+  provided);
 * an optional on-disk layer of one JSON file per result, sharded by
   fingerprint prefix, written atomically so concurrent writers (process
   pools, parallel pytest) never corrupt each other.

@@ -6,13 +6,14 @@ the artifact's ``rollup.pl`` + pivot tables do, and
 :mod:`repro.harness.figures` regenerates each figure's rows on
 :class:`repro.api.Session` queries.
 
-The execution layer lives in :mod:`repro.api` (declarative experiments
-and mixes, declarative searches, pluggable executors, persistent result
-store); ``Runner`` is a deprecated forwarding stub slated for removal.
+The execution layer lives entirely in :mod:`repro.api` (declarative
+experiments, mixes and seed-replicated cells, declarative searches,
+pluggable executors, persistent result store).  The historical runner
+facade and legacy experiment-spec bridge have been removed — construct
+a :class:`repro.api.Session` and use :meth:`~repro.api.Session.run` /
+:meth:`~repro.api.Session.run_one`.
 """
 
-from repro.harness.experiment import ExperimentSpec, RunRecord
-from repro.harness.runner import Runner
 from repro.harness.rollup import (
     per_prefetcher_geomean,
     per_suite_geomean,
@@ -20,9 +21,6 @@ from repro.harness.rollup import (
 )
 
 __all__ = [
-    "ExperimentSpec",
-    "RunRecord",
-    "Runner",
     "per_prefetcher_geomean",
     "per_suite_geomean",
     "sorted_speedups",

@@ -7,10 +7,8 @@ data without pytest.  Each builder composes one
 :class:`repro.api.Experiment`, runs it through a
 :class:`repro.api.Session` (so cells are cached and can execute in
 parallel), and shapes the :class:`repro.api.ResultSet` with its
-group/pivot/rollup queries.  Builders take a ``Session`` (anything carrying a
-``.session`` attribute, such as the deprecated ``Runner`` shim, is also
-accepted) and return plain dict/list structures ready for tabulation or
-plotting.
+group/pivot/rollup queries.  Builders take a ``Session`` and return
+plain dict/list structures ready for tabulation or plotting.
 """
 
 from __future__ import annotations
@@ -23,18 +21,12 @@ from repro.sim.config import SystemConfig
 DEFAULT_PREFETCHERS: tuple[str, ...] = ("spp", "bingo", "mlop", "pythia")
 
 
-def _session(session) -> Session:
-    """Accept a Session or anything carrying one (the deprecated shim)."""
-    return session if isinstance(session, Session) else session.session
-
-
 def fig1_motivation(
-    runner: Session,
+    session: Session,
     traces: list[str],
     prefetchers: tuple[str, ...] = ("spp", "bingo", "pythia"),
 ) -> list[dict]:
     """Fig 1 rows: coverage/overprediction/IPC per (workload, prefetcher)."""
-    session = _session(runner)
     results = session.run(
         session.experiment("fig1").with_traces(*traces).with_prefetchers(*prefetchers)
     )
@@ -51,12 +43,11 @@ def fig1_motivation(
 
 
 def fig7_coverage(
-    runner: Session,
+    session: Session,
     traces_by_suite: dict[str, list[str]],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """Fig 7: suite → prefetcher → (coverage, overprediction)."""
-    session = _session(runner)
     traces = [t for suite_traces in traces_by_suite.values() for t in suite_traces]
     results = session.run(
         session.experiment("fig7").with_traces(*traces).with_prefetchers(*prefetchers)
@@ -65,13 +56,12 @@ def fig7_coverage(
 
 
 def fig8b_bandwidth_sweep(
-    runner: Session,
+    session: Session,
     traces: list[str],
     mtps_points: list[int],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
 ) -> dict[str, dict[int, float]]:
     """Fig 8b: prefetcher → MTPS → geomean speedup."""
-    session = _session(runner)
     results = session.run(
         session.experiment("fig8b")
         .with_traces(*traces)
@@ -89,13 +79,12 @@ def fig8b_bandwidth_sweep(
 
 
 def fig8c_llc_sweep(
-    runner: Session,
+    session: Session,
     traces: list[str],
     llc_factors: list[float],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
 ) -> dict[str, dict[float, float]]:
     """Fig 8c: prefetcher → LLC scale factor → geomean speedup."""
-    session = _session(runner)
     results = session.run(
         session.experiment("fig8c")
         .with_traces(*traces)
@@ -113,13 +102,12 @@ def fig8c_llc_sweep(
 
 
 def fig9a_per_suite(
-    runner: Session,
+    session: Session,
     traces_by_suite: dict[str, list[str]],
     prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
     config: SystemConfig | None = None,
 ) -> dict[str, dict[str, float]]:
     """Fig 9a: suite → prefetcher → geomean speedup."""
-    session = _session(runner)
     traces = [t for suite_traces in traces_by_suite.values() for t in suite_traces]
     experiment = (
         session.experiment("fig9a").with_traces(*traces).with_prefetchers(*prefetchers)
@@ -129,13 +117,55 @@ def fig9a_per_suite(
     return session.run(experiment).rollup("suite", "prefetcher")
 
 
+def fig9a_per_suite_ci(
+    session: Session,
+    traces_by_suite: dict[str, list[str]],
+    prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
+    seeds: int = 3,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Fig 9a with error bars: suite → prefetcher → per-workload stats.
+
+    Replicates every cell across *seeds* trace seeds
+    (:meth:`~repro.api.Experiment.with_seeds`) and reports, per
+    (suite, prefetcher): ``mean`` (over all replicates), ``seed_std``
+    and ``seed_ci95`` (each the mean across the suite's workloads of
+    that workload's seed-replicate spread — cross-workload
+    heterogeneity is deliberately kept out of the error bar), and the
+    workload/replicate counts.  This is the variance the single-draw
+    builders cannot see.
+    """
+    traces = [t for suite_traces in traces_by_suite.values() for t in suite_traces]
+    results = session.run(
+        session.experiment("fig9a-ci")
+        .with_traces(*traces)
+        .with_prefetchers(*prefetchers)
+        .with_seeds(seeds)
+    )
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for suite, by_suite in results.group("suite").items():
+        out[suite] = {}
+        for prefetcher, subset in by_suite.group("prefetcher").items():
+            per_workload = [
+                group.summary("speedup")
+                for group in subset.group("trace_name").values()
+            ]
+            count = len(per_workload)
+            out[suite][prefetcher] = {
+                "mean": subset.mean("speedup"),
+                "seed_std": sum(s["std"] for s in per_workload) / count,
+                "seed_ci95": sum(s["ci95"] for s in per_workload) / count,
+                "workloads": count,
+                "n": len(subset),
+            }
+    return out
+
+
 def fig9b_combinations(
-    runner: Session,
+    session: Session,
     traces: list[str],
     combos: tuple[str, ...] = ("st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"),
 ) -> dict[str, float]:
     """Fig 9b: scheme → geomean speedup over the trace list."""
-    session = _session(runner)
     results = session.run(
         session.experiment("fig9b").with_traces(*traces).with_prefetchers(*combos)
     )
@@ -143,10 +173,9 @@ def fig9b_combinations(
 
 
 def fig15_strict_vs_basic(
-    runner: Session, ligra_traces: list[str]
+    session: Session, ligra_traces: list[str]
 ) -> list[dict]:
     """Fig 15 rows: per-workload basic vs strict Pythia speedups."""
-    session = _session(runner)
     results = session.run(
         session.experiment("fig15")
         .with_traces(*ligra_traces)

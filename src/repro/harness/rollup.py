@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.harness.experiment import RunRecord
 from repro.sim.metrics import geomean
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.resultset import CellResult as RunRecord
 
-def per_prefetcher_geomean(records: Iterable[RunRecord]) -> dict[str, float]:
+
+def per_prefetcher_geomean(records: "Iterable[RunRecord]") -> dict[str, float]:
     """Geomean speedup per prefetcher across all records."""
     buckets: dict[str, list[float]] = defaultdict(list)
     for record in records:
@@ -18,7 +20,7 @@ def per_prefetcher_geomean(records: Iterable[RunRecord]) -> dict[str, float]:
 
 
 def per_suite_geomean(
-    records: Iterable[RunRecord],
+    records: "Iterable[RunRecord]",
 ) -> dict[str, dict[str, float]]:
     """Nested rollup: suite → prefetcher → geomean speedup (Fig 9a/10a)."""
     buckets: dict[str, dict[str, list[float]]] = defaultdict(
@@ -33,7 +35,7 @@ def per_suite_geomean(
 
 
 def coverage_rollup(
-    records: Iterable[RunRecord],
+    records: "Iterable[RunRecord]",
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """Suite → prefetcher → (mean coverage, mean overprediction) (Fig 7)."""
     buckets: dict[str, dict[str, list[tuple[float, float]]]] = defaultdict(
@@ -54,7 +56,7 @@ def coverage_rollup(
 
 
 def sorted_speedups(
-    records: Sequence[RunRecord], prefetcher: str
+    records: "Sequence[RunRecord]", prefetcher: str
 ) -> list[tuple[str, float]]:
     """Per-trace speedups of one prefetcher, ascending (Fig 17/18 lines)."""
     rows = [

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import functools
 import re
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -213,9 +214,115 @@ def resolved_prefetcher_config(name: str, **overrides: object) -> object:
 # Workloads / traces
 # --------------------------------------------------------------------------
 
+#: Name prefix of the external-trace namespace (see
+#: :mod:`repro.workloads.ingest`): ``file/<alias>`` for registered
+#: files, ``file/<path>`` for direct filesystem addressing.
+FILE_NAMESPACE = "file/"
+
+
+@dataclass(frozen=True)
+class TraceFileEntry:
+    """One registered (or directly-addressed) external trace file."""
+
+    path: str
+    suite: str = "FILE"
+    fmt: str | None = None
+    gap: int | None = None
+
+
+#: Registered external trace files, keyed by alias (no ``file/`` prefix).
+_TRACE_FILES: dict[str, TraceFileEntry] = {}
+
+
+def register_trace_file(
+    alias: str,
+    path: "str | object",
+    suite: str = "FILE",
+    fmt: str | None = None,
+    gap: int | None = None,
+) -> str:
+    """Register an external trace file under ``file/<alias>``.
+
+    Returns the full registry name.  *fmt* (``"text"``/``"binary"``) and
+    *gap* override the loader's suffix detection and default non-memory
+    gap.  Unregistered files remain addressable as ``file/<path>``
+    (suite ``"FILE"``, suffix-detected format).
+    """
+    if "/" in alias:
+        raise ValueError(f"trace-file alias {alias!r} must not contain '/'")
+    _TRACE_FILES[alias] = TraceFileEntry(
+        path=str(path), suite=suite, fmt=fmt, gap=gap
+    )
+    return f"{FILE_NAMESPACE}{alias}"
+
+
+def registered_trace_files() -> list[str]:
+    """Full registry names of all registered external trace files."""
+    return sorted(f"{FILE_NAMESPACE}{alias}" for alias in _TRACE_FILES)
+
+
+def _file_entry(name: str) -> TraceFileEntry:
+    rest = name[len(FILE_NAMESPACE):]
+    entry = _TRACE_FILES.get(rest)
+    if entry is None:
+        return TraceFileEntry(path=rest)
+    # An alias must never silently shadow a real file of the same name —
+    # "file/data.csv" meaning ./data.csv would load the alias's target
+    # instead, producing wrong results with the wrong fingerprint.
+    from pathlib import Path
+
+    if Path(rest).exists() and Path(entry.path).resolve() != Path(rest).resolve():
+        raise KeyError(
+            f"{name!r} is ambiguous: alias {rest!r} is registered to "
+            f"{entry.path!r} but a file {rest!r} also exists — address the "
+            f"file as 'file/./{rest}' or re-register the alias"
+        )
+    return entry
+
+
+#: path → ((mtime_ns, size), CRC32).  Stamps are validated by a cheap
+#: ``stat`` instead of re-reading the file: fingerprinting a sweep calls
+#: :func:`trace_stamp` once per cell *and* baseline, which would
+#: otherwise re-decompress a multi-hundred-MB recording dozens of times
+#: per run.  A changed file changes its mtime/size and is re-CRC'd.
+_FILE_STAMP_CACHE: dict[str, tuple[tuple[int, int], int]] = {}
+
+
+def _file_stamp(path: str) -> int:
+    import os
+
+    from repro.workloads.ingest import file_stamp
+
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return file_stamp(path)  # raises TraceIngestError with context
+    key = (stat.st_mtime_ns, stat.st_size)
+    cached = _FILE_STAMP_CACHE.get(path)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    if len(_FILE_STAMP_CACHE) >= 256:
+        _FILE_STAMP_CACHE.pop(next(iter(_FILE_STAMP_CACHE)))
+    stamp = file_stamp(path)
+    _FILE_STAMP_CACHE[path] = (key, stamp)
+    return stamp
+
 
 def make_trace(name: str, length: int = 20_000) -> "Trace":
-    """Instantiate a trace by name, handling the CVP (unseen) namespace."""
+    """Instantiate a trace by name, handling the ``cvp/`` (unseen) and
+    ``file/`` (externally ingested) namespaces."""
+    if name.startswith(FILE_NAMESPACE):
+        from repro.workloads.ingest import load_trace_file
+
+        entry = _file_entry(name)
+        return load_trace_file(
+            entry.path,
+            length=length,
+            name=name,
+            suite=entry.suite,
+            fmt=entry.fmt,
+            gap=entry.gap,
+        )
     if name.startswith("cvp/"):
         from repro.workloads.cvp import generate_cvp_trace
 
@@ -226,6 +333,16 @@ def make_trace(name: str, length: int = 20_000) -> "Trace":
 
 
 @functools.lru_cache(maxsize=128)
+def _cached_generated_trace(name: str, length: int) -> "Trace":
+    return make_trace(name, length)
+
+
+#: (name, length) → (file stamp at load time, trace).  File traces are
+#: validated against the file's current CRC32 on every lookup, so an
+#: edited file is reloaded instead of served stale.
+_FILE_TRACE_CACHE: dict[tuple[str, int], tuple[int, "Trace"]] = {}
+
+
 def cached_trace(name: str, length: int = 20_000) -> "Trace":
     """Memoized :func:`make_trace`.
 
@@ -233,25 +350,51 @@ def cached_trace(name: str, length: int = 20_000) -> "Trace":
     (name, length) serves every cell that replays it — without this, a
     traces × prefetchers sweep would regenerate each trace once per
     prefetcher (plus once for the baseline).  The cache is per-process;
-    process-pool workers each warm their own.
+    process-pool workers each warm their own.  ``file/`` traces are
+    additionally keyed by the file's current content stamp, so a file
+    whose bytes change mid-process is reloaded rather than served stale.
     """
-    return make_trace(name, length)
+    if name.startswith(FILE_NAMESPACE):
+        stamp = _file_stamp(_file_entry(name).path)
+        cached = _FILE_TRACE_CACHE.get((name, length))
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        if len(_FILE_TRACE_CACHE) >= 64:
+            # Evict the oldest entry only — clearing wholesale would
+            # re-parse every live trace of a >64-file sweep per miss.
+            _FILE_TRACE_CACHE.pop(next(iter(_FILE_TRACE_CACHE)))
+        trace = make_trace(name, length)
+        _FILE_TRACE_CACHE[(name, length)] = (stamp, trace)
+        return trace
+    return _cached_generated_trace(name, length)
 
 
 @functools.lru_cache(maxsize=1024)
+def _generated_trace_stamp(name: str, length: int) -> int:
+    return _cached_generated_trace(name, length).content_stamp
+
+
 def trace_stamp(name: str, length: int = 20_000) -> int:
     """Content stamp (CRC32) of the named trace at *length*.
 
     Result-store fingerprints fold this in so entries self-invalidate
     when a workload generator changes the records it emits — the
-    (name, length) pair alone cannot see generator code changes.  Uses
-    the memoized trace, so sweeps pay the generation cost once.
+    (name, length) pair alone cannot see generator code changes.  For
+    generated traces this uses the memoized trace, so sweeps pay the
+    generation cost once; for ``file/`` traces it is the CRC32 of the
+    file's current bytes, validated against the file's mtime/size on
+    every call — a rewritten file is re-stamped, an unchanged one costs
+    a ``stat`` instead of a full (possibly gunzipped) re-read per cell.
     """
-    return cached_trace(name, length).content_stamp
+    if name.startswith(FILE_NAMESPACE):
+        return _file_stamp(_file_entry(name).path)
+    return _generated_trace_stamp(name, length)
 
 
 def suite_of(trace_name: str) -> str:
     """Suite label of a trace name, without generating the trace."""
+    if trace_name.startswith(FILE_NAMESPACE):
+        return _file_entry(trace_name).suite
     if trace_name.startswith("cvp/"):
         from repro.workloads.cvp import cvp_suite_of
 
@@ -266,6 +409,33 @@ def suite_of(trace_name: str) -> str:
     if base not in WORKLOADS:
         raise KeyError(f"unknown workload: {trace_name!r}")
     return WORKLOADS[base].suite
+
+
+def base_workload_name(trace_name: str) -> str:
+    """The workload behind a trace name, with any seed suffix stripped.
+
+    ``spec06/lbm-2`` → ``spec06/lbm``; bare workload names and ``file/``
+    traces (which have no seed axis) pass through unchanged.
+    """
+    if trace_name.startswith(FILE_NAMESPACE):
+        return trace_name
+    suite_of(trace_name)  # raises KeyError for unknown workloads
+    head, _, tail = trace_name.rpartition("-")
+    if head and tail.isdigit():
+        return head
+    return trace_name
+
+
+def reseed_trace_name(trace_name: str, seed: int) -> "str | None":
+    """The *seed*-th replicate of a trace, or ``None`` if not reseedable.
+
+    Generated traces replicate by seed suffix (``spec06/lbm-1`` at seed 3
+    → ``spec06/lbm-3``); externally-ingested ``file/`` traces are fixed
+    recordings with no seed axis and return ``None``.
+    """
+    if trace_name.startswith(FILE_NAMESPACE):
+        return None
+    return f"{base_workload_name(trace_name)}-{seed}"
 
 
 def available_workloads(suite: str | None = None) -> list[str]:

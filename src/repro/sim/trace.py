@@ -55,6 +55,10 @@ class Trace:
         name: human-readable identifier (e.g. ``"spec06/gemsfdtd-765B"``).
         records: the access sequence.
         suite: the workload-suite label used by rollups.
+        content_stamp: precomputed CRC32 stamp; externally-ingested
+            traces (:mod:`repro.workloads.ingest`) pass the CRC of the
+            source file so store fingerprints track the file's bytes.
+            When omitted, the stamp is derived lazily from the records.
     """
 
     def __init__(
@@ -62,11 +66,12 @@ class Trace:
         name: str,
         records: Sequence[TraceRecord] | Iterable[TraceRecord],
         suite: str = "unknown",
+        content_stamp: int | None = None,
     ) -> None:
         self.name = name
         self.suite = suite
         self._records: list[TraceRecord] = list(records)
-        self._content_stamp: int | None = None
+        self._content_stamp: int | None = content_stamp
 
     def __len__(self) -> int:
         return len(self._records)

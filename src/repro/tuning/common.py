@@ -1,10 +1,10 @@
 """Shared plumbing for the tuning loops: session coercion.
 
 Every tuning entry point takes a ``session`` argument that may be a
-:class:`repro.api.Session`, anything carrying one (the deprecated
-``Runner`` shim exposes ``.session``), or ``None`` for a private
-memory-only session at the historical tuning trace length.  The loops
-speak :mod:`repro.api` natively — nothing here imports the harness.
+:class:`repro.api.Session`, anything carrying one via a ``.session``
+attribute, or ``None`` for a private memory-only session at the
+historical tuning trace length.  The loops speak :mod:`repro.api`
+natively — nothing here imports the harness.
 """
 
 from __future__ import annotations

@@ -267,6 +267,101 @@ def _build_mixed(spec: WorkloadSpec, length: int, rng: random.Random) -> list[Ac
     return patterns.interleave(streams, w, length, rng)
 
 
+def _build_llist(spec: WorkloadSpec, length: int, rng: random.Random) -> list[Access]:
+    """Linked lists with multi-line node payloads (health/mcf-like).
+
+    Several independent lists are walked concurrently, optionally beside
+    a sequential allocation-scan stream (``scan_weight``).  The payload
+    run inside each node is spatially predictable; the next-node hop is
+    not — prefetchers get partial coverage and punishing overprediction
+    on the hops.
+    """
+    lists = spec.params.get("lists", 2)
+    nodes = spec.params.get("nodes", 20_000)
+    payload = spec.params.get("payload_lines", 2)
+    scan_weight = spec.params.get("scan_weight", 0.0)
+    streams: list = [
+        patterns.linked_list(
+            pc=0x40B000 + 0x100 * i,
+            num_nodes=nodes,
+            start_page=60_000 + 200_000 * i,
+            rng=random.Random(rng.randrange(2**31)),
+            gap=spec.gap,
+            payload_lines=payload,
+        )
+        for i in range(lists)
+    ]
+    weights = [1.0] * lists
+    if scan_weight > 0:
+        streams.append(patterns.stream(pc=0x40B800, start_page=990_000, gap=spec.gap))
+        weights.append(scan_weight)
+    return patterns.interleave(streams, weights, length, rng)
+
+
+def _build_phase(spec: WorkloadSpec, length: int, rng: random.Random) -> list[Access]:
+    """Phase-switching mixed-pattern workload (gcc/xz-like program phases).
+
+    The access stream runs one pattern regime at a time — ``phases``
+    names the rotation — and switches every ``phase_length`` accesses
+    (±25% jitter), so a prefetcher's state trained in one phase is
+    stale, sometimes harmful, in the next.  This is the adaptation
+    regime the per-figure suites never isolate: single-pattern traces
+    reward converged behaviour, phase traces reward fast re-learning.
+    """
+    phase_length = spec.params.get("phase_length", 1200)
+    kinds = spec.params.get("phases", ["stream", "irregular"])
+    streams = []
+    for i, kind in enumerate(kinds):
+        pc_base = 0x40A000 + 0x200 * i
+        start_page = 40_000 + 150_000 * i
+        if kind == "stream":
+            streams.append(
+                patterns.stream(pc=pc_base, start_page=start_page, gap=spec.gap)
+            )
+        elif kind == "stride":
+            streams.append(
+                patterns.strided(
+                    pc=pc_base,
+                    start_page=start_page,
+                    stride=spec.params.get("stride", 3),
+                    gap=spec.gap,
+                )
+            )
+        elif kind == "delta":
+            streams.append(
+                patterns.delta_sequence(
+                    pc_base=pc_base,
+                    start_page=start_page,
+                    deltas=spec.params.get("deltas", [7, 3]),
+                    accesses_per_page=4,
+                    gap=spec.gap,
+                    rng=random.Random(rng.randrange(2**31)),
+                )
+            )
+        elif kind == "irregular":
+            streams.append(
+                patterns.irregular(
+                    pc=pc_base,
+                    working_set_pages=spec.params.get("working_set_pages", 2048),
+                    start_page=start_page,
+                    rng=random.Random(rng.randrange(2**31)),
+                    gap=spec.gap,
+                )
+            )
+        else:
+            raise KeyError(f"unknown phase kind {kind!r} in {spec.name}")
+    out: list[Access] = []
+    index = 0
+    while len(out) < length:
+        jitter = phase_length // 4
+        span = phase_length + (rng.randrange(-jitter, jitter + 1) if jitter else 0)
+        active = streams[index % len(streams)]
+        for _ in range(min(span, length - len(out))):
+            out.append(next(active))
+        index += 1
+    return out
+
+
 _BUILDERS: dict[str, Callable[[WorkloadSpec, int, random.Random], list[Access]]] = {
     "stream": _build_stream,
     "stride": _build_stride,
@@ -277,6 +372,8 @@ _BUILDERS: dict[str, Callable[[WorkloadSpec, int, random.Random], list[Access]]]
     "graph": _build_graph,
     "server": _build_server,
     "mixed": _build_mixed,
+    "llist": _build_llist,
+    "phase": _build_phase,
 }
 
 
@@ -393,6 +490,21 @@ def _specs() -> dict[str, WorkloadSpec]:
                      {"contexts": 12}, gap=52),
         WorkloadSpec("cloudsuite/classification", "CLOUDSUITE", "server",
                      {"contexts": 8}, gap=32),
+        # ---- Synthetic stress families (beyond the paper's suites) ----------
+        # Linked-list walks with node payloads, and phase-switching
+        # mixed-pattern streams — scenario classes the paper's suites
+        # blend but never isolate.
+        WorkloadSpec("synth/llist-small", "SYNTH", "llist",
+                     {"lists": 3, "nodes": 6_000, "payload_lines": 2}, gap=36),
+        WorkloadSpec("synth/llist-deep", "SYNTH", "llist",
+                     {"lists": 1, "nodes": 80_000, "payload_lines": 3,
+                      "scan_weight": 0.3}, gap=24),
+        WorkloadSpec("synth/phase-regular", "SYNTH", "phase",
+                     {"phases": ["stream", "stride", "delta"],
+                      "phase_length": 1500}, gap=32),
+        WorkloadSpec("synth/phase-adversarial", "SYNTH", "phase",
+                     {"phases": ["stream", "irregular", "delta", "irregular"],
+                      "phase_length": 900, "working_set_pages": 4096}, gap=28),
     ]
     return {s.name: s for s in spec_list}
 

@@ -20,6 +20,9 @@ Pattern classes and the prefetcher behaviour they elicit:
   unprefetchable, punishing overprediction.
 * :func:`pointer_chase` — a fixed permutation walk; temporally
   predictable but spatially random.
+* :func:`linked_list` — a permutation walk whose nodes carry short
+  multi-line payload runs; spatial prefetchers cover the payload, the
+  hop defeats them.
 """
 
 from __future__ import annotations
@@ -198,6 +201,47 @@ def pointer_chase(
         page = start_page + node // LINES_PER_PAGE
         offset = node % LINES_PER_PAGE
         yield pc, make_line(page, offset), gap
+        node = succ[node]
+
+
+def linked_list(
+    pc: int,
+    num_nodes: int,
+    start_page: int,
+    rng: random.Random,
+    gap: int = 6,
+    payload_lines: int = 2,
+    node_stride_lines: int = 4,
+) -> Iterator[Access]:
+    """Walk a linked list whose nodes carry multi-line payloads.
+
+    Like :func:`pointer_chase`, the successor of each node is a fixed
+    random permutation — the *next-node* hop is spatially random and only
+    temporally predictable.  Unlike a bare chase, visiting a node then
+    touches ``payload_lines`` consecutive lines after the node header
+    (the record's fields), each from its own PC: the intra-node run is
+    perfectly spatially predictable, so stride/region prefetchers get
+    partial coverage while the hop itself defeats them — the classic
+    linked-structure regime (health/mcf-like) between pure pointer
+    chasing and streaming.  Nodes are spread ``node_stride_lines`` apart
+    so payloads of adjacent nodes do not overlap.
+    """
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    succ = {order[i]: order[(i + 1) % num_nodes] for i in range(num_nodes)}
+    node = order[0]
+    while True:
+        base = node * node_stride_lines
+        page = start_page + base // LINES_PER_PAGE
+        offset = base % LINES_PER_PAGE
+        yield pc, make_line(page, offset), gap
+        for field in range(1, payload_lines + 1):
+            line = base + field
+            yield (
+                pc + 8 * field,
+                make_line(start_page + line // LINES_PER_PAGE, line % LINES_PER_PAGE),
+                gap,
+            )
         node = succ[node]
 
 

@@ -76,6 +76,51 @@ def test_cell_fingerprint_covers_overrides():
     assert plain.baseline_cell().fingerprint() == tuned.baseline_cell().fingerprint()
 
 
+def test_with_seeds_expansion():
+    ex = (
+        Experiment.define("rep")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("stride")
+        .with_seeds(3)
+    )
+    cells = ex.cells()
+    assert [c.trace for c in cells] == ["spec06/lbm-1", "spec06/lbm-2", "spec06/lbm-3"]
+    assert [c.seed for c in cells] == [1, 2, 3]
+    assert all(c.base_trace == "spec06/lbm" for c in cells)
+    assert len(ex) == 3
+    # A replicate shares its fingerprint (and so its store entry) with
+    # the equivalent unreplicated cell on the same seeded trace.
+    plain = (
+        Experiment.define("plain")
+        .with_traces("spec06/lbm-2")
+        .with_prefetchers("stride")
+        .cells()[0]
+    )
+    assert cells[1].fingerprint() == plain.fingerprint()
+    with pytest.raises(ValueError):
+        ex.with_seeds(0)
+
+
+def test_with_seeds_collapses_multi_seed_trace_axes():
+    """A suite-style axis listing several seeds of one workload must
+    expand to one replicate set, not one per listed seed — duplicates
+    would inflate n and understate std/ci95."""
+    ex = (
+        Experiment.define("rep")
+        .with_traces("spec06/lbm-1", "spec06/lbm-2", "spec06/mcf-1")
+        .with_prefetchers("stride")
+        .with_seeds(2)
+    )
+    cells = ex.cells()
+    assert [(c.trace, c.seed) for c in cells] == [
+        ("spec06/lbm-1", 1),
+        ("spec06/lbm-2", 2),
+        ("spec06/mcf-1", 1),
+        ("spec06/mcf-2", 2),
+    ]
+    assert len({c.fingerprint() for c in cells}) == len(cells)
+
+
 # ---- store ----------------------------------------------------------------
 
 
@@ -193,20 +238,6 @@ def test_baselines_distinct_across_length_and_warmup(session):
     c = session.baseline("spec06/lbm-1", SystemConfig(), warmup_fraction=0.5)
     assert a is not b and a is not c
     assert b.instructions < a.instructions
-
-
-def test_legacy_experiment_spec_bridge(session):
-    from repro.harness.experiment import ExperimentSpec
-
-    spec = ExperimentSpec(
-        name="legacy",
-        trace_names=("spec06/lbm-1",),
-        prefetchers=("stride",),
-        trace_length=LENGTH,
-    )
-    results = session.run(spec)
-    assert len(results) == 1
-    assert results[0].prefetcher == "stride"
 
 
 def test_run_mix_cached(session):

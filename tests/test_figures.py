@@ -7,6 +7,7 @@ from repro.harness.figures import (
     fig1_motivation,
     fig8b_bandwidth_sweep,
     fig9a_per_suite,
+    fig9a_per_suite_ci,
     fig9b_combinations,
     fig15_strict_vs_basic,
 )
@@ -43,6 +44,28 @@ def test_fig9a_nested_rollup(session):
     )
     assert set(rollup) == {"SPEC06", "LIGRA"}
     assert "stride" in rollup["SPEC06"]
+
+
+def test_fig9a_ci_reports_seed_noise(session):
+    stats = fig9a_per_suite_ci(
+        session,
+        {"SPEC06": ["spec06/lbm-1", "spec06/mcf-1"]},
+        prefetchers=("stride",),
+        seeds=2,
+    )
+    entry = stats["SPEC06"]["stride"]
+    assert entry["workloads"] == 2 and entry["n"] == 4
+    assert entry["mean"] > 0
+    # The error bar is seed spread averaged per workload — it must not
+    # absorb the (much larger) lbm-vs-mcf cross-workload spread.
+    pooled = [r.speedup for r in session.run(
+        session.experiment("fig9a-ci")
+        .with_traces("spec06/lbm-1", "spec06/mcf-1")
+        .with_prefetchers("stride")
+        .with_seeds(2)
+    )]
+    cross_workload = max(pooled) - min(pooled)
+    assert entry["seed_std"] <= cross_workload
 
 
 def test_fig9b_combos(session):

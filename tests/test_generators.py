@@ -19,13 +19,28 @@ from repro.workloads.suites import suite_trace_names
 
 
 def test_workload_counts_match_table6():
-    """Table 6: 16 SPEC06, 12 SPEC17, 5 PARSEC, 13 Ligra, 4 Cloudsuite."""
+    """Table 6: 16 SPEC06, 12 SPEC17, 5 PARSEC, 13 Ligra, 4 Cloudsuite —
+    plus the extra SYNTH stress suite (not part of the paper's 50)."""
     assert len(workload_names("SPEC06")) == 16
     assert len(workload_names("SPEC17")) == 12
     assert len(workload_names("PARSEC")) == 5
     assert len(workload_names("LIGRA")) == 13
     assert len(workload_names("CLOUDSUITE")) == 4
-    assert len(WORKLOADS) == 50
+    assert len(workload_names("SYNTH")) == 4
+    assert len(WORKLOADS) == 54
+
+
+def test_synth_suite_outside_paper_trace_list():
+    """The SYNTH families widen scenario coverage without changing "the
+    paper's 1C traces": addressable by suite, absent from SUITES."""
+    assert "SYNTH" not in SUITES
+    synth = suite_trace_names("SYNTH")
+    assert len(synth) == 8  # 4 workloads x 2 seeds
+    assert set(synth).isdisjoint(all_trace_names())
+    trace = generate_trace("synth/phase-adversarial-1", length=800)
+    assert len(trace) == 800 and trace.suite == "SYNTH"
+    walk = generate_trace("synth/llist-deep-2", length=800)
+    assert len(walk) == 800 and walk.suite == "SYNTH"
 
 
 def test_generate_trace_deterministic():

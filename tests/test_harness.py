@@ -1,17 +1,14 @@
-"""Tests for the harness layer: rollups, legacy specs, deprecated shim.
+"""Tests for the harness layer: rollup helpers over Session records.
 
-Execution behaviour (caching, baselines, mixes) is covered by
-``test_api_session.py``/``test_search.py``; this module checks the
-rollup helpers against Session-produced records, the legacy
-``ExperimentSpec`` bridge, and that the deprecated ``Runner`` stub still
-forwards while warning.
+Execution behaviour (caching, baselines, mixes, replication) is covered
+by ``test_api_session.py``/``test_search.py``/``test_replication.py``;
+this module checks the rollup helpers against Session-produced records.
 """
 
 import pytest
 
 from repro.api import ResultStore, Session
-from repro.harness import Runner, per_prefetcher_geomean, per_suite_geomean
-from repro.harness.experiment import ExperimentSpec
+from repro.harness import per_prefetcher_geomean, per_suite_geomean
 from repro.harness.rollup import coverage_rollup, format_table, sorted_speedups
 
 
@@ -32,15 +29,9 @@ def test_cvp_namespace(session):
     assert record.suite == "CVP-FP"
 
 
-def test_experiment_spec_bridge(session):
-    spec = ExperimentSpec(
-        name="mini",
-        trace_names=("spec06/lbm-1", "spec06/mcf-1"),
-        prefetchers=("none", "stride"),
-        trace_length=3000,
-    )
-    records = session.run(spec)
-    assert len(records) == 4
+def test_synth_namespace(session):
+    record = session.run_one("synth/llist-small-1", "stride")
+    assert record.suite == "SYNTH"
 
 
 def test_rollups(session):
@@ -66,29 +57,3 @@ def test_format_table():
     lines = text.splitlines()
     assert len(lines) == 4
     assert "a" in lines[0] and "bb" in lines[0]
-
-
-# ---- the deprecated Runner stub -------------------------------------------
-
-
-def test_runner_stub_warns_and_forwards(session):
-    with pytest.deprecated_call():
-        runner = Runner(session=session)
-    record = runner.run("spec06/lbm-1", "stride")
-    assert record.prefetcher == "stride"
-    assert record.speedup > 0
-    # The shim shares its session's store: no extra simulation happened.
-    assert record.result is session.run_one("spec06/lbm-1", "stride").result
-
-
-def test_runner_stub_mix_forwards(session):
-    from repro.workloads import homogeneous_mix_names
-
-    with pytest.deprecated_call():
-        runner = Runner(session=session)
-    names = homogeneous_mix_names("spec06/lbm", 2)
-    result, baseline = runner.run_mix(names, "stride", "2c")
-    assert result.instructions > 0
-    assert baseline.prefetcher_name == "none"
-    direct, _ = session.run_mix(names, "stride", "2c")
-    assert direct is result

@@ -170,8 +170,29 @@ class TestFeaturePathEquivalence:
                 assert compiled(obs) == encode_feature(spec, obs)
 
 
+#: One committed sample of the external-trace ingestion path
+#: (tests/data/traces), exercised through the ``file/`` namespace.
+SAMPLE_FILE_TRACE = (
+    f"file/{Path(__file__).parent / 'data' / 'traces' / 'mixed.champsim.gz'}"
+)
+
+
 class TestSimulationEquivalence:
-    @pytest.mark.parametrize("trace_name", ["spec06/lbm-1", "ligra/cc-1"])
+    @pytest.mark.parametrize(
+        "trace_name",
+        [
+            "spec06/lbm-1",
+            "ligra/cc-1",
+            # The ISSUE 4 scenario-engine additions: both new synthetic
+            # families, and an externally-ingested file trace — every new
+            # scenario source must keep the fast Q-store bit-identical.
+            "synth/llist-small-1",
+            "synth/llist-deep-1",
+            "synth/phase-regular-1",
+            "synth/phase-adversarial-1",
+            SAMPLE_FILE_TRACE,
+        ],
+    )
     def test_store_implementations_bit_identical(self, trace_name):
         """Pythia with the NumPy store == Pythia with the Python store."""
         trace = registry.cached_trace(trace_name, 2000)

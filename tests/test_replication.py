@@ -1,0 +1,129 @@
+"""Replicated multi-seed experiments end-to-end (the ISSUE 4 acceptance
+path): a ``file/`` trace and a ``with_seeds(3)`` replicated experiment
+both run through :class:`SerialExecutor` and
+:class:`ProcessPoolExecutor` with identical :class:`ResultSet` tables,
+hit the persistent store on rerun (``cached == cells``), and ``rollup``
+reports mean/std across seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    ProcessPoolExecutor,
+    ReplicatedCell,
+    ResultStore,
+    SerialExecutor,
+    Session,
+)
+
+pytestmark = pytest.mark.quick
+
+LENGTH = 1200
+SEEDS = 3
+FILE_TRACE = f"file/{Path(__file__).parent / 'data' / 'traces' / 'stream.csv'}"
+TRACES = ("spec06/lbm-1", "synth/phase-regular-1", FILE_TRACE)
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "process-pool": lambda: ProcessPoolExecutor(max_workers=2),
+}
+
+
+def _experiment(session: Session):
+    return (
+        session.experiment("replication")
+        .with_traces(*TRACES)
+        .with_prefetchers("stride", "spp")
+        .with_seeds(SEEDS)
+    )
+
+
+@pytest.fixture(params=sorted(EXECUTORS))
+def replicated_session(request, tmp_path):
+    return Session(
+        store=ResultStore(tmp_path / "store"),
+        executor=EXECUTORS[request.param](),
+        trace_length=LENGTH,
+    )
+
+
+def test_replicated_experiment_end_to_end(replicated_session):
+    session = replicated_session
+    results = session.run(_experiment(session))
+
+    # 2 generated traces × 3 seeds × 2 prefetchers, + the file trace
+    # (not reseedable: one replicate) × 2 prefetchers.
+    assert len(results) == 2 * SEEDS * 2 + 2
+    assert {r.seed for r in results} == {1, 2, 3}
+
+    # Replicates of one workload share a trace_name; seeds stay distinct.
+    lbm = results.filter(trace_name="spec06/lbm", prefetcher="stride")
+    assert [r.seed for r in lbm] == [1, 2, 3]
+    assert len({r.result.trace_name for r in lbm}) == SEEDS  # distinct traces
+
+    # Variance rollups: mean/std/ci95 across seeds per workload.
+    mean = results.rollup("trace_name", "prefetcher", agg="mean")
+    std = results.rollup("trace_name", "prefetcher", agg="std")
+    assert set(mean) == {"spec06/lbm", "synth/phase-regular", FILE_TRACE}
+    assert std["spec06/lbm"]["stride"] >= 0.0
+    assert std[FILE_TRACE]["stride"] == 0.0  # single replicate: no spread
+    summary = lbm.summary("speedup")
+    assert summary["n"] == SEEDS
+    assert summary["mean"] == pytest.approx(mean["spec06/lbm"]["stride"])
+    assert summary["ci95"] >= summary["std"] / SEEDS  # t-scaled half-width
+
+    # Rerun on a fresh session over the same disk store: zero simulation.
+    fresh = Session(
+        store=ResultStore(session.store.path),
+        executor=session.executor,
+        trace_length=LENGTH,
+    )
+    again = fresh.run(_experiment(fresh))
+    assert again.stats["simulated"] == 0
+    assert again.stats["cached"] == again.stats["cells"]
+    assert again.table() == results.table()
+
+
+def test_serial_and_pool_tables_identical(tmp_path):
+    def run(executor):
+        session = Session(
+            store=ResultStore(tmp_path / f"store-{executor.name}"),
+            executor=executor,
+            trace_length=LENGTH,
+        )
+        return session.run(_experiment(session))
+
+    serial = run(SerialExecutor())
+    pooled = run(ProcessPoolExecutor(max_workers=2))
+    assert serial.table() == pooled.table()
+    for a, b in zip(serial, pooled):
+        assert (a.trace_name, a.seed, a.prefetcher) == (b.trace_name, b.seed, b.prefetcher)
+        assert dataclasses.asdict(a.result) == dataclasses.asdict(b.result)
+        assert dataclasses.asdict(a.baseline) == dataclasses.asdict(b.baseline)
+
+
+def test_replicates_share_store_entries_with_plain_cells(tmp_path):
+    """Seed replicates add no new cache keys: a later unreplicated run on
+    the seeded trace is served entirely from the store."""
+    session = Session(store=ResultStore(tmp_path / "store"), trace_length=LENGTH)
+    replicated = session.run(
+        session.experiment("rep")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("stride")
+        .with_seeds(2)
+    )
+    assert all(isinstance(c, ReplicatedCell) for c in
+               session.experiment("rep").with_traces("spec06/lbm-1")
+               .with_prefetchers("stride").with_seeds(2).cells())
+    plain = session.run(
+        session.experiment("plain")
+        .with_traces("spec06/lbm-2")
+        .with_prefetchers("stride")
+    )
+    assert plain.stats["simulated"] == 0
+    assert plain[0].result is replicated.filter(seed=2)[0].result
