@@ -6,6 +6,9 @@
 #   make sweep-smoke - declarative-sweep smoke: a tiny grid search and a
 #                    2-core mix through both executors against a
 #                    persistent store (subset of the quick tier).
+#   make resume-smoke - checkpointed-resume smoke: extend a 100k Pythia
+#                    cell to 200k from its stored checkpoint, pinned
+#                    bit-identical to a fresh run (quick tier).
 #   make test      - full unit suite (tests/), ~1 min.
 #   make bench     - figure/table regeneration suite (benchmarks/), slow.
 #   make perfbench - tracked throughput bench; rewrites BENCH_perf.json
@@ -21,13 +24,16 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: quick sweep-smoke test bench perfbench profile coverage all
+.PHONY: quick sweep-smoke resume-smoke test bench perfbench profile coverage all
 
 quick:
 	$(PY) -m pytest -m quick -q
 
 sweep-smoke:
 	$(PY) -m pytest benchmarks/test_sweep_smoke.py -q
+
+resume-smoke:
+	$(PY) -m pytest benchmarks/test_resume_smoke.py -q
 
 test:
 	$(PY) -m pytest tests -q

@@ -1,0 +1,91 @@
+"""Resume smoke tier: checkpointed extension of a long Pythia cell.
+
+The ISSUE 5 acceptance scenario, end-to-end through the Session API:
+run ``pythia @ spec06/lbm-1`` for 100k records with checkpointing on,
+then extend the same cell to 200k.  The extension must
+
+* resume from the 100k end-of-run snapshot (the store reports the
+  checkpoint hit and the engine-visible resume point),
+* produce a table-identical :class:`~repro.api.ResultSet` to a fresh
+  200k run in a checkpoint-free session — bit-identical
+  ``SimulationResult`` fields, not just matching rollups.
+
+Warmup is pinned in absolute records (the paper's 100M-of-600M
+convention) so the warmup split — and therefore the drain history the
+checkpoints carry — stays put as the cell grows; that is what makes the
+100k prefix exactly reusable.  Part of the ``quick`` tier and wired
+into ``scripts/ci.sh``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import ResultStore, Session
+
+pytestmark = pytest.mark.quick
+
+TRACE = "spec06/lbm-1"
+PREFETCHER = "pythia"
+SHORT = 100_000
+LONG = 200_000
+WARMUP_RECORDS = 20_000
+CHECKPOINT_EVERY = 50_000
+
+
+def test_resume_100k_to_200k_table_identical(tmp_path):
+    session = Session(
+        store=ResultStore(tmp_path / "store"),
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+
+    short = session.run_one(
+        TRACE,
+        PREFETCHER,
+        trace_length=SHORT,
+        warmup_records=WARMUP_RECORDS,
+    )
+    assert short.result.instructions > 0
+
+    # The short run left snapshots behind — including the end-of-run
+    # state the extension resumes from.
+    from repro.api.experiment import Cell, PrefetcherSpec, SystemSpec
+
+    prefix = Cell(
+        trace=TRACE,
+        prefetcher=PrefetcherSpec.of(PREFETCHER),
+        system=SystemSpec.of("1c"),
+        trace_length=SHORT,
+        warmup_fraction=session.warmup_fraction,
+        warmup_records=WARMUP_RECORDS,
+    ).prefix_fingerprint()
+    entries = session.store.checkpoint_entries(prefix)
+    assert (SHORT, (WARMUP_RECORDS,)) in entries
+
+    hits_before = session.store.checkpoint_hits
+    extended = session.run_one(
+        TRACE,
+        PREFETCHER,
+        trace_length=LONG,
+        warmup_records=WARMUP_RECORDS,
+    )
+    # The store must report the resume: the 100k snapshot was served.
+    assert session.store.checkpoint_hits > hits_before
+
+    fresh_session = Session(store=ResultStore(tmp_path / "fresh"))
+    fresh = fresh_session.run_one(
+        TRACE,
+        PREFETCHER,
+        trace_length=LONG,
+        warmup_records=WARMUP_RECORDS,
+    )
+
+    # Bit-identical, field for field — resume introduced no behaviour.
+    assert dataclasses.asdict(extended.result) == dataclasses.asdict(fresh.result)
+    assert dataclasses.asdict(extended.baseline) == dataclasses.asdict(
+        fresh.baseline
+    )
+    assert extended.speedup == fresh.speedup
+    assert extended.coverage == fresh.coverage

@@ -2,10 +2,12 @@
 # CI entry point.
 #
 # Tier 1 (every push): the sweep smoke (tiny grid search + 2-core mix
-# through both executors, `make sweep-smoke`), then the sub-minute
-# `quick` smoke tier — Session API end-to-end on small traces plus the
-# perf smoke — followed by the full unit suite and the tracked
-# throughput bench.  By default the bench
+# through both executors, `make sweep-smoke`), the resume smoke
+# (checkpointed 100k -> 200k extension of a Pythia cell, pinned
+# bit-identical to a fresh run, `make resume-smoke`), then the
+# sub-minute `quick` smoke tier — Session API end-to-end on small
+# traces plus the perf smoke — followed by the full unit suite and the
+# tracked throughput bench.  By default the bench
 # enforces only machine-independent sanity floors; export
 # REPRO_PERF_STRICT=1 on the calibrated reference runner to enforce the
 # regression floors too (BENCH_perf.json is rewritten by
@@ -21,7 +23,8 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 python -m pytest benchmarks/test_sweep_smoke.py -q
-python -m pytest -m quick -q --ignore=benchmarks/test_sweep_smoke.py
+python -m pytest benchmarks/test_resume_smoke.py -q
+python -m pytest -m quick -q --ignore=benchmarks/test_sweep_smoke.py --ignore=benchmarks/test_resume_smoke.py
 python -m pytest tests -q -m "not quick"
 python -m pytest benchmarks/test_perf_throughput.py -q -m "not quick"
 python scripts/coverage.py

@@ -34,6 +34,14 @@ across trace seeds as :class:`ReplicatedCell` work units, and
 :class:`ResultSet` rollups report mean/std/CI across the replicates.
 External trace recordings join the same machinery through the
 registry's ``file/`` namespace (:mod:`repro.workloads.ingest`).
+
+Long cells are resumable and observable: ``Session(checkpoint_every=N)``
+snapshots mid-run engine state into the store's checkpoint namespace so
+extending a cell's ``trace_length`` resumes from the longest compatible
+prefix, and :meth:`Experiment.with_telemetry` attaches per-window
+:class:`~repro.sim.engine.Timeline` rows (queryable via
+:meth:`CellResult.timeline` / :meth:`CellResult.phases` and
+:meth:`ResultSet.timeline_rows`).
 """
 
 from repro.api.executors import (
@@ -56,17 +64,22 @@ from repro.api.fingerprint import canonical, fingerprint
 from repro.api.resultset import CellResult, MixCellResult, ResultSet
 from repro.api.search import GridSearch, ParamSpace, SearchEntry, SearchResult
 from repro.api.session import Session
-from repro.api.store import ResultStore
+from repro.api.store import CheckpointNamespace, ResultStore
+from repro.sim.engine import EngineState, Phase, Timeline
 
 __all__ = [
     "Cell",
     "CellResult",
+    "CheckpointNamespace",
+    "EngineState",
     "Executor",
     "Experiment",
     "GridSearch",
     "MixCell",
     "MixCellResult",
     "ParamSpace",
+    "Phase",
+    "Timeline",
     "PrefetcherSpec",
     "ProcessPoolExecutor",
     "ReplicatedCell",

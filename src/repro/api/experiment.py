@@ -133,6 +133,37 @@ class Cell:
     trace_length: int
     warmup_fraction: float
     l1_prefetcher: PrefetcherSpec | None = None
+    #: Absolute warmup length in records; overrides ``warmup_fraction``
+    #: when set (the paper's 100M-of-600M convention).  Because the
+    #: warmup split then stays put as ``trace_length`` grows, a longer
+    #: run of the same cell can resume from the shorter run's
+    #: checkpoints (see :meth:`prefix_fingerprint`).
+    warmup_records: int | None = None
+    #: Records per telemetry window (0 = off).  Non-semantic: telemetry
+    #: only observes counters, so it never participates in fingerprints.
+    telemetry_window: int = 0
+
+    def _prefetcher_payloads(self) -> dict:
+        from repro import registry
+
+        return {
+            "prefetcher": {
+                "name": self.prefetcher.name,
+                "overrides": fingerprint_overrides(self.prefetcher.overrides),
+                "resolved": registry.resolved_prefetcher_config(
+                    self.prefetcher.name, **dict(self.prefetcher.overrides)
+                ),
+            },
+            "l1_prefetcher": None
+            if self.l1_prefetcher is None
+            else {
+                "name": self.l1_prefetcher.name,
+                "overrides": fingerprint_overrides(self.l1_prefetcher.overrides),
+                "resolved": registry.resolved_prefetcher_config(
+                    self.l1_prefetcher.name, **dict(self.l1_prefetcher.overrides)
+                ),
+            },
+        }
 
     def fingerprint(self) -> str:
         """Content hash over every outcome-determining field.
@@ -141,47 +172,82 @@ class Cell:
         *resolved* prefetcher configuration (preset defaults and
         constructor defaults included) and the trace's content stamp, so
         stale store entries die with the code that produced them instead
-        of waiting for a manual ``SCHEMA_VERSION`` bump.
+        of waiting for a manual ``SCHEMA_VERSION`` bump.  Cells with a
+        fractional warmup keep the historical payload layout (so
+        existing store entries survive); an absolute ``warmup_records``
+        replaces the fraction in the payload, since only the effective
+        split determines the outcome.
         """
         from repro import registry
 
+        warmup = (
+            {"warmup_fraction": self.warmup_fraction}
+            if self.warmup_records is None
+            else {"warmup_records": self.warmup_records}
+        )
         return fingerprint(
             {
                 "kind": "cell",
                 "trace": self.trace,
                 "trace_length": self.trace_length,
                 "trace_stamp": registry.trace_stamp(self.trace, self.trace_length),
-                "warmup_fraction": self.warmup_fraction,
-                "prefetcher": {
-                    "name": self.prefetcher.name,
-                    "overrides": fingerprint_overrides(self.prefetcher.overrides),
-                    "resolved": registry.resolved_prefetcher_config(
-                        self.prefetcher.name, **dict(self.prefetcher.overrides)
-                    ),
-                },
-                "l1_prefetcher": None
-                if self.l1_prefetcher is None
-                else {
-                    "name": self.l1_prefetcher.name,
-                    "overrides": fingerprint_overrides(self.l1_prefetcher.overrides),
-                    "resolved": registry.resolved_prefetcher_config(
-                        self.l1_prefetcher.name, **dict(self.l1_prefetcher.overrides)
-                    ),
-                },
+                **warmup,
+                **self._prefetcher_payloads(),
+                "system": canonical(self.system.config),
+            }
+        )
+
+    def prefix_fingerprint(self) -> str:
+        """Checkpoint-namespace key: the fingerprint minus the length axis.
+
+        Everything length-dependent is dropped — ``trace_length``, the
+        length-keyed trace stamp, and the warmup split — because replay
+        *state evolution* does not depend on them: two cells differing
+        only there consume the same record stream.  Checkpoints under
+        one prefix are validated at adoption time against the consumed
+        records' CRC and the resuming run's drain history
+        (:class:`repro.sim.engine.EngineState`), which is what makes the
+        shared namespace safe.
+        """
+        return fingerprint(
+            {
+                "kind": "cell-prefix",
+                "trace": self.trace,
+                **self._prefetcher_payloads(),
                 "system": canonical(self.system.config),
             }
         )
 
     def baseline_cell(self) -> "Cell":
-        """The no-prefetching run this cell's metrics are relative to."""
-        return replace(self, prefetcher=PrefetcherSpec("none"), l1_prefetcher=None)
+        """The no-prefetching run this cell's metrics are relative to.
+
+        Telemetry is dropped: the baseline's timeline is unreachable
+        through the result API (records expose ``result.timeline``
+        only), so keeping the window would re-simulate every cached
+        baseline for rows nobody can read.  An explicitly requested
+        ``"none"`` cell keeps its own window and still gets rows.
+        """
+        return replace(
+            self,
+            prefetcher=PrefetcherSpec("none"),
+            l1_prefetcher=None,
+            telemetry_window=0,
+        )
 
     @property
     def is_baseline(self) -> bool:
         return self.prefetcher.name == "none" and self.l1_prefetcher is None
 
-    def execute(self):
-        """Simulate this cell from its declarative spec."""
+    def execute(self, checkpoints=None, checkpoint_every: int = 0):
+        """Simulate this cell from its declarative spec.
+
+        Args:
+            checkpoints: optional checkpoint namespace
+                (:meth:`repro.api.store.ResultStore.checkpoints` bound
+                to :meth:`prefix_fingerprint`) to resume from and save
+                into.
+            checkpoint_every: snapshot cadence in records.
+        """
         from repro import registry
         from repro.sim.system import simulate
 
@@ -194,6 +260,10 @@ class Cell:
             prefetcher,
             warmup_fraction=self.warmup_fraction,
             l1_prefetcher=l1,
+            warmup_records=self.warmup_records,
+            telemetry_window=self.telemetry_window,
+            checkpoints=checkpoints,
+            checkpoint_every=checkpoint_every,
         )
 
     def record(self, result, baseline):
@@ -263,16 +333,26 @@ class MixCell:
     trace_length: int
     warmup_fraction: float
     records_per_core: int | None = None
+    #: Absolute per-core warmup in records; overrides the fraction.
+    warmup_records: int | None = None
+    #: Lockstep steps per telemetry window (0 = off; non-semantic).
+    telemetry_window: int = 0
 
     def fingerprint(self) -> str:
         """Content hash over every outcome-determining field.
 
         The payload layout matches the historical ``Session.run_mix``
         key, so store entries written before mixes became declarative
-        stay valid.
+        stay valid; as with :class:`Cell`, an absolute
+        ``warmup_records`` replaces the fraction in the payload.
         """
         from repro import registry
 
+        warmup = (
+            {"warmup_fraction": self.warmup_fraction}
+            if self.warmup_records is None
+            else {"warmup_records": self.warmup_records}
+        )
         return fingerprint(
             {
                 "kind": "mix",
@@ -288,21 +368,32 @@ class MixCell:
                     ),
                 },
                 "system": canonical(self.system.config),
-                "warmup_fraction": self.warmup_fraction,
+                **warmup,
                 "records_per_core": self.records_per_core,
             }
         )
 
     def baseline_cell(self) -> "MixCell":
-        """The no-prefetching run of the same mix."""
-        return replace(self, prefetcher=PrefetcherSpec("none"))
+        """The no-prefetching run of the same mix.
+
+        Telemetry is dropped: the baseline's timeline is unreachable
+        through the result API (records expose ``result.timeline``
+        only), so simulating it would cost a full re-run for rows
+        nobody can read.
+        """
+        return replace(self, prefetcher=PrefetcherSpec("none"), telemetry_window=0)
 
     @property
     def is_baseline(self) -> bool:
         return self.prefetcher.name == "none"
 
-    def execute(self):
-        """Simulate the mix: one trace per core, shared LLC/DRAM."""
+    def execute(self, checkpoints=None, checkpoint_every: int = 0):
+        """Simulate the mix: one trace per core, shared LLC/DRAM.
+
+        Checkpoint arguments are accepted for work-unit-contract parity
+        but ignored: lockstep mixes have no meaningful prefix to extend
+        (see :class:`repro.sim.engine.MultiCoreEngine`).
+        """
         from repro import registry
         from repro.sim.system import simulate_multi
 
@@ -315,6 +406,8 @@ class MixCell:
             prefetcher_factory=self.prefetcher.build,
             warmup_fraction=self.warmup_fraction,
             records_per_core=self.records_per_core,
+            warmup_records=self.warmup_records,
+            telemetry_window=self.telemetry_window,
         )
 
     def record(self, result, baseline):
@@ -414,6 +507,12 @@ class Experiment:
             to the shortest trace's post-warmup length).
         seeds: trace replicates per single-core cell
             (:meth:`with_seeds`); 1 means unreplicated.
+        warmup_records: absolute warmup length in records, overriding
+            *warmup_fraction* for single-core cells and (per core) for
+            mixes (:meth:`with_warmup` with ``records=``); keeps
+            checkpoints extension-compatible as ``trace_length`` grows.
+        telemetry_window: records per telemetry window
+            (:meth:`with_telemetry`); 0 disables telemetry.
     """
 
     name: str = "experiment"
@@ -426,6 +525,8 @@ class Experiment:
     l1_prefetcher: PrefetcherSpec | None = None
     records_per_core: int | None = None
     seeds: int = 1
+    warmup_records: int | None = None
+    telemetry_window: int = 0
 
     @classmethod
     def define(cls, name: str, **kwargs) -> "Experiment":
@@ -501,9 +602,40 @@ class Experiment:
         """Set accesses per generated trace."""
         return replace(self, trace_length=trace_length)
 
-    def with_warmup(self, warmup_fraction: float) -> "Experiment":
-        """Set the warmup fraction."""
-        return replace(self, warmup_fraction=warmup_fraction)
+    def with_warmup(
+        self, warmup_fraction: float | None = None, *, records: int | None = None
+    ) -> "Experiment":
+        """Set the warmup: a leading fraction, or absolute *records*.
+
+        ``with_warmup(0.2)`` keeps the historical fractional semantics;
+        ``with_warmup(records=20_000)`` pins the split in records (the
+        paper's 100M-of-600M convention), which keeps the split — and
+        therefore checkpoint compatibility — fixed when the experiment's
+        ``trace_length`` is later extended.
+        """
+        if (warmup_fraction is None) == (records is None):
+            raise TypeError("pass exactly one of warmup_fraction or records")
+        if records is not None:
+            return replace(self, warmup_records=records)
+        return replace(self, warmup_fraction=warmup_fraction, warmup_records=None)
+
+    def with_telemetry(self, window: int) -> "Experiment":
+        """Attach per-window telemetry to every cell.
+
+        Each cell's result then carries a
+        :class:`~repro.sim.engine.Timeline` payload with one row per
+        *window* records (lockstep steps for mixes) — IPC, cache-stat
+        deltas, DRAM bucket occupancy, prefetch issued/useful/late —
+        queryable via :meth:`ResultSet.timeline_rows
+        <repro.api.resultset.ResultSet.timeline_rows>` and
+        :meth:`CellResult.phases <repro.api.resultset.CellResult.phases>`.
+        Telemetry is observational: fingerprints and simulated behaviour
+        are unchanged, but a cached result recorded without (or with a
+        different) window is re-simulated to obtain the rows.
+        """
+        if window < 0:
+            raise ValueError(f"telemetry window must be >= 0, got {window}")
+        return replace(self, telemetry_window=window)
 
     def with_l1_prefetcher(self, spec) -> "Experiment":
         """Attach an L1 prefetcher to every cell (Fig 8d)."""
@@ -572,6 +704,8 @@ class Experiment:
                     trace_length=self.trace_length,
                     warmup_fraction=self.warmup_fraction,
                     l1_prefetcher=self.l1_prefetcher,
+                    warmup_records=self.warmup_records,
+                    telemetry_window=self.telemetry_window,
                     seed=seed,
                     base_trace=base,
                 )
@@ -612,6 +746,8 @@ class Experiment:
                                 trace_length=self.trace_length,
                                 warmup_fraction=self.warmup_fraction,
                                 l1_prefetcher=self.l1_prefetcher,
+                                warmup_records=self.warmup_records,
+                                telemetry_window=self.telemetry_window,
                             )
                         )
                     else:
@@ -625,6 +761,8 @@ class Experiment:
                 trace_length=self.trace_length,
                 warmup_fraction=self.warmup_fraction,
                 records_per_core=self.records_per_core,
+                warmup_records=self.warmup_records,
+                telemetry_window=self.telemetry_window,
             )
             for mix in self.mixes
             for prefetcher in self.prefetchers

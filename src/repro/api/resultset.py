@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.sim.engine import Phase, Timeline
 from repro.sim.metrics import coverage, geomean, overprediction, speedup
 from repro.sim.system import SimulationResult
 
@@ -117,6 +118,19 @@ class CellResult:
     def metric(self, name: str) -> float:
         """Look up a metric by name (``"speedup"``, ``"coverage"``, ...)."""
         return getattr(self, name)
+
+    def timeline(self) -> Timeline:
+        """The per-window telemetry of the measured run.
+
+        Empty unless the producing experiment requested telemetry
+        (:meth:`Experiment.with_telemetry
+        <repro.api.experiment.Experiment.with_telemetry>`).
+        """
+        return Timeline.from_payload(self.result.timeline)
+
+    def phases(self, metric: str = "ipc", rel_tol: float = 0.25) -> list[Phase]:
+        """Phase segmentation of the measured (post-warmup) timeline."""
+        return self.timeline().phases(metric=metric, rel_tol=rel_tol)
 
 
 @dataclass
@@ -290,6 +304,44 @@ class ResultSet:
             }
             for record in self.records
         ]
+
+    def timeline_rows(self) -> list[dict]:
+        """Flattened per-window telemetry rows of every record in the set.
+
+        One dict per (record, window) with the record's identity keys
+        (trace/suite/prefetcher/system) joined onto the window's
+        counters plus its ``ipc`` — the figure-builder shape for
+        phase-behaviour plots.  Records without telemetry contribute
+        nothing.
+        """
+        rows: list[dict] = []
+        for record in self.records:
+            for row in record.timeline():
+                rows.append(
+                    {
+                        "trace": record.trace_name,
+                        "suite": record.suite,
+                        "prefetcher": record.prefetcher,
+                        "system": record.system,
+                        "window": row.index,
+                        "start_record": row.start_record,
+                        "end_record": row.end_record,
+                        "warmup": row.warmup,
+                        "ipc": row.ipc,
+                        "instructions": row.instructions,
+                        "cycles": row.cycles,
+                        "llc_demand_hits": row.llc_demand_hits,
+                        "llc_load_misses": row.llc_load_misses,
+                        "dram_reads": row.dram_reads,
+                        "dram_prefetch_reads": row.dram_prefetch_reads,
+                        "prefetches_issued": row.prefetches_issued,
+                        "useful_prefetches": row.useful_prefetches,
+                        "useless_prefetches": row.useless_prefetches,
+                        "late_prefetch_merges": row.late_prefetch_merges,
+                        "bw_buckets": row.bw_buckets,
+                    }
+                )
+        return rows
 
     def per_core_rows(self) -> list[dict]:
         """Flattened per-core rows of every mix record in the set.

@@ -46,6 +46,20 @@ from repro.sim.system import SimulationResult
 from repro.sim.trace import Trace
 
 
+def _telemetry_missing(cell: WorkCell, cached: SimulationResult) -> bool:
+    """Whether a cached result lacks the telemetry the cell requests.
+
+    Telemetry is non-semantic (same fingerprint with or without), so a
+    hit may predate the request — or carry rows at a different window.
+    Such hits are re-simulated; the simulation is bit-identical, only
+    the observation changes.
+    """
+    window = getattr(cell, "telemetry_window", 0)
+    if not window:
+        return False
+    return cached.timeline is None or cached.timeline.get("window") != window
+
+
 class Session:
     """Facade tying together store, executor, and experiment expansion.
 
@@ -57,6 +71,15 @@ class Session:
             :class:`SerialExecutor`.
         trace_length: default accesses per generated trace.
         warmup_fraction: default leading fraction excluded from stats.
+        checkpoint_every: checkpoint cadence in records; > 0 makes every
+            single-core cell run resumable: mid-run
+            :class:`~repro.sim.engine.EngineState` snapshots land in the
+            store's checkpoint namespace (keyed by the cell's
+            prefix fingerprint and records consumed), and a later run of
+            the same cell at a longer ``trace_length`` resumes from the
+            longest compatible snapshot instead of re-simulating from
+            record zero.  Checkpointed cells execute in-session (not
+            through the executor), since worker processes have no store.
     """
 
     def __init__(
@@ -65,11 +88,13 @@ class Session:
         executor: Executor | None = None,
         trace_length: int = 20_000,
         warmup_fraction: float = 0.2,
+        checkpoint_every: int = 0,
     ) -> None:
         self.store = store if store is not None else ResultStore.default()
         self.executor: Executor = executor if executor is not None else SerialExecutor()
         self.trace_length = trace_length
         self.warmup_fraction = warmup_fraction
+        self.checkpoint_every = checkpoint_every
 
     # ---- building blocks -------------------------------------------------
 
@@ -108,27 +133,53 @@ class Session:
         ]
 
         # Work list: requested cells plus each cell's baseline, deduped
-        # by fingerprint (a "none" cell is its own baseline).
+        # by fingerprint (a "none" cell is its own baseline).  When a
+        # telemetry-less baseline collides with an explicitly requested
+        # "none" cell carrying a window, keep the windowed one — the
+        # explicit record must get its rows, and serving the baseline
+        # pairing from the same (row-carrying) result is harmless.
         work: dict[str, WorkCell] = {}
         baseline_keys: dict[str, str] = {}  # cell key -> its baseline's key
+
+        def register(key: str, cell: WorkCell) -> None:
+            existing = work.get(key)
+            if existing is None or (
+                existing.telemetry_window == 0 and cell.telemetry_window > 0
+            ):
+                work[key] = cell
+
         for cell, key, baseline in keyed:
-            work.setdefault(key, cell)
+            register(key, cell)
             baseline_key = key if cell.is_baseline else baseline.fingerprint()
             baseline_keys[key] = baseline_key
-            work.setdefault(baseline_key, baseline)
+            register(baseline_key, baseline)
 
         results: dict[str, SimulationResult] = {}
         pending: list[tuple[str, WorkCell]] = []
         for key, cell in work.items():
             cached = self.store.get(key)
-            if cached is not None:
+            if cached is not None and not _telemetry_missing(cell, cached):
                 results[key] = cached
             else:
                 pending.append((key, cell))
 
-        if pending:
-            outputs = self.executor.run_cells([cell for _, cell in pending])
-            for (key, cell), output in zip(pending, outputs):
+        # Checkpointed cells run in-session (workers have no store);
+        # the rest fan out through the executor as before.
+        pooled: list[tuple[str, WorkCell]] = []
+        for key, cell in pending:
+            if self._checkpointable(cell):
+                result = cell.execute(
+                    checkpoints=self.store.checkpoints(cell.prefix_fingerprint()),
+                    checkpoint_every=self.checkpoint_every,
+                )
+                self.store.put(key, result, meta=canonical(cell))
+                results[key] = result
+            else:
+                pooled.append((key, cell))
+
+        if pooled:
+            outputs = self.executor.run_cells([cell for _, cell in pooled])
+            for (key, cell), output in zip(pooled, outputs):
                 self.store.put(key, output, meta=canonical(cell))
                 results[key] = output
 
@@ -153,11 +204,16 @@ class Session:
         l1_prefetcher=None,
         trace_length: int | None = None,
         warmup_fraction: float | None = None,
+        warmup_records: int | None = None,
+        telemetry_window: int = 0,
     ) -> CellResult:
         """Run a single (trace, prefetcher, system) cell.
 
         Accepts the same flexible specs as the experiment builder;
         *system* defaults to the paper's single-core baseline.
+        *warmup_records* pins the warmup split in absolute records
+        (checkpoint-extension friendly); *telemetry_window* attaches the
+        per-window timeline to the returned record.
         """
         cell = Cell(
             trace=trace,
@@ -170,6 +226,8 @@ class Session:
             l1_prefetcher=(
                 PrefetcherSpec.of(l1_prefetcher) if l1_prefetcher is not None else None
             ),
+            warmup_records=warmup_records,
+            telemetry_window=telemetry_window,
         )
         result = self._run_cell(cell)
         baseline = (
@@ -199,13 +257,39 @@ class Session:
             warmup_fraction=warmup_fraction,
         ).result
 
+    def _checkpointable(self, cell: WorkCell) -> bool:
+        """Whether this cell's execution should checkpoint/resume.
+
+        Single-core cells only (mixes have no resumable prefix), and
+        only with telemetry off — a resumed run cannot reconstruct the
+        skipped windows' telemetry rows.
+        """
+        return (
+            self.checkpoint_every > 0
+            and isinstance(cell, Cell)
+            and cell.telemetry_window == 0
+        )
+
     def _run_cell(self, cell: WorkCell) -> SimulationResult:
-        """Fetch-or-simulate one cell without executor overhead."""
+        """Fetch-or-simulate one cell without executor overhead.
+
+        Resume-aware: with session checkpointing on, a store miss first
+        looks for the longest compatible checkpoint under the cell's
+        prefix fingerprint and simulates only the remaining records.  A
+        cached result recorded without the telemetry the cell now
+        requests is re-simulated (bit-identically) to obtain the rows.
+        """
         key = cell.fingerprint()
         cached = self.store.get(key)
-        if cached is not None:
+        if cached is not None and not _telemetry_missing(cell, cached):
             return cached
-        result = cell.execute()
+        if self._checkpointable(cell):
+            result = cell.execute(
+                checkpoints=self.store.checkpoints(cell.prefix_fingerprint()),
+                checkpoint_every=self.checkpoint_every,
+            )
+        else:
+            result = cell.execute()
         self.store.put(key, result, meta=canonical(cell))
         return result
 

@@ -15,6 +15,17 @@ two-layered:
 Construct with ``path=None`` for a memory-only store (unit tests,
 benchmark timing), or :meth:`ResultStore.default` for the shared
 per-user cache honouring ``REPRO_CACHE_DIR``.
+
+Beside the result layer lives the **checkpoint namespace**: mid-run
+:class:`~repro.sim.engine.EngineState` snapshots keyed by a cell's
+*prefix fingerprint* (the cell fingerprint minus ``trace_length``; see
+:meth:`repro.api.experiment.Cell.prefix_fingerprint`) and the number of
+records consumed.  Unlike results — complete, byte-equivalent answers —
+checkpoints are *partial work*: extending ``pythia @ 100k`` to ``200k``
+resumes from the 100k snapshot instead of re-simulating from record
+zero.  Checkpoints are pickled (they carry live simulator state), can be
+large, and are therefore governed by a size cap with oldest-first
+eviction rather than kept forever.
 """
 
 from __future__ import annotations
@@ -22,19 +33,38 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import pickle
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.sim.system import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import EngineState
 
 #: Environment variable overriding the default on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Default ceiling on the on-disk (or in-memory) checkpoint footprint.
+DEFAULT_CHECKPOINT_CAP = 256 * 1024 * 1024
+
 
 class ResultStore:
-    """Fingerprint → :class:`SimulationResult` map with a disk layer."""
+    """Fingerprint → :class:`SimulationResult` map with a disk layer.
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    Args:
+        path: on-disk root (``None`` for a memory-only store).
+        checkpoint_cap_bytes: ceiling on the checkpoint namespace's
+            total footprint; exceeding it evicts the oldest snapshots
+            first (results are never evicted — only checkpoints, which
+            are re-derivable partial work).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        checkpoint_cap_bytes: int = DEFAULT_CHECKPOINT_CAP,
+    ) -> None:
         self.path = Path(path).expanduser() if path is not None else None
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
@@ -42,6 +72,19 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.checkpoint_cap_bytes = checkpoint_cap_bytes
+        #: (prefix, records, drained_at) → EngineState, insertion-ordered
+        #: so the memory layer can evict oldest-first under the cap.
+        self._ckpt_memory: dict[tuple[str, int, tuple], "EngineState"] = {}
+        self._ckpt_memory_bytes = 0
+        #: Cached on-disk checkpoint footprint; None until first scan.
+        #: Maintained incrementally so saves stay O(1) in filesystem
+        #: calls; re-synced from a real scan whenever eviction runs.
+        self._ckpt_disk_bytes: int | None = None
+        self.checkpoint_hits = 0
+        self.checkpoint_misses = 0
+        self.checkpoint_puts = 0
+        self.checkpoint_evictions = 0
 
     @classmethod
     def default(cls) -> "ResultStore":
@@ -114,12 +157,23 @@ class ResultStore:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Lifetime counters: hits / misses / puts."""
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        """Lifetime counters: result and checkpoint hits/misses/puts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_misses": self.checkpoint_misses,
+            "checkpoint_puts": self.checkpoint_puts,
+            "checkpoint_evictions": self.checkpoint_evictions,
+        }
 
     def clear(self, memory_only: bool = False) -> None:
-        """Drop cached results (disk files too unless *memory_only*)."""
+        """Drop cached results and checkpoints (disk too unless *memory_only*)."""
         self._memory.clear()
+        self._ckpt_memory.clear()
+        self._ckpt_memory_bytes = 0
+        self._ckpt_disk_bytes = None
         if memory_only or self.path is None:
             return
         for file in self.path.glob("*/*.json"):
@@ -127,3 +181,191 @@ class ResultStore:
         # Sweep tmp files orphaned by writers that died mid-put.
         for file in self.path.glob("*/*.tmp.*"):
             file.unlink(missing_ok=True)
+        for file in self._checkpoint_root.glob("*/*/*"):
+            file.unlink(missing_ok=True)
+
+    # ---- checkpoint namespace -------------------------------------------
+    #
+    # Mid-run EngineState snapshots: partial work keyed by a cell's
+    # prefix fingerprint and the records consumed, so growing a cell's
+    # trace_length resumes instead of re-simulating.  The layering
+    # mirrors the result side (memory dict over atomic per-entry files),
+    # but entries are pickled (live simulator state), carry their drain
+    # history in the filename, and live under a size cap.
+
+    @property
+    def _checkpoint_root(self) -> Path:
+        assert self.path is not None
+        return self.path / "checkpoints"
+
+    @staticmethod
+    def _checkpoint_name(records: int, drained_at: tuple[int, ...]) -> str:
+        tag = "".join(f"-w{d}" for d in drained_at)
+        return f"{records:012d}{tag}.ckpt"
+
+    @staticmethod
+    def _parse_checkpoint_name(name: str) -> tuple[int, tuple[int, ...]] | None:
+        stem = name.removesuffix(".ckpt")
+        if stem == name:
+            return None
+        head, *drains = stem.split("-w")
+        try:
+            return int(head), tuple(int(d) for d in drains)
+        except ValueError:
+            return None
+
+    def _checkpoint_file(self, prefix: str, records: int, drained_at: tuple) -> Path:
+        return (
+            self._checkpoint_root
+            / prefix[:2]
+            / prefix
+            / self._checkpoint_name(records, drained_at)
+        )
+
+    def checkpoints(self, prefix: str) -> "CheckpointNamespace":
+        """The checkpoint namespace bound to one prefix fingerprint."""
+        return CheckpointNamespace(self, prefix)
+
+    def checkpoint_entries(self, prefix: str) -> list[tuple[int, tuple[int, ...]]]:
+        """Available snapshots for *prefix*: ``(records, drained_at)``."""
+        found = {
+            (records, drained_at)
+            for (entry_prefix, records, drained_at) in self._ckpt_memory
+            if entry_prefix == prefix
+        }
+        if self.path is not None:
+            directory = self._checkpoint_root / prefix[:2] / prefix
+            if directory.is_dir():
+                for file in directory.iterdir():
+                    parsed = self._parse_checkpoint_name(file.name)
+                    if parsed is not None:
+                        found.add(parsed)
+        return sorted(found)
+
+    def has_checkpoint(self, prefix: str, records: int, drained_at: tuple) -> bool:
+        if (prefix, records, drained_at) in self._ckpt_memory:
+            return True
+        return (
+            self.path is not None
+            and self._checkpoint_file(prefix, records, drained_at).exists()
+        )
+
+    def get_checkpoint(
+        self, prefix: str, records: int, drained_at: tuple
+    ) -> "EngineState | None":
+        """Load one snapshot; memory first, then disk."""
+        from repro.sim.engine import EngineState
+
+        state = self._ckpt_memory.get((prefix, records, drained_at))
+        if state is not None:
+            self.checkpoint_hits += 1
+            return state
+        if self.path is not None:
+            try:
+                with self._checkpoint_file(prefix, records, drained_at).open("rb") as f:
+                    state = pickle.load(f)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                # Missing, truncated, or written by an incompatible
+                # version — a miss, not an error.
+                state = None
+            if isinstance(state, EngineState):
+                self.checkpoint_hits += 1
+                return state
+        self.checkpoint_misses += 1
+        return None
+
+    def put_checkpoint(self, prefix: str, state: "EngineState") -> None:
+        """Persist one snapshot, then enforce the namespace size cap."""
+        key = (prefix, state.records, state.drained_at)
+        previous = self._ckpt_memory.pop(key, None)
+        if previous is not None:
+            self._ckpt_memory_bytes -= previous.size_bytes
+        self._ckpt_memory[key] = state
+        self._ckpt_memory_bytes += state.size_bytes
+        self.checkpoint_puts += 1
+        if self.path is not None:
+            file = self._checkpoint_file(prefix, state.records, state.drained_at)
+            file.parent.mkdir(parents=True, exist_ok=True)
+            replaced = _stat_or_none(file)
+            tmp = file.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as f:
+                pickle.dump(state, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, file)
+            written = _stat_or_none(file)
+            if self._ckpt_disk_bytes is not None and written is not None:
+                self._ckpt_disk_bytes += written.st_size - (
+                    replaced.st_size if replaced is not None else 0
+                )
+        self._enforce_checkpoint_cap()
+
+    def _enforce_checkpoint_cap(self) -> None:
+        """Evict oldest snapshots while the namespace exceeds its cap.
+
+        The memory layer evicts by insertion order; the disk layer by
+        file mtime, tracked through a cached running total so the
+        common no-eviction save never rescans the tree.  Eviction never
+        touches the result layer.
+        """
+        cap = self.checkpoint_cap_bytes
+        while self._ckpt_memory_bytes > cap and self._ckpt_memory:
+            key = next(iter(self._ckpt_memory))
+            self._ckpt_memory_bytes -= self._ckpt_memory.pop(key).size_bytes
+            self.checkpoint_evictions += 1
+        if self.path is None:
+            return
+        if self._ckpt_disk_bytes is None:
+            self._ckpt_disk_bytes = sum(
+                stat.st_size
+                for file in self._checkpoint_root.glob("*/*/*.ckpt")
+                if (stat := _stat_or_none(file)) is not None
+            )
+        if self._ckpt_disk_bytes <= cap:
+            return
+        # Over cap: do the real scan (concurrent writers may have
+        # drifted the cached total), re-sync, and evict oldest-first.
+        files = [
+            (stat.st_mtime_ns, stat.st_size, file)
+            for file in self._checkpoint_root.glob("*/*/*.ckpt")
+            if (stat := _stat_or_none(file)) is not None
+        ]
+        total = sum(size for _, size, _ in files)
+        for _, size, file in sorted(files):
+            if total <= cap:
+                break
+            file.unlink(missing_ok=True)
+            total -= size
+            self.checkpoint_evictions += 1
+        self._ckpt_disk_bytes = total
+
+
+def _stat_or_none(file: Path):
+    try:
+        return file.stat()
+    except OSError:  # pragma: no cover - raced with a concurrent eviction
+        return None
+
+
+class CheckpointNamespace:
+    """One prefix fingerprint's view of the store's checkpoint layer.
+
+    This is the duck-typed sink/source the
+    :class:`repro.sim.engine.SimulationEngine` consumes: ``entries`` /
+    ``has`` / ``load`` / ``save``, everything already scoped to the
+    prefix, so the engine never learns about fingerprints.
+    """
+
+    def __init__(self, store: ResultStore, prefix: str) -> None:
+        self.store = store
+        self.prefix = prefix
+
+    def entries(self) -> list[tuple[int, tuple[int, ...]]]:
+        return self.store.checkpoint_entries(self.prefix)
+
+    def has(self, records: int, drained_at: tuple[int, ...]) -> bool:
+        return self.store.has_checkpoint(self.prefix, records, drained_at)
+
+    def load(self, records: int, drained_at: tuple[int, ...]) -> "EngineState | None":
+        return self.store.get_checkpoint(self.prefix, records, drained_at)
+
+    def save(self, state: "EngineState") -> None:
+        self.store.put_checkpoint(self.prefix, state)

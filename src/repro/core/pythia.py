@@ -117,6 +117,20 @@ class Pythia(Prefetcher):
     def _encode_state(self, obs: Observation) -> StateValues:
         return tuple(encode(obs) for encode in self._encoders)
 
+    # -- serialization -------------------------------------------------------
+
+    def __getstate__(self):
+        """Drop the compiled encoders (closures, unpicklable); everything
+        else — agent, extractor, counters — pickles as-is.  Checkpointed
+        replay (:mod:`repro.sim.engine`) depends on this round-trip."""
+        state = self.__dict__.copy()
+        del state["_encoders"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._encoders = [compile_encoder(spec) for spec in self.config.features]
+
     # -- callbacks -----------------------------------------------------------
 
     def on_prefetch_fill(self, line: int, cycle: int) -> None:

@@ -392,6 +392,26 @@ class NumpyQVStore:
         """Total Q-value entries across vaults (Table 4 accounting)."""
         return self._table.size
 
+    # -- serialization -----------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle only the semantic state: the config and the Q-table.
+
+        ``_flat``/``_ravel`` are *views* of ``_table``; default pickling
+        would materialize them as three independent arrays, silently
+        severing the in-place update path after a restore.  The memo
+        caches hold ndarrays and ``itemgetter``s that are pure,
+        rebuildable accelerations, and the version counters only gate
+        those caches.  Restoring re-derives everything from
+        ``(config, table)`` with empty caches — Q-values, and therefore
+        simulated behaviour, are bit-identical.
+        """
+        return {"config": self.config, "table": self._table}
+
+    def __setstate__(self, state) -> None:
+        self.__init__(state["config"])
+        self._table[...] = state["table"]
+
 
 def make_qvstore(config: PythiaConfig):
     """Instantiate the Q-store implementation the config selects.

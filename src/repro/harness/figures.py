@@ -172,6 +172,61 @@ def fig9b_combinations(
     return results.rollup("prefetcher")
 
 
+def phase_behavior(
+    session: Session,
+    trace: str,
+    prefetchers: tuple[str, ...] = DEFAULT_PREFETCHERS,
+    window: int = 2_000,
+    metric: str = "ipc",
+    rel_tol: float = 0.25,
+) -> dict[str, dict]:
+    """Per-window phase behaviour of one workload under each prefetcher.
+
+    Runs the trace with per-window telemetry
+    (:meth:`~repro.api.Experiment.with_telemetry`) and returns, per
+    prefetcher::
+
+        {"windows": [{"window", "start_record", "end_record", metric}],
+         "phases":  [{"start_record", "end_record", "windows", "mean"}]}
+
+    ``windows`` is the line to plot (measured region only, one point per
+    *window* records); ``phases`` is the engine's greedy change-point
+    segmentation of the same series — the behaviour the aggregate
+    figures average away (phase changes, prefetch timeliness drift).
+    """
+    results = session.run(
+        session.experiment("phase-behavior")
+        .with_traces(trace)
+        .with_prefetchers(*prefetchers)
+        .with_telemetry(window=window)
+    )
+    out: dict[str, dict] = {}
+    for prefetcher, subset in results.group("prefetcher").items():
+        record = subset[0]
+        timeline = record.timeline().measured()
+        out[prefetcher] = {
+            "windows": [
+                {
+                    "window": row.index,
+                    "start_record": row.start_record,
+                    "end_record": row.end_record,
+                    metric: getattr(row, metric),
+                }
+                for row in timeline
+            ],
+            "phases": [
+                {
+                    "start_record": phase.start_record,
+                    "end_record": phase.end_record,
+                    "windows": phase.windows,
+                    "mean": phase.mean,
+                }
+                for phase in timeline.phases(metric=metric, rel_tol=rel_tol)
+            ],
+        }
+    return out
+
+
 def fig15_strict_vs_basic(
     session: Session, ligra_traces: list[str]
 ) -> list[dict]:

@@ -22,6 +22,7 @@ from heapq import heappop, heappush
 
 from repro.sim.config import CacheGeometry
 from repro.sim.replacement import make_policy
+from repro.types import prefetch_accuracy as _prefetch_accuracy
 
 
 @dataclass
@@ -56,10 +57,7 @@ class CacheStats:
     @property
     def prefetch_accuracy(self) -> float:
         """Fraction of prefetch fills later touched by a demand access."""
-        judged = self.useful_prefetches + self.useless_evictions
-        if judged == 0:
-            return 0.0
-        return self.useful_prefetches / judged
+        return _prefetch_accuracy(self.useful_prefetches, self.useless_evictions)
 
 
 @dataclass(slots=True)

@@ -194,6 +194,16 @@ class Dram:
         self._bucket_cycles[idx] += elapsed
         self._last_bucket_cycle = now
 
+    @property
+    def bucket_cycles(self) -> tuple[float, float, float, float]:
+        """Raw cycles charged to each utilization quartile so far.
+
+        The cumulative counters behind :meth:`bucket_fractions`; the
+        windowed engine deltas them to report per-window bucket
+        occupancy.
+        """
+        return tuple(self._bucket_cycles)
+
     def bucket_fractions(self) -> list[float]:
         """Fraction of runtime spent in each utilization quartile.
 

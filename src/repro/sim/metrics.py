@@ -18,6 +18,17 @@ import math
 from typing import Iterable, Sequence
 
 from repro.sim.system import SimulationResult
+from repro.types import prefetch_accuracy
+
+__all__ = [
+    "speedup",
+    "coverage",
+    "overprediction",
+    "geomean",
+    "geomean_speedup",
+    "mpki",
+    "prefetch_accuracy",
+]
 
 
 def speedup(result: SimulationResult, baseline: SimulationResult) -> float:

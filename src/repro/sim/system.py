@@ -1,158 +1,39 @@
-"""Top-level simulation loops: single-core and multi-core lockstep.
+"""Top-level simulation entry points: single-core and multi-core lockstep.
 
-`simulate` replays one trace through one core + hierarchy.  `simulate_multi`
-replays one trace per core against a shared LLC and shared DRAM, advancing
+Thin wrappers over the windowed :mod:`repro.sim.engine`.  `simulate`
+replays one trace through one core + hierarchy; `simulate_multi` replays
+one trace per core against a shared LLC and shared DRAM, advancing
 whichever core is earliest in time — the trace-driven analogue of cycle
-lockstep.  As in the paper, a core that exhausts its trace before the others
-replays it from the beginning until every core has simulated its quota.
+lockstep.  As in the paper, a core that exhausts its trace before the
+others replays it from the beginning until every core has simulated its
+quota.
 
 Both loops support a warmup prefix (the paper warms 100 M of 600 M
 instructions): warmup records train the caches and prefetcher but are
-excluded from every reported statistic.
+excluded from every reported statistic.  The engine adds — all off by
+default — per-window telemetry (:class:`repro.sim.engine.Timeline`),
+checkpoint/resume against a store namespace, and progress/cancellation
+hooks; with every option off the wrappers replay through the exact PR 2
+hot loop.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import gc
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from itertools import islice
-from typing import Iterable
+from typing import Callable
 
-from repro.prefetchers.base import Prefetcher, NoPrefetcher
-from repro.sim.cache import Cache, CacheStats
+from repro.prefetchers.base import Prefetcher
 from repro.sim.config import SystemConfig
-from repro.sim.core import CoreModel
-from repro.sim.dram import Dram
-from repro.sim.hierarchy import CacheHierarchy
-from repro.sim.trace import Trace, TraceRecord
-
-
-@dataclass
-class SimulationResult:
-    """Measured statistics from one simulation run (post-warmup only).
-
-    The fields mirror what the paper's rollup scripts extract from
-    ChampSim output: IPC, LLC demand load misses, DRAM read counts split
-    by origin, prefetch usefulness, and bandwidth-bucket runtime.
-    """
-
-    trace_name: str
-    prefetcher_name: str
-    instructions: int
-    cycles: float
-    llc_load_misses: int
-    llc_demand_hits: int
-    dram_reads: int
-    dram_demand_reads: int
-    dram_prefetch_reads: int
-    prefetches_issued: int
-    useful_prefetches: int
-    useless_prefetches: int
-    late_prefetch_merges: int
-    stall_cycles: float
-    bw_bucket_fractions: list[float] = field(default_factory=lambda: [1.0, 0, 0, 0])
-    per_core_ipc: list[float] = field(default_factory=list)
-
-    @property
-    def ipc(self) -> float:
-        """Aggregate instructions per cycle."""
-        if self.cycles <= 0:
-            return 0.0
-        return self.instructions / self.cycles
-
-    @property
-    def prefetch_accuracy(self) -> float:
-        """Useful / (useful + useless) judged prefetches."""
-        judged = self.useful_prefetches + self.useless_prefetches
-        if judged == 0:
-            return 0.0
-        return self.useful_prefetches / judged
-
-
-def _stats_snapshot(stats: CacheStats) -> dict:
-    return dataclasses.asdict(stats)
-
-
-def _stats_delta(after: CacheStats, before: dict) -> CacheStats:
-    current = dataclasses.asdict(after)
-    return CacheStats(**{k: current[k] - before[k] for k in current})
-
-
-class _RunState:
-    """Mid-run counter snapshots used to exclude warmup from the stats."""
-
-    def __init__(self, hierarchy: CacheHierarchy, core: CoreModel) -> None:
-        self.hierarchy = hierarchy
-        self.core = core
-        self.mark_instructions = 0
-        self.mark_cycles = 0.0
-        self.mark_stalls = 0.0
-        self.mark_llc: dict = _stats_snapshot(hierarchy.llc.stats)
-        self.mark_l2: dict = _stats_snapshot(hierarchy.l2.stats)
-        self.mark_dram = (0, 0, 0)
-        self.mark_prefetches = (0, 0)
-
-    def mark(self) -> None:
-        self.mark_instructions = self.core.instructions
-        self.mark_cycles = self.core.cycle
-        self.mark_stalls = self.core.stall_cycles
-        self.mark_llc = _stats_snapshot(self.hierarchy.llc.stats)
-        self.mark_l2 = _stats_snapshot(self.hierarchy.l2.stats)
-        dram = self.hierarchy.dram
-        self.mark_dram = (
-            dram.total_requests,
-            dram.demand_requests,
-            dram.prefetch_requests,
-        )
-        self.mark_prefetches = (
-            self.hierarchy.prefetches_issued,
-            self.hierarchy.late_prefetch_merges,
-        )
-
-
-@contextmanager
-def _gc_paused():
-    """Pause cyclic GC around the replay loop.
-
-    The per-record hot path allocates heavily (EQ entries, contexts,
-    state tuples) but creates no reference cycles, so generational
-    collections only burn time scanning live simulator state.  The
-    collector is re-enabled on exit (even on error); no collection is
-    forced — a full collect here would scan every resident trace, and
-    the next natural collection reclaims any cycles just as well.
-    """
-    if not gc.isenabled():
-        yield  # already managed by an outer run (e.g. simulate_multi)
-        return
-    gc.disable()
-    try:
-        yield
-    finally:
-        gc.enable()
-
-
-def _run_core(
-    hierarchy: CacheHierarchy,
-    core: CoreModel,
-    records: Iterable[TraceRecord],
-) -> None:
-    """Replay *records* through one core + hierarchy.
-
-    This is the innermost simulation loop: every record costs exactly
-    three calls, with the bound methods hoisted out of the loop so the
-    per-record attribute walks disappear from the profile.  Callers pass
-    any record iterable (``itertools.islice`` views for the
-    warmup/measure split), so the trace is never re-sliced or copied.
-    """
-    advance = core.advance
-    demand_access = hierarchy.demand_access
-    issue_load = core.issue_load
-    for record in records:
-        advance(record.gap)
-        issue_load(demand_access(record, int(core.cycle)))
-    core.drain()
+from repro.sim.engine import (  # noqa: F401  (re-exported: historical home)
+    MultiCoreEngine,
+    SimulationCancelled,
+    SimulationEngine,
+    SimulationResult,
+    _gc_paused,
+    _run_core,
+    _stats_delta,
+    _stats_snapshot,
+)
+from repro.sim.trace import Trace
 
 
 def simulate(
@@ -161,6 +42,13 @@ def simulate(
     prefetcher: Prefetcher | None = None,
     warmup_fraction: float = 0.2,
     l1_prefetcher: Prefetcher | None = None,
+    *,
+    warmup_records: int | None = None,
+    telemetry_window: int = 0,
+    checkpoints=None,
+    checkpoint_every: int = 0,
+    progress: Callable[[int, int], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> SimulationResult:
     """Run one trace on a single-core system; returns measured statistics.
 
@@ -170,45 +58,32 @@ def simulate(
         prefetcher: L2-level prefetcher (defaults to no prefetching).
         warmup_fraction: leading fraction of the trace used for warmup.
         l1_prefetcher: optional L1 prefetcher (multi-level experiments).
+        warmup_records: absolute warmup length in records, overriding
+            *warmup_fraction* (keeps the warmup split fixed as the trace
+            grows, which makes checkpoints extension-compatible).
+        telemetry_window: records per telemetry window; > 0 attaches the
+            per-window :attr:`SimulationResult.timeline` payload.
+        checkpoints: checkpoint namespace to resume from / save into
+            (see :meth:`repro.api.store.ResultStore.checkpoints`).
+        checkpoint_every: checkpoint cadence in records (0 = end-of-run
+            checkpoint only, when *checkpoints* is given).
+        progress: ``callback(records_done, records_total)``.
+        cancel: callable polled at epoch boundaries; truthy aborts with
+            :class:`~repro.sim.engine.SimulationCancelled`.
     """
-    config = config if config is not None else SystemConfig(num_cores=1)
-    prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
-    hierarchy = CacheHierarchy(config, prefetcher, l1_prefetcher=l1_prefetcher)
-    core = CoreModel(config.core)
-    state = _RunState(hierarchy, core)
-
-    records = trace.records
-    split = int(len(trace) * warmup_fraction)
-    with _gc_paused():
-        if split > 0:
-            _run_core(hierarchy, core, islice(records, 0, split))
-        state.mark()
-        _run_core(hierarchy, core, islice(records, split, None))
-        hierarchy.flush_pending()
-
-    llc_stats = _stats_delta(hierarchy.llc.stats, state.mark_llc)
-    l2_stats = _stats_delta(hierarchy.l2.stats, state.mark_l2)
-    dram = hierarchy.dram
-    instructions = core.instructions - state.mark_instructions
-    cycles = core.cycle - state.mark_cycles
-    return SimulationResult(
-        trace_name=trace.name,
-        prefetcher_name=prefetcher.name,
-        instructions=instructions,
-        cycles=cycles,
-        llc_load_misses=llc_stats.load_misses,
-        llc_demand_hits=llc_stats.demand_hits,
-        dram_reads=dram.total_requests - state.mark_dram[0],
-        dram_demand_reads=dram.demand_requests - state.mark_dram[1],
-        dram_prefetch_reads=dram.prefetch_requests - state.mark_dram[2],
-        prefetches_issued=hierarchy.prefetches_issued - state.mark_prefetches[0],
-        useful_prefetches=llc_stats.useful_prefetches + l2_stats.useful_prefetches,
-        useless_prefetches=llc_stats.useless_evictions,
-        late_prefetch_merges=hierarchy.late_prefetch_merges - state.mark_prefetches[1],
-        stall_cycles=core.stall_cycles - state.mark_stalls,
-        bw_bucket_fractions=dram.bucket_fractions(),
-        per_core_ipc=[instructions / cycles if cycles > 0 else 0.0],
-    )
+    return SimulationEngine(
+        trace,
+        config,
+        prefetcher,
+        warmup_fraction,
+        l1_prefetcher,
+        warmup_records=warmup_records,
+        telemetry_window=telemetry_window,
+        checkpoints=checkpoints,
+        checkpoint_every=checkpoint_every,
+        progress=progress,
+        cancel=cancel,
+    ).run()
 
 
 def simulate_multi(
@@ -217,6 +92,11 @@ def simulate_multi(
     prefetcher_factory,
     warmup_fraction: float = 0.1,
     records_per_core: int | None = None,
+    *,
+    warmup_records: int | None = None,
+    telemetry_window: int = 0,
+    progress: Callable[[int, int], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> SimulationResult:
     """Run one trace per core against a shared LLC and DRAM.
 
@@ -230,110 +110,20 @@ def simulate_multi(
         records_per_core: measured records each core must complete;
             defaults to the shortest trace's post-warmup length.  Cores
             replay their traces when exhausted, as in the paper.
+        warmup_records: absolute per-core warmup length in records,
+            overriding *warmup_fraction*.
+        telemetry_window: lockstep steps per telemetry window (0 = off).
+        progress: ``callback(min_measured, records_per_core)``.
+        cancel: callable polled per step when given; truthy aborts.
     """
-    if len(traces) != config.num_cores:
-        raise ValueError("need exactly one trace per core")
-
-    dram = Dram(config.dram)
-    import dataclasses as _dc
-
-    shared_llc_geom = _dc.replace(
-        config.llc, size_bytes=config.llc.size_bytes * config.num_cores
-    )
-    llc = Cache("LLC", shared_llc_geom)
-    hierarchies = [
-        CacheHierarchy(config, prefetcher_factory(), dram=dram, llc=llc, core_id=i)
-        for i in range(config.num_cores)
-    ]
-    cores = [CoreModel(config.core) for _ in range(config.num_cores)]
-    cursors = [0] * config.num_cores
-    warm_remaining = [int(len(t) * warmup_fraction) for t in traces]
-    if records_per_core is None:
-        records_per_core = min(len(t) - w for t, w in zip(traces, warm_remaining))
-    measured = [0] * config.num_cores
-    marks: list[_RunState | None] = [None] * config.num_cores
-
-    def step(core_idx: int) -> None:
-        trace = traces[core_idx]
-        record = trace[cursors[core_idx] % len(trace)]
-        cursors[core_idx] += 1
-        core = cores[core_idx]
-        core.advance(record.gap)
-        completion = hierarchies[core_idx].demand_access(record, int(core.cycle))
-        core.issue_load(completion)
-        if warm_remaining[core_idx] > 0:
-            warm_remaining[core_idx] -= 1
-            if warm_remaining[core_idx] == 0:
-                state = _RunState(hierarchies[core_idx], core)
-                state.mark()
-                marks[core_idx] = state
-        else:
-            if marks[core_idx] is None:
-                state = _RunState(hierarchies[core_idx], core)
-                state.mark()
-                marks[core_idx] = state
-            measured[core_idx] += 1
-
-    # Kick off warmup/measurement: advance the earliest core each step.
-    with _gc_paused():
-        while any(m < records_per_core for m in measured):
-            active = [
-                i for i in range(config.num_cores) if measured[i] < records_per_core
-            ]
-            core_idx = min(active, key=lambda i: cores[i].cycle)
-            step(core_idx)
-
-        for core, h in zip(cores, hierarchies):
-            core.drain()
-            h.flush_pending()
-
-    instructions = 0
-    cycles = 0.0
-    stall = 0.0
-    llc_misses = 0
-    llc_hits = 0
-    prefetches = 0
-    late = 0
-    useful = 0
-    useless = 0
-    per_core_ipc = []
-    for core, h, mark in zip(cores, hierarchies, marks):
-        assert mark is not None
-        d_instr = core.instructions - mark.mark_instructions
-        d_cyc = core.cycle - mark.mark_cycles
-        instructions += d_instr
-        cycles = max(cycles, d_cyc)
-        stall += core.stall_cycles - mark.mark_stalls
-        prefetches += h.prefetches_issued - mark.mark_prefetches[0]
-        late += h.late_prefetch_merges - mark.mark_prefetches[1]
-        per_core_ipc.append(d_instr / d_cyc if d_cyc > 0 else 0.0)
-
-    # Shared-LLC stats: subtract the earliest mark (approximation: the
-    # shared stats cannot be attributed per core exactly, matching how
-    # multi-programmed rollups report aggregate LLC behaviour).
-    first_mark = next(m for m in marks if m is not None)
-    llc_stats = _stats_delta(llc.stats, first_mark.mark_llc)
-    llc_misses = llc_stats.load_misses
-    llc_hits = llc_stats.demand_hits
-    useful = llc_stats.useful_prefetches
-    useless = llc_stats.useless_evictions
-    dram_marks = first_mark.mark_dram
-
-    return SimulationResult(
-        trace_name="+".join(t.name for t in traces),
-        prefetcher_name=hierarchies[0].prefetcher.name,
-        instructions=instructions,
-        cycles=cycles,
-        llc_load_misses=llc_misses,
-        llc_demand_hits=llc_hits,
-        dram_reads=dram.total_requests - dram_marks[0],
-        dram_demand_reads=dram.demand_requests - dram_marks[1],
-        dram_prefetch_reads=dram.prefetch_requests - dram_marks[2],
-        prefetches_issued=prefetches,
-        useful_prefetches=useful,
-        useless_prefetches=useless,
-        late_prefetch_merges=late,
-        stall_cycles=stall,
-        bw_bucket_fractions=dram.bucket_fractions(),
-        per_core_ipc=per_core_ipc,
-    )
+    return MultiCoreEngine(
+        traces,
+        config,
+        prefetcher_factory,
+        warmup_fraction,
+        records_per_core,
+        warmup_records=warmup_records,
+        telemetry_window=telemetry_window,
+        progress=progress,
+        cancel=cancel,
+    ).run()

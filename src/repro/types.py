@@ -39,6 +39,22 @@ class AccessType(enum.Enum):
         return self is not AccessType.PREFETCH
 
 
+def prefetch_accuracy(useful: int, useless: int) -> float:
+    """Useful fraction of *judged* prefetches: useful / (useful + useless).
+
+    The single source of truth for the paper's prefetch-accuracy metric;
+    both per-cache-level statistics (:class:`repro.sim.cache.CacheStats`)
+    and run-level statistics (:class:`repro.sim.system.SimulationResult`)
+    delegate here, differing only in what they count as useless (evicted-
+    unused lines vs. all judged-useless prefetches).  Unjudged prefetches
+    (still resident and untouched) are excluded; zero judged means 0.0.
+    """
+    judged = useful + useless
+    if judged == 0:
+        return 0.0
+    return useful / judged
+
+
 def line_of(address: int) -> int:
     """Return the cacheline number of a byte *address*."""
     return address // LINE_SIZE

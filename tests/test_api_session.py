@@ -252,3 +252,177 @@ def test_run_mix_cached(session):
     result2, _ = session.run_mix(["spec06/lbm-1", "spec06/mcf-1"], "stride", config)
     assert session.store.puts == before  # fully cached
     assert result2 is result
+
+
+# ---- telemetry and checkpointed resume (ISSUE 5) --------------------------
+
+
+def test_with_telemetry_attaches_timelines(session):
+    experiment = (
+        session.experiment("telemetry")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("spp")
+        .with_telemetry(window=300)
+    )
+    results = session.run(experiment)
+    record = results[0]
+    timeline = record.timeline()
+    assert timeline.window == 300
+    # Window multiples plus the warmup split (rows break there too).
+    split = int(LENGTH * 0.2)
+    assert len(timeline) == len({*range(300, LENGTH + 1, 300), split, LENGTH})
+    assert timeline.rows[-1].end_record == LENGTH
+    assert record.phases() == record.timeline().phases()
+    rows = results.timeline_rows()
+    assert len(rows) == len(timeline)
+    assert rows[0]["prefetcher"] == "spp" and rows[0]["trace"] == "spec06/lbm-1"
+    assert all(row["ipc"] > 0 for row in rows)
+
+
+def test_telemetry_rerun_upgrades_cached_results(session):
+    """A result cached without telemetry is re-simulated (bit-identically)
+    when telemetry is requested — and the upgraded entry then serves both
+    telemetry and non-telemetry requests from the store."""
+    plain = session.run_one("spec06/lbm-1", "spp")
+    assert plain.result.timeline is None
+
+    simulated_before = session.store.puts
+    with_rows = session.run_one("spec06/lbm-1", "spp", telemetry_window=400)
+    assert session.store.puts > simulated_before  # re-simulated + re-stored
+    assert with_rows.result.timeline is not None
+
+    plain_dict = dataclasses.asdict(plain.result)
+    rows_dict = dataclasses.asdict(with_rows.result)
+    assert rows_dict.pop("timeline") is not None
+    plain_dict.pop("timeline")
+    assert rows_dict == plain_dict  # telemetry never perturbs results
+
+    # Same-window request now hits the upgraded entry; a plain request
+    # is happy with the entry too (extra rows are harmless).
+    before = session.store.puts
+    again = session.run_one("spec06/lbm-1", "spp", telemetry_window=400)
+    assert session.store.puts == before
+    assert again.result is with_rows.result
+    assert session.run_one("spec06/lbm-1", "spp").result is with_rows.result
+
+
+def test_session_checkpointing_resumes_extension(tmp_path):
+    """Growing trace_length under Session(checkpoint_every=...) resumes
+    from the shorter run's snapshots instead of re-simulating."""
+    store = ResultStore(tmp_path / "ckpt-store")
+    session = Session(store=store, checkpoint_every=400)
+    short = session.run_one(
+        "spec06/lbm-1", "spp", trace_length=800, warmup_records=200
+    )
+    assert short.result.instructions > 0
+    hits_before = store.checkpoint_hits
+    extended = session.run_one(
+        "spec06/lbm-1", "spp", trace_length=1600, warmup_records=200
+    )
+    assert store.checkpoint_hits > hits_before
+
+    fresh = Session(store=ResultStore(tmp_path / "plain-store")).run_one(
+        "spec06/lbm-1", "spp", trace_length=1600, warmup_records=200
+    )
+    assert dataclasses.asdict(extended.result) == dataclasses.asdict(fresh.result)
+    assert dataclasses.asdict(extended.baseline) == dataclasses.asdict(
+        fresh.baseline
+    )
+
+
+def test_checkpointed_experiment_run_matches_executor_run(tmp_path):
+    """Session.run with checkpointing on (cells execute in-session) equals
+    the executor path, table for table."""
+    def experiment(session):
+        return (
+            session.experiment("ckpt-run")
+            .with_traces("spec06/lbm-1", "spec06/mcf-1")
+            .with_prefetchers("stride", "spp")
+            .with_warmup(records=200)
+        )
+
+    plain = Session(store=ResultStore(tmp_path / "a"), trace_length=LENGTH)
+    checkpointed = Session(
+        store=ResultStore(tmp_path / "b"),
+        trace_length=LENGTH,
+        checkpoint_every=500,
+    )
+    table_plain = plain.run(experiment(plain)).table()
+    table_ckpt = checkpointed.run(experiment(checkpointed)).table()
+    assert table_plain == table_ckpt
+    assert checkpointed.store.stats["checkpoint_puts"] > 0
+
+
+def test_warmup_records_fingerprint_semantics():
+    """warmup_records participates in fingerprints; fraction-only cells
+    keep their historical payload (store survival)."""
+    base = dict(
+        trace="spec06/lbm-1",
+        prefetcher=PrefetcherSpec.of("spp"),
+        system=SystemSpec.of("1c"),
+        trace_length=LENGTH,
+        warmup_fraction=0.2,
+    )
+    from repro.api import Cell
+
+    fractional = Cell(**base)
+    absolute = Cell(**base, warmup_records=240)
+    other_absolute = Cell(**base, warmup_records=480)
+    assert fractional.fingerprint() != absolute.fingerprint()
+    assert absolute.fingerprint() != other_absolute.fingerprint()
+    # telemetry is non-semantic: same fingerprint with it on or off
+    observed = Cell(**base, telemetry_window=300)
+    assert observed.fingerprint() == fractional.fingerprint()
+    # the prefix namespace drops every length axis
+    longer = dataclasses.replace(absolute, trace_length=4 * LENGTH)
+    assert absolute.prefix_fingerprint() == longer.prefix_fingerprint()
+    assert absolute.prefix_fingerprint() == fractional.prefix_fingerprint()
+
+
+def test_baseline_not_resimulated_for_telemetry(session):
+    """Telemetry requests must not re-simulate cached baselines: the
+    baseline's timeline is unreachable through the API, so the pairing
+    reuses the cached plain run."""
+    session.run_one("spec06/lbm-1", "spp")  # caches spp + none
+    puts_before = session.store.puts
+    record = session.run_one("spec06/lbm-1", "spp", telemetry_window=400)
+    assert record.result.timeline is not None
+    assert record.baseline.timeline is None  # cached baseline, untouched
+    assert session.store.puts == puts_before + 1  # only the spp cell re-ran
+
+
+def test_explicit_none_cell_still_gets_telemetry(session):
+    """An explicitly requested 'none' cell keeps its window even though
+    implicit baselines drop theirs — the dedup prefers the windowed cell."""
+    results = session.run(
+        session.experiment("none-telemetry")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("spp", "none")
+        .with_telemetry(window=400)
+    )
+    none_record = results.filter(prefetcher="none")[0]
+    assert none_record.result.timeline is not None
+    assert len(none_record.timeline()) > 0
+
+
+def test_mix_warmup_records_honored():
+    """with_warmup(records=...) must reach MixCells (and their fingerprints)."""
+    from repro.api import MixCell
+
+    base = (
+        Experiment.define("mix-warmup")
+        .with_mixes(("m", ("spec06/lbm-1", "spec06/mcf-1")))
+        .with_prefetchers("stride")
+        .with_length(LENGTH)
+    )
+    fractional = base.cells()[0]
+    absolute = base.with_warmup(records=200).cells()[0]
+    assert isinstance(absolute, MixCell)
+    assert absolute.warmup_records == 200
+    assert absolute.fingerprint() != fractional.fingerprint()
+
+    store_session = Session(store=ResultStore(), trace_length=LENGTH)
+    warmed = store_session.run(base.with_warmup(records=200))[0]
+    unwarmed = store_session.run(base.with_warmup(records=600))[0]
+    # Different warmup splits measure different regions.
+    assert warmed.result.instructions != unwarmed.result.instructions

@@ -77,3 +77,25 @@ def test_fig15_rows(session):
     rows = fig15_strict_vs_basic(session, ["ligra/cc-1"])
     assert len(rows) == 1
     assert rows[0]["basic"] > 0 and rows[0]["strict"] > 0
+
+
+def test_phase_behavior_windows_and_phases(session):
+    from repro.harness.figures import phase_behavior
+
+    data = phase_behavior(
+        session, "spec06/lbm-1", prefetchers=("spp",), window=500
+    )
+    assert set(data) == {"spp"}
+    windows = data["spp"]["windows"]
+    phases = data["spp"]["phases"]
+    assert windows, "measured region must produce at least one window"
+    # Measured region only: the first window starts at/after the warmup
+    # split, rows are contiguous, and every row carries the metric.
+    assert windows[0]["start_record"] >= 500
+    for prev, row in zip(windows, windows[1:]):
+        assert row["start_record"] == prev["end_record"]
+    assert all(row["ipc"] > 0 for row in windows)
+    # Phases tile the measured windows.
+    assert sum(p["windows"] for p in phases) == len(windows)
+    assert phases[0]["start_record"] == windows[0]["start_record"]
+    assert phases[-1]["end_record"] == windows[-1]["end_record"]

@@ -13,6 +13,10 @@ that, at three levels:
    implementations, and the quick-smoke matrix matches the
    pre-optimization reference captured in
    ``tests/data/quick_smoke_expected.json`` (within 1e-6 relative).
+4. Engine paths: the windowed :mod:`repro.sim.engine` replay — fresh,
+   telemetry-windowed, and checkpoint-resumed — is pinned against the
+   same pre-optimization reference, so resumable replay introduces no
+   behaviour of its own.
 """
 
 from __future__ import annotations
@@ -204,6 +208,21 @@ class TestSimulationEquivalence:
             )
         assert results["python"] == results["numpy"]
 
+    @staticmethod
+    def _assert_matches_reference(key: str, exp: dict, result: dict) -> None:
+        for field_name, value in exp.items():
+            got = result[field_name]
+            if isinstance(value, list):
+                assert got == pytest.approx(value, rel=1e-6), (
+                    f"{key}.{field_name}"
+                )
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                assert got == pytest.approx(value, rel=1e-6), (
+                    f"{key}.{field_name}: {value!r} -> {got!r}"
+                )
+            else:
+                assert got == value, f"{key}.{field_name}"
+
     def test_quick_smoke_matrix_matches_preoptimization_reference(self):
         """Stats match the values captured before the hot-loop rework.
 
@@ -222,15 +241,75 @@ class TestSimulationEquivalence:
                     warmup_fraction=0.2,
                 )
             )
-            for field_name, value in exp.items():
-                got = result[field_name]
-                if isinstance(value, list):
-                    assert got == pytest.approx(value, rel=1e-6), (
-                        f"{key}.{field_name}"
-                    )
-                elif isinstance(value, (int, float)) and not isinstance(value, bool):
-                    assert got == pytest.approx(value, rel=1e-6), (
-                        f"{key}.{field_name}: {value!r} -> {got!r}"
-                    )
-                else:
-                    assert got == value, f"{key}.{field_name}"
+            self._assert_matches_reference(key, exp, result)
+
+    def test_engine_paths_match_preoptimization_reference(self):
+        """Windowed and checkpoint-resumed replay are pinned to the seed.
+
+        For every reference cell, three engine configurations — fresh
+        full run, telemetry-windowed run, and a run resumed from a
+        mid-trace checkpoint — must all reproduce the pre-optimization
+        values; fresh and resumed must additionally be *equal* to each
+        other field for field.
+        """
+        from repro.sim.engine import SimulationEngine
+
+        class Sink:
+            def __init__(self):
+                self.states = {}
+
+            def entries(self):
+                return sorted(self.states)
+
+            def has(self, records, drained_at):
+                return (records, drained_at) in self.states
+
+            def load(self, records, drained_at):
+                return self.states.get((records, drained_at))
+
+            def save(self, state):
+                self.states[(state.records, state.drained_at)] = state
+
+        expected = json.loads(EXPECTED_FILE.read_text())
+        for key, exp in expected.items():
+            trace_name, pf_name = key.split("|")
+            trace = registry.cached_trace(trace_name, 2000)
+
+            fresh = simulate(
+                trace, prefetcher=registry.create(pf_name), warmup_fraction=0.2
+            )
+
+            windowed = dataclasses.asdict(
+                simulate(
+                    trace,
+                    prefetcher=registry.create(pf_name),
+                    warmup_fraction=0.2,
+                    telemetry_window=500,
+                )
+            )
+            windowed.pop("timeline")
+            self._assert_matches_reference(key, exp, windowed)
+
+            # Interrupt a checkpointing run mid-trace, then resume it in
+            # a brand-new engine from the stored snapshot.
+            sink = Sink()
+            first = SimulationEngine(
+                trace,
+                prefetcher=registry.create(pf_name),
+                warmup_fraction=0.2,
+                checkpoints=sink,
+                checkpoint_every=700,
+            )
+            first.cancel = lambda: first.position >= 1400
+            with pytest.raises(Exception):
+                first.run()
+            second = SimulationEngine(
+                trace,
+                prefetcher=registry.create(pf_name),
+                warmup_fraction=0.2,
+                checkpoints=sink,
+            )
+            resumed = second.run()
+            assert second.resumed_from == 1400, key
+            assert dataclasses.asdict(resumed) == dataclasses.asdict(fresh), key
+            self._assert_matches_reference(key, exp, dataclasses.asdict(resumed))
