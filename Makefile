@@ -15,6 +15,10 @@
 #                    (commit the diff when a PR moves performance).
 #   make profile   - cProfile one cell; configure via PROFILE_ARGS, e.g.
 #                    PROFILE_ARGS="--prefetcher spp --length 50000".
+#   make lint      - the invariant checker (python -m repro.analysis):
+#                    determinism, fingerprint completeness, checkpoint
+#                    coverage, layering, hygiene over src/repro, gated
+#                    against scripts/lint_baseline.json.
 #   make coverage  - line coverage of src/repro/api + src/repro/workloads
 #                    (stdlib tracer, term-missing report) checked against
 #                    the floor in scripts/coverage_floor.json; re-record
@@ -24,7 +28,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: quick sweep-smoke resume-smoke test bench perfbench profile coverage all
+.PHONY: quick sweep-smoke resume-smoke test bench perfbench profile lint coverage all
 
 quick:
 	$(PY) -m pytest -m quick -q
@@ -46,6 +50,9 @@ perfbench:
 
 profile:
 	$(PY) scripts/profile.py $(PROFILE_ARGS)
+
+lint:
+	$(PY) -m repro.analysis src/repro
 
 coverage:
 	$(PY) scripts/coverage.py

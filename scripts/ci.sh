@@ -14,6 +14,12 @@
 # `make perfbench`, not by CI).  The slow figure-regeneration suite
 # (`make bench`) is a separate, scheduled job.
 #
+# After the resume smoke the invariant checker (python -m
+# repro.analysis, `make lint`) gates the tree: determinism, fingerprint
+# completeness, checkpoint coverage, layering, and hygiene rules must
+# all come back clean modulo per-line pragmas and the committed
+# baseline (scripts/lint_baseline.json).
+#
 # The final step re-runs the API/workloads-facing suites under the
 # stdlib coverage tracer (scripts/coverage.py) and fails the build if
 # line coverage of src/repro/api or src/repro/workloads drops below the
@@ -24,6 +30,7 @@ export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 python -m pytest benchmarks/test_sweep_smoke.py -q
 python -m pytest benchmarks/test_resume_smoke.py -q
+python -m repro.analysis src/repro
 python -m pytest -m quick -q --ignore=benchmarks/test_sweep_smoke.py --ignore=benchmarks/test_resume_smoke.py
 python -m pytest tests -q -m "not quick"
 python -m pytest benchmarks/test_perf_throughput.py -q -m "not quick"

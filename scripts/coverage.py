@@ -46,6 +46,7 @@ FLOOR_FILE = REPO / "scripts" / "coverage_floor.json"
 #: floor (the engine module gets one beside its package, since it is
 #: the resumable-replay core the ISSUE 5 refactor added).
 TARGET_PACKAGES = [
+    "src/repro/analysis",
     "src/repro/api",
     "src/repro/workloads",
     "src/repro/sim",
@@ -60,6 +61,7 @@ FLOOR_MARGIN = 2.0
 #: API or workloads layers, small-trace and fast.  Deliberately explicit
 #: (not "everything") so the traced run stays well under a minute.
 COVERAGE_TESTS = [
+    "tests/test_analysis.py",
     "tests/test_api_session.py",
     "tests/test_search.py",
     "tests/test_registry.py",

@@ -1,0 +1,138 @@
+"""CLI for the invariant checker: ``python -m repro.analysis [paths]``.
+
+Exit codes: ``0`` clean (or everything suppressed), ``1`` findings,
+``2`` usage error.  ``make lint`` runs this over ``src/repro`` with the
+committed baseline; CI gates on it (see ``scripts/ci.sh``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import run
+from repro.analysis.rules import AST_RULES, INTROSPECTION_RULES, all_rule_names
+
+DEFAULT_BASELINE = Path("scripts/lint_baseline.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="statically enforce the store/checkpoint soundness rules",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src/repro")],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule allowlist (default: every rule)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"grandfathered-findings file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-introspect",
+        action="store_true",
+        help="skip the import-time rules (fingerprint, checkpoint)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in all_rule_names():
+            cls = AST_RULES.get(name) or INTROSPECTION_RULES.get(name)
+            kind = "ast" if name in AST_RULES else "introspection"
+            print(f"{name:14s} [{kind}] {cls.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = set(rules) - set(all_rule_names())
+        if unknown:
+            parser.error(f"unknown rules: {', '.join(sorted(unknown))}")
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    baseline = (
+        Baseline()
+        if args.update_baseline or baseline_path is None
+        else Baseline.load(baseline_path)
+    )
+
+    report = run(
+        args.paths,
+        rules=rules,
+        baseline=baseline,
+        introspect=not args.no_introspect,
+    )
+
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        recordable = [
+            f
+            for f in report.findings
+            if f.rule not in ("unused-pragma", "stale-baseline")
+        ]
+        Baseline.save(target, recordable)
+        print(f"analysis: baseline re-recorded with {len(recordable)} findings in {target}")
+        return 0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_json() for f in report.findings],
+                    "suppressed": report.suppressed,
+                    "files_checked": report.files_checked,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"analysis: {len(report.findings)} finding(s), "
+            f"{report.suppressed} suppressed, {report.files_checked} file(s)"
+        )
+        print(summary if report.findings else f"{summary} — clean")
+
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (head, jq -e with early exit) closed the
+        # pipe; suppress the traceback and report "findings emitted".
+        sys.stderr.close()
+        sys.exit(1)

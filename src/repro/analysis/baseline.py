@@ -1,0 +1,61 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the checker land with pre-existing violations still
+in the tree: everything recorded in the file is reported as suppressed
+instead of failing the build, while *new* findings still gate.  The
+intent is a monotonically shrinking file — ``scripts/lint_baseline.json``
+is committed (currently empty) and CI fails on any finding not in it.
+
+Entries are matched by ``(path, rule, message)`` — no line numbers — so
+edits elsewhere in a file do not churn the baseline.  Stale entries
+(recorded but no longer firing) are reported so the file cannot grow
+moss; regenerate with ``python -m repro.analysis --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+
+class Baseline:
+    """Grandfathered findings loaded from a committed JSON file."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self._entries: set[tuple[str, str, str]] = {
+            (e["path"], e["rule"], e["message"]) for e in entries or []
+        }
+        self._hits: set[tuple[str, str, str]] = set()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        return cls(json.loads(path.read_text()))
+
+    @staticmethod
+    def save(path: Path, findings: list[Finding]) -> None:
+        """Record *findings* as the new baseline (sorted, line-free)."""
+        entries = sorted(
+            {f.baseline_key() for f in findings}
+        )
+        payload = [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries
+        ]
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def suppresses(self, finding: Finding) -> bool:
+        key = finding.baseline_key()
+        if key in self._entries:
+            self._hits.add(key)
+            return True
+        return False
+
+    def stale(self) -> list[tuple[str, str, str]]:
+        """Recorded entries that no longer match any finding."""
+        return sorted(self._entries - self._hits)
+
+    def __len__(self) -> int:
+        return len(self._entries)

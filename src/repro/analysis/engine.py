@@ -1,0 +1,168 @@
+"""Analysis driver: collect files, run rules, apply suppressions.
+
+The flow per invocation:
+
+1. Expand the given paths into ``.py`` files and derive each file's
+   dotted module name (the ``repro...`` tail of its path), which is how
+   package-scoped rules (determinism, layering, hygiene) decide whether
+   they apply.
+2. Run every selected :class:`AstRule` over every file, and every
+   selected :class:`IntrospectionRule` once (introspection findings are
+   anchored to the definition site of the offending object, and honor
+   pragmas in *that* file even when it was not an analyzed path).
+3. Drop findings suppressed by a ``# repro: ignore[rule]`` pragma on
+   their line or by the committed baseline; report pragmas that
+   suppressed nothing (rule ``unused-pragma``) and baseline entries
+   that no longer fire (rule ``stale-baseline``) so suppressions decay
+   instead of accreting.
+
+:func:`run` returns the surviving findings; the CLI turns a non-empty
+list into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.pragmas import PragmaIndex
+from repro.analysis.rules import AST_RULES, INTROSPECTION_RULES, FileContext
+
+
+def module_name_of(path: Path) -> str | None:
+    """Dotted module for a source file, or ``None`` outside ``repro``.
+
+    ``src/repro/sim/cache.py`` → ``repro.sim.cache``;
+    package ``__init__`` files map to the package itself.
+    """
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    dotted = parts[parts.index("repro") :]
+    dotted[-1] = dotted[-1].removesuffix(".py")
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if "__pycache__" not in file.parts:
+                    files.setdefault(file)
+        elif path.suffix == ".py":
+            files.setdefault(path)
+    return list(files)
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+
+def run(
+    paths: Sequence[Path],
+    *,
+    rules: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+    introspect: bool = True,
+    module_override: str | None = None,
+) -> Report:
+    """Run the selected rules over *paths*.
+
+    Args:
+        paths: files or directories to analyze.
+        rules: rule-name allowlist (default: all registered rules).
+        baseline: grandfathered findings; ``None`` means empty.
+        introspect: run the import-time rules too (they inspect the
+            installed ``repro`` package, not the given paths).
+        module_override: force this dotted module name for every file —
+            lets fixture files outside the tree masquerade as, say,
+            ``repro.sim.cache`` in tests.
+    """
+    selected = set(rules) if rules is not None else None
+    baseline = baseline if baseline is not None else Baseline()
+    report = Report()
+
+    def wanted(name: str) -> bool:
+        return selected is None or name in selected
+
+    def admit(finding: Finding, pragmas: PragmaIndex | None) -> None:
+        if pragmas is not None and pragmas.suppresses(finding.line, finding.rule):
+            report.suppressed += 1
+        elif baseline.suppresses(finding):
+            report.suppressed += 1
+        else:
+            report.findings.append(finding)
+
+    for path in collect_files(paths):
+        module = module_override if module_override else module_name_of(path)
+        ctx = FileContext.parse(path, display=str(path), module=module)
+        report.files_checked += 1
+        pragmas = PragmaIndex(ctx.source)
+        for rule_cls in AST_RULES.values():
+            if wanted(rule_cls.name):
+                for finding in rule_cls().check(ctx):
+                    admit(finding, pragmas)
+        if wanted("unused-pragma"):
+            for pragma in pragmas.unused():
+                # A pragma naming a rule that was deselected this run
+                # may legitimately have had nothing to suppress.
+                if all(wanted(r) for r in pragma.rules):
+                    admit(
+                        Finding(
+                            path=str(path),
+                            line=pragma.line,
+                            rule="unused-pragma",
+                            message=(
+                                "pragma suppresses nothing: # repro: "
+                                f"ignore[{', '.join(sorted(pragma.rules)) or '*'}]"
+                            ),
+                        ),
+                        None,
+                    )
+
+    if introspect:
+        # Pragma indexes for definition-site files, loaded on demand so
+        # an ignore pragma beside a class works even when the class's
+        # file was not among the analyzed paths.
+        site_pragmas: dict[str, PragmaIndex | None] = {}
+        for rule_cls in INTROSPECTION_RULES.values():
+            if not wanted(rule_cls.name):
+                continue
+            for finding in rule_cls().check():
+                if finding.path not in site_pragmas:
+                    site = Path(finding.path)
+                    site_pragmas[finding.path] = (
+                        PragmaIndex(site.read_text()) if site.exists() else None
+                    )
+                admit(finding, site_pragmas[finding.path])
+
+    for path_, rule_, message_ in baseline.stale():
+        report.findings.append(
+            Finding(
+                path=path_,
+                line=1,
+                rule="stale-baseline",
+                message=(
+                    f"baseline entry no longer fires ({rule_}: {message_}); "
+                    "remove it or regenerate with --update-baseline"
+                ),
+            )
+        )
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return report

@@ -1,0 +1,70 @@
+"""Finding records and severities for the static-analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  The
+tuple is deliberately small and order-friendly so findings can be
+sorted, diffed against the committed baseline, and rendered as either
+text or JSON without any extra machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the build; ``WARNING`` findings are reported
+    but only fail under ``--strict``.  Every shipped rule emits errors —
+    the warning level exists so a new rule can be soak-tested on real
+    trees before it starts gating CI.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        path: repo-relative (or as-given) path of the offending file.
+        line: 1-based line number; introspection rules point at the
+            class/def line of the offending object.
+        rule: the rule identifier, e.g. ``"determinism"`` — the same
+            name a ``# repro: ignore[rule]`` pragma suppresses.
+        message: human-readable description of the violation.
+        severity: gate level (see :class:`Severity`).
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR)
+
+    def render(self) -> str:
+        """One-line text rendering: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: {self.severity.value}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> dict:
+        """JSON-serializable form (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Line numbers are excluded so unrelated edits above a
+        grandfathered finding do not un-suppress it; a baselined finding
+        is identified by where it is, which rule fired, and what it
+        says.
+        """
+        return (self.path, self.rule, self.message)

@@ -1,0 +1,89 @@
+"""Per-line ``# repro: ignore[rule]`` suppression pragmas.
+
+A pragma suppresses findings of the named rule(s) on its own line, or —
+when it is the only content of a line — on the next code line below it.
+Multiple rules are comma-separated; ``# repro: ignore`` with no bracket
+suppresses every rule on that line (reserved for generated code).
+
+Examples::
+
+    t0 = time.monotonic()  # repro: ignore[determinism]
+
+    # repro: ignore[layering, hygiene]
+    from repro.api import Session
+
+Unused pragmas are themselves reported by the engine (rule
+``unused-pragma``) so suppressions cannot silently outlive the code
+they excuse.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+
+@dataclass(slots=True)
+class Pragma:
+    """One parsed pragma comment."""
+
+    line: int
+    #: Rule names it suppresses; empty frozenset means "all rules".
+    rules: frozenset[str]
+    #: Set by the engine when the pragma suppressed at least one finding.
+    used: bool = field(default=False)
+
+    def matches(self, rule: str) -> bool:
+        return not self.rules or rule in self.rules
+
+
+class PragmaIndex:
+    """Pragmas of one file, addressable by the line they govern."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, Pragma] = {}
+        # Tokenize rather than regex-scan raw lines so pragma *examples*
+        # inside docstrings and string literals do not register.
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            lineno = tok.start[0]
+            rules = frozenset(
+                name.strip()
+                for name in (match.group("rules") or "").split(",")
+                if name.strip()
+            )
+            pragma = Pragma(line=lineno, rules=rules)
+            if tok.line[: tok.start[1]].strip():
+                # Trailing comment: governs its own line.
+                self._by_line[lineno] = pragma
+            else:
+                # Standalone comment line: governs the next line.
+                self._by_line[lineno + 1] = pragma
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        """True if a pragma governs *line* for *rule* (marks it used)."""
+        pragma = self._by_line.get(line)
+        if pragma is not None and pragma.matches(rule):
+            pragma.used = True
+            return True
+        return False
+
+    def unused(self) -> list[Pragma]:
+        """Pragmas that suppressed nothing (deduplicated, line order)."""
+        seen: dict[int, Pragma] = {}
+        for pragma in self._by_line.values():
+            if not pragma.used:
+                seen.setdefault(pragma.line, pragma)
+        return [seen[line] for line in sorted(seen)]

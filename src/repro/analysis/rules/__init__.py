@@ -1,0 +1,157 @@
+"""Rule framework: base classes, registry, and the shipped rule set.
+
+Two pass kinds exist:
+
+* :class:`AstRule` — pure syntax: visits one file's AST and yields
+  findings at source lines.  Cheap, runs per file, needs no imports.
+* :class:`IntrospectionRule` — imports the live package and inspects
+  real objects (config dataclasses, registered prefetchers, the
+  checkpoint object graph).  Runs once per invocation, anchored to the
+  source locations of the offending classes.
+
+Rules self-register via :func:`register`; ``python -m repro.analysis
+--list-rules`` renders the registry.  Adding a rule is: subclass one of
+the bases in a new module here, decorate it, import the module below.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass
+class FileContext:
+    """Everything an :class:`AstRule` may look at for one file."""
+
+    path: str
+    module: str | None
+    source: str
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: Path, display: str, module: str | None) -> "FileContext":
+        source = path.read_text()
+        return cls(path=display, module=module, source=source, tree=ast.parse(source))
+
+    def in_package(self, *packages: str) -> bool:
+        """True when this file's module sits under any of *packages*
+        (dotted prefixes relative to ``repro``, e.g. ``"sim"``)."""
+        if self.module is None:
+            return False
+        for pkg in packages:
+            full = f"repro.{pkg}"
+            if self.module == full or self.module.startswith(full + "."):
+                return True
+        return False
+
+
+class AstRule:
+    """Base for pure-syntax rules.  Subclasses yield findings from
+    :meth:`check`; helpers keep path/severity plumbing out of rules."""
+
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class IntrospectionRule:
+    """Base for import-time rules over the live ``repro`` package.
+
+    ``check`` yields findings whose path/line point at the *definition
+    site* of the offending object (via ``inspect``), so pragmas and the
+    baseline address them exactly like AST findings.
+    """
+
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, obj: object, message: str, *, offset: int = 0) -> Finding:
+        import inspect
+
+        try:
+            path = inspect.getsourcefile(obj) or "<unknown>"
+            line = inspect.getsourcelines(obj)[1] + offset
+        except (TypeError, OSError):
+            path, line = "<unknown>", 1
+        return Finding(
+            path=_repo_relative(path),
+            line=line,
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def _repo_relative(path: str) -> str:
+    """Trim an absolute source path down to its ``src/repro/...`` tail."""
+    parts = Path(path).parts
+    if "repro" in parts:
+        idx = parts.index("repro")
+        prefix = ("src",) if idx > 0 and parts[idx - 1] == "src" else ()
+        return str(Path(*prefix, *parts[idx:]))
+    return path
+
+
+AST_RULES: dict[str, Type[AstRule]] = {}
+INTROSPECTION_RULES: dict[str, Type[IntrospectionRule]] = {}
+
+
+def register(cls):
+    """Class decorator: add a rule to the registry by its ``name``."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    target = AST_RULES if issubclass(cls, AstRule) else INTROSPECTION_RULES
+    if cls.name in target:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    target[cls.name] = cls
+    return cls
+
+
+def all_rule_names() -> list[str]:
+    return sorted({*AST_RULES, *INTROSPECTION_RULES})
+
+
+# Import the shipped rules so registration happens on package import.
+from repro.analysis.rules import (  # noqa: E402  (registration imports)
+    checkpoints,
+    determinism,
+    fingerprints,
+    hygiene,
+    layering,
+)
+
+__all__ = [
+    "AST_RULES",
+    "INTROSPECTION_RULES",
+    "AstRule",
+    "FileContext",
+    "IntrospectionRule",
+    "all_rule_names",
+    "register",
+    "checkpoints",
+    "determinism",
+    "fingerprints",
+    "hygiene",
+    "layering",
+]

@@ -1,0 +1,178 @@
+"""Checkpoint-coverage rule: the EngineState graph must pickle whole.
+
+PR 5 checkpoints work by pickling the live ``(hierarchy, core)`` pair
+(:class:`repro.sim.engine.EngineState`); resume, crash recovery, and
+the ROADMAP's checkpoint-adopting fleet workers all assume that *every*
+object reachable from an engine snapshot round-trips through pickle
+with no state left behind.  Two drift modes break that silently:
+
+* an attribute that pickle cannot serialize at all (a lambda, a lock,
+  an open file) — fails loudly only on the first checkpointed run of
+  the specific prefetcher that carries it;
+* a ``__slots__`` class with a hand-written ``__getstate__`` that a
+  later slot addition forgot — pickles fine, *restores a stale or
+  missing field*, and the resumed run diverges bit-for-bit undetected.
+
+This rule materializes a real replay graph — a short simulation of
+every registered prefetcher through the standard hierarchy/core pair —
+then (a) pickle round-trips the whole graph, and (b) walks every
+reachable *class* checking that hand-written ``__getstate__`` code
+mentions each declared slot and that a custom ``__getstate__`` on a
+slotted class is paired with a ``__setstate__``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from itertools import islice
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import IntrospectionRule, register
+
+#: Records replayed to materialize dynamic state (cache lines, MSHR
+#: entries, EQ entries, Q-store rows) before the graph is walked.
+WARM_RECORDS = 256
+
+
+def default_graphs() -> Iterable[tuple[str, object]]:
+    """Yield ``(label, root object)`` graphs to verify.
+
+    One warmed ``(hierarchy, core)`` pair per registered prefetcher —
+    exactly what :meth:`EngineState.capture` pickles.
+    """
+    from dataclasses import replace
+
+    from repro import registry
+    from repro.sim.core import CoreModel
+    from repro.sim.engine import _run_core
+    from repro.sim.hierarchy import CacheHierarchy
+    from repro.sim.config import CacheGeometry, SystemConfig
+
+    # Shrunken geometry: the reachable *classes* are identical to the
+    # production config, but the object graph pickles in milliseconds
+    # instead of seconds (a full LLC is ~32k line objects).
+    base = SystemConfig()
+    config = replace(
+        base,
+        l1=CacheGeometry(4 * 1024, 4, 4, 8),
+        l2=CacheGeometry(8 * 1024, 4, 14, 8),
+        llc=CacheGeometry(16 * 1024, 4, 34, 8, base.llc.replacement),
+    )
+    trace = registry.cached_trace("spec06/lbm-1", WARM_RECORDS)
+    for name in registry.available_prefetchers():
+        hierarchy = CacheHierarchy(config, registry.create(name))
+        core = CoreModel(config.core)
+        _run_core(hierarchy, core, islice(trace.records, WARM_RECORDS))
+        yield name, (hierarchy, core)
+
+
+def _reachable_objects(root: object) -> Iterator[object]:
+    """Deduplicated walk of instance state, mirroring what pickle sees."""
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        yield obj
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__") or hasattr(type(obj), "__slots__"):
+            for cls in type(obj).__mro__:
+                for slot in getattr(cls, "__slots__", ()):
+                    if hasattr(obj, slot):
+                        stack.append(getattr(obj, slot))
+            stack.extend(getattr(obj, "__dict__", {}).values())
+
+
+def _code_mentions(func, name: str) -> bool:
+    """Whether *name* appears in *func*'s code (constants, names, or
+    nested code objects) — the drift check for hand-written getstates."""
+    try:
+        codes = [func.__code__]
+    except AttributeError:
+        return True  # C-level or wrapped: assume covered
+    while codes:
+        code = codes.pop()
+        if name in code.co_names or name in code.co_consts or name in code.co_varnames:
+            return True
+        codes.extend(c for c in code.co_consts if hasattr(c, "co_names"))
+    return False
+
+
+def _all_slots(cls: type) -> list[str]:
+    slots: list[str] = []
+    for klass in cls.__mro__:
+        declared = klass.__dict__.get("__slots__", ())
+        if isinstance(declared, str):
+            declared = (declared,)
+        slots.extend(s for s in declared if s not in ("__dict__", "__weakref__"))
+    return slots
+
+
+@register
+class CheckpointCoverageRule(IntrospectionRule):
+    name = "checkpoint"
+    description = (
+        "everything reachable from EngineState must pickle round-trip, "
+        "with __getstate__/__setstate__ covering all __slots__"
+    )
+
+    def __init__(self, graphs: Iterable[tuple[str, object]] | None = None) -> None:
+        self._graphs = graphs
+
+    def check(self) -> Iterator[Finding]:
+        graphs = self._graphs if self._graphs is not None else default_graphs()
+        checked: set[type] = set()
+        for label, root in graphs:
+            try:
+                pickle.loads(pickle.dumps(root, pickle.HIGHEST_PROTOCOL))
+            except Exception as exc:
+                yield self.finding_at(
+                    type(root),
+                    f"checkpoint graph {label!r} does not pickle "
+                    f"round-trip: {exc!r}; every EngineState member must "
+                    "be serializable",
+                )
+            for obj in _reachable_objects(root):
+                cls = type(obj)
+                if cls in checked or cls.__module__ in ("builtins",):
+                    continue
+                checked.add(cls)
+                yield from self._check_class(cls)
+
+    def _check_class(self, cls: type) -> Iterator[Finding]:
+        import dataclasses
+
+        getstate = cls.__dict__.get("__getstate__")
+        setstate = cls.__dict__.get("__setstate__")
+        # frozen+slots dataclasses get generated hooks that cover every
+        # field by construction; only hand-written ones can drift.
+        if getstate is getattr(dataclasses, "_dataclass_getstate", None):
+            getstate = None
+        if setstate is getattr(dataclasses, "_dataclass_setstate", None):
+            setstate = None
+        slots = _all_slots(cls)
+        if getstate is None and setstate is None:
+            return
+        if slots and getstate is not None and setstate is None:
+            yield self.finding_at(
+                cls,
+                f"{cls.__name__} defines __getstate__ but no "
+                "__setstate__ on a slotted class; the default restore "
+                "path cannot apply a custom state shape to __slots__",
+            )
+        if getstate is not None:
+            for slot in slots:
+                if not _code_mentions(getstate, slot):
+                    yield self.finding_at(
+                        cls,
+                        f"{cls.__name__}.__getstate__ does not cover "
+                        f"slot {slot!r}; a checkpoint of this object "
+                        "restores with that field missing or stale",
+                    )

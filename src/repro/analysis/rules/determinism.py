@@ -1,0 +1,108 @@
+"""Determinism rule: simulation code must be seed-reproducible.
+
+Everything the result store caches and the process-pool executor fans
+out is keyed by content fingerprints, which is only sound if replaying
+a cell is a pure function of its spec.  Three classes of construct
+break that silently:
+
+* builtin ``hash()`` — randomized per process (``PYTHONHASHSEED``), so
+  any value seeded or bucketed through it differs across workers.
+  Trace generation seeds via CRC32 for exactly this reason.
+* the module-level ``random`` API — one shared, ambiently-seeded
+  global stream; ordering effects leak between unrelated call sites.
+  Instantiating ``random.Random(seed)`` is the sanctioned form.
+* wall-clock reads (``time``, ``datetime``) — nondeterministic by
+  definition.  Timing belongs in the harness/bench layers, never in
+  replay semantics.
+
+The rule fires only inside the packages whose outputs are fingerprinted
+(``sim``, ``core``, ``prefetchers``, ``workloads``); the api/harness
+layers may measure wall time freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import AstRule, FileContext, register
+
+#: Packages (relative to ``repro``) whose replay semantics must be
+#: deterministic.
+RESTRICTED_PACKAGES = ("sim", "core", "prefetchers", "workloads")
+
+#: Module-level ``random`` attributes that are allowed: the seedable
+#: generator classes.  Everything else on the module is the shared
+#: global stream.
+ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+
+BANNED_MODULES = {"time", "datetime"}
+
+
+@register
+class DeterminismRule(AstRule):
+    name = "determinism"
+    description = (
+        "ban builtin hash(), the global random stream, and wall-clock "
+        "modules in fingerprinted simulation packages"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*RESTRICTED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in BANNED_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of wall-clock module {alias.name!r} in "
+                            f"deterministic package {ctx.module!r}",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in BANNED_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from wall-clock module {node.module!r} in "
+                        f"deterministic package {ctx.module!r}",
+                    )
+                elif root == "random":
+                    for alias in node.names:
+                        if alias.name not in ALLOWED_RANDOM_ATTRS:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"'from random import {alias.name}' pulls the "
+                                "global random stream; construct "
+                                "random.Random(seed) instead",
+                            )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            yield self.finding(
+                ctx,
+                node,
+                "builtin hash() is randomized per process "
+                "(PYTHONHASHSEED); derive seeds/buckets via zlib.crc32 "
+                "or a fixed mixing function",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in ALLOWED_RANDOM_ATTRS
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"random.{func.attr}() uses the shared global stream; "
+                "construct random.Random(seed) and call it there",
+            )

@@ -1,0 +1,143 @@
+"""Fingerprint-completeness rule: every config field must be keyed.
+
+The result store's soundness rests on :meth:`Cell.fingerprint` folding
+in *every* semantic config field — the PR 1 ``_config_key``
+under-keying bug was exactly a field the key ignored, silently serving
+one configuration's cached results for another.  ``canonical()``
+already includes all dataclass fields by default, so the remaining
+failure mode is subtler: a field whose *value* cannot be rendered
+deterministically (a callable, a ``set``, an arbitrary object) falls
+through to ``repr()``, which embeds memory addresses or hash-order —
+the fingerprint then differs per process and the store silently never
+hits (or worse, a stable-looking repr under-keys).
+
+This rule walks the config dataclasses actually reachable from cell
+fingerprints — ``SystemConfig`` and the ``config`` object of every
+registered prefetcher — and requires each field to be either
+
+* of a canonically-renderable type (primitives, enums, nested config
+  dataclasses, tuples/lists/dicts/optionals thereof), or
+* explicitly tagged ``metadata={"semantic": False}``, the existing
+  opt-out for knobs pinned result-equivalent by tests.
+
+Being an import-time rule it sees the *resolved* types (string
+annotations included), so it also catches a config class that is not a
+dataclass at all — those repr-render wholesale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import types
+import typing
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import IntrospectionRule, register
+
+_PRIMITIVES = (int, float, str, bool, bytes, type(None))
+
+
+def default_roots() -> list[type]:
+    """Config dataclass types reachable from ``Cell.fingerprint``."""
+    from repro import registry
+    from repro.sim.config import SystemConfig
+
+    roots: list[type] = [SystemConfig]
+    for name in registry.available_prefetchers():
+        prefetcher = registry.create(name)
+        config = getattr(prefetcher, "config", None)
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            if type(config) not in roots:
+                roots.append(type(config))
+    return roots
+
+
+def _is_stable(tp: object, seen: set) -> tuple[bool, list[type]]:
+    """Whether values of type *tp* canonicalize deterministically.
+
+    Returns ``(stable, nested_dataclasses)`` — nested config classes are
+    handed back so the caller can recurse into their fields too.
+    """
+    if tp in seen:
+        return True, []
+    if tp is typing.Any:
+        return False, []
+    if isinstance(tp, type):
+        if issubclass(tp, _PRIMITIVES) or issubclass(tp, enum.Enum):
+            return True, []
+        if dataclasses.is_dataclass(tp):
+            return True, [tp]
+        return False, []
+    origin = typing.get_origin(tp)
+    if origin is None:
+        return False, []
+    if origin in (set, frozenset):
+        # canonical() has no set branch: sets fall through to repr(),
+        # whose element order follows the per-process string hash.
+        return False, []
+    if origin in (list, tuple, dict) or origin in (typing.Union, types.UnionType):
+        nested: list[type] = []
+        for arg in typing.get_args(tp):
+            if arg is Ellipsis:
+                continue
+            ok, sub = _is_stable(arg, seen)
+            if not ok:
+                return False, []
+            nested.extend(sub)
+        return True, nested
+    return False, []
+
+
+@register
+class FingerprintCompletenessRule(IntrospectionRule):
+    name = "fingerprint"
+    description = (
+        "every field of a fingerprint-reachable config dataclass must "
+        "canonicalize deterministically or be tagged semantic=False"
+    )
+
+    def __init__(self, roots: list[type] | None = None) -> None:
+        self._roots = roots
+
+    def check(self) -> Iterator[Finding]:
+        pending = list(self._roots) if self._roots is not None else default_roots()
+        seen: set[type] = set()
+        while pending:
+            cls = pending.pop()
+            if cls in seen:
+                continue
+            seen.add(cls)
+            if not dataclasses.is_dataclass(cls):
+                yield self.finding_at(
+                    cls,
+                    f"fingerprint-reachable config {cls.__name__} is not a "
+                    "dataclass; canonical() renders it via repr(), which "
+                    "is not a stable cache key",
+                )
+                continue
+            try:
+                hints = typing.get_type_hints(cls)
+            except Exception as exc:  # unresolvable forward reference
+                yield self.finding_at(
+                    cls,
+                    f"cannot resolve type hints of {cls.__name__} "
+                    f"({exc}); fingerprint completeness is unverifiable",
+                )
+                continue
+            for field in dataclasses.fields(cls):
+                if field.metadata.get("semantic", True) is False:
+                    continue  # explicitly excluded from fingerprints
+                stable, nested = _is_stable(hints.get(field.name), seen)
+                if stable:
+                    pending.extend(nested)
+                else:
+                    yield self.finding_at(
+                        cls,
+                        f"field {cls.__name__}.{field.name}: "
+                        f"{field.type!r} does not canonicalize "
+                        "deterministically (repr() fallback); render it "
+                        "from stable parts or tag "
+                        'metadata={"semantic": False}',
+                    )

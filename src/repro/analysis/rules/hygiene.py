@@ -1,0 +1,127 @@
+"""Hygiene rule: mutable defaults and unslotted hot-loop dataclasses.
+
+Two purely syntactic footguns with outsized blast radius here:
+
+* **Mutable default arguments** — a ``def f(xs=[])`` default is one
+  shared object across every call *and every worker task that pickles
+  the function's module*; with cells fanned across a process pool, a
+  mutated default is a cross-cell state leak the fingerprints cannot
+  see.  Fires everywhere in ``src/repro``.
+* **Unslotted dataclasses in hot-path modules** — the per-record replay
+  loop allocates and touches these objects millions of times per cell;
+  PR 2's profile showed ``__dict__`` allocation and dict-walk attribute
+  access dominating until the record/lookup/eviction types were
+  slotted.  Any ``@dataclass`` added to a hot module without
+  ``slots=True`` quietly re-grows that cost.  The config modules are
+  exempt: config objects are long-lived, fingerprinted, and never
+  allocated per record.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import AstRule, FileContext, register
+
+#: Modules whose classes live on the per-record path (relative to
+#: ``repro``).  Keep in sync with the hot-loop inventory in ROADMAP's
+#: Performance section.
+HOT_MODULES = {
+    "sim.cache",
+    "sim.core",
+    "sim.dram",
+    "sim.engine",
+    "sim.hierarchy",
+    "sim.mshr",
+    "sim.replacement",
+    "sim.trace",
+    "core.agent",
+    "core.eq",
+    "core.features",
+    "core.pythia",
+    "core.qvstore",
+}
+
+#: Call-expression defaults that build a fresh mutable container.
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES
+    return False
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if name == "dataclass":
+            return dec
+    return None
+
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    dec = _dataclass_decorator(cls)
+    if isinstance(dec, ast.Call):
+        for kw in dec.keywords:
+            if kw.arg == "slots" and getattr(kw.value, "value", None) is True:
+                return True
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets
+        ):
+            return True
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__slots__"
+        ):
+            return True
+    return False
+
+
+@register
+class HygieneRule(AstRule):
+    name = "hygiene"
+    description = (
+        "ban mutable default arguments; require slots=True on "
+        "dataclasses in per-record hot-path modules"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        hot = (
+            ctx.module is not None
+            and ctx.module.removeprefix("repro.") in HOT_MODULES
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for default in [*args.defaults, *args.kw_defaults]:
+                    if default is not None and _is_mutable_default(default):
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in {node.name}(); "
+                            "default to None and construct inside the "
+                            "function",
+                        )
+            elif isinstance(node, ast.ClassDef) and hot:
+                if _dataclass_decorator(node) is not None and not _has_slots(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"dataclass {node.name} in hot-path module "
+                        f"{ctx.module} lacks slots=True; per-record "
+                        "attribute access pays the __dict__ tax",
+                    )

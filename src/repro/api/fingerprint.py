@@ -25,8 +25,10 @@ from typing import Any
 #: tweaks (each trace's content stamp is fingerprinted) — see
 #: :meth:`repro.api.experiment.Cell.fingerprint`.  The package version
 #: is folded in as well, so releases self-invalidate even when this
-#: constant is forgotten.
-SCHEMA_VERSION = 1
+#: constant is forgotten.  Bumped to 2 when ``EngineState``/``CounterMark``
+#: went slotted: their checkpoint pickle layout changed, and the bump
+#: orphans pre-slots snapshots instead of letting them fail to unpickle.
+SCHEMA_VERSION = 2
 
 
 def _schema_salt() -> str:

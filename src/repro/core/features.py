@@ -51,7 +51,7 @@ class DataFlow(enum.Enum):
     NONE = "none"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeatureSpec:
     """One program feature: a (control-flow, data-flow) pair."""
 

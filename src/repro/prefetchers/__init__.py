@@ -2,8 +2,8 @@
 
 Every prefetcher implements :class:`repro.prefetchers.base.Prefetcher`:
 it is trained on L1 demand misses and proposes cacheline numbers to
-prefetch into L2/LLC.  See :mod:`repro.prefetchers.registry` for the
-name → factory map used by the experiment harness.
+prefetch into L2/LLC.  See :mod:`repro.registry` for the name → factory
+map used by the experiment harness.
 """
 
 from repro.prefetchers.base import DemandContext, NoPrefetcher, Prefetcher
@@ -15,10 +15,28 @@ from repro.prefetchers.ipcp import IpcpPrefetcher
 from repro.prefetchers.mlop import MlopPrefetcher
 from repro.prefetchers.power7 import Power7Prefetcher
 from repro.prefetchers.ppf import SppPpfPrefetcher
-from repro.prefetchers.registry import available, create
 from repro.prefetchers.spp import SppPrefetcher
 from repro.prefetchers.streamer import StreamerPrefetcher
 from repro.prefetchers.stride import StridePrefetcher
+
+
+def available() -> list[str]:
+    """All registered prefetcher names (forwards to :mod:`repro.registry`)."""
+    from repro import registry
+
+    return registry.available_prefetchers()
+
+
+def create(name: str, **overrides) -> Prefetcher:
+    """Instantiate a fresh prefetcher by name (forwards to :mod:`repro.registry`).
+
+    The lazy function-scoped import keeps this package below the
+    registry in the layering DAG — the registry imports prefetcher
+    modules to register them, never the reverse at module level.
+    """
+    from repro import registry
+
+    return registry.create(name, **overrides)
 
 __all__ = [
     "DemandContext",

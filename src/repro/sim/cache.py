@@ -25,7 +25,7 @@ from repro.sim.replacement import make_policy
 from repro.types import prefetch_accuracy as _prefetch_accuracy
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Counters for one cache level.
 

@@ -66,7 +66,7 @@ from repro.types import prefetch_accuracy
 _CONTROL_CHUNK = 16_384
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Measured statistics from one simulation run (post-warmup only).
 
@@ -324,7 +324,7 @@ def _stats_delta(after: CacheStats, before: dict) -> CacheStats:
     return CacheStats(**{k: current[k] - before[k] for k in current})
 
 
-@dataclass
+@dataclass(slots=True)
 class CounterMark:
     """Pure-value counter snapshot taken at the warmup/measure boundary.
 
@@ -416,7 +416,7 @@ def _prefix_crc(records: Sequence[TraceRecord], stop: int, crc: int = 0, start: 
     return crc
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineState:
     """One serializable snapshot of a mid-run simulation.
 

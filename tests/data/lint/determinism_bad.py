@@ -1,0 +1,23 @@
+"""Fixture: every determinism violation class (analyzed as repro.sim.*)."""
+
+import time
+from datetime import datetime
+from random import randrange
+
+import random
+
+
+def seed_from_name(name: str) -> int:
+    return hash(name) % 2**31
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def pick(options):
+    return random.choice(options)
+
+
+def stamp() -> float:
+    return time.time() + datetime.now().timestamp() + randrange(10)

@@ -1,0 +1,12 @@
+"""Fixture: the sanctioned deterministic forms (analyzed as repro.sim.*)."""
+
+import random
+import zlib
+
+
+def seed_from_name(name: str) -> int:
+    return zlib.crc32(name.encode())
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()

@@ -1,0 +1,23 @@
+"""Fixture: hygiene violations (analyzed as a hot-path repro.sim module)."""
+
+from dataclasses import dataclass
+
+
+def accumulate(value, into=[]):
+    into.append(value)
+    return into
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def collect(*, seen=set()):
+    return seen
+
+
+@dataclass
+class PerRecordThing:
+    line: int
+    useful: bool

@@ -1,0 +1,12 @@
+"""Fixture: violations silenced by pragmas (analyzed as repro.sim.*)."""
+
+import time  # repro: ignore[determinism]
+
+
+def seed(name: str) -> int:
+    # repro: ignore[determinism]
+    return hash(name)
+
+
+def multi(xs=[]):  # repro: ignore[hygiene, determinism]
+    return xs

@@ -1,0 +1,7 @@
+"""Fixture: a pragma with nothing to suppress must itself be reported."""
+
+import zlib  # repro: ignore[determinism]
+
+
+def seed(name: str) -> int:
+    return zlib.crc32(name.encode())
