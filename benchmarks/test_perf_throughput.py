@@ -7,6 +7,11 @@ reports best-of-N records/s, and — under ``make perfbench``
 (``REPRO_WRITE_BENCH=1``) — writes the committed ``BENCH_perf.json`` at
 the repo root so perf changes are visible in review diffs.
 
+Since ISSUE 7 every cell is measured on both replay backends: the
+batched-epoch engine (the default, ``records_per_s``) and the scalar
+per-record loop it must stay bit-identical to
+(``scalar_records_per_s``, kept for the trajectory).  Schema 2.
+
 The ``SEED_RECORDS_PER_S`` constants are the pre-PR-2 seed throughput
 measured un-instrumented on an otherwise-idle machine (commit
 ``ea58e06``, via ``git worktree`` + ``scripts/profile.py``-style raw
@@ -16,9 +21,14 @@ changes.
 Assertions run at two strictness levels: by default only
 machine-independent sanity floors are enforced (any hardware that can
 run the suite clears them), while ``REPRO_PERF_STRICT=1`` — set by
-``make perfbench``, i.e. on the reference machine — also enforces the
-calibrated regression floors, which sit well below quiet reference
-numbers but above seed-level throughput.
+``make perfbench``, i.e. on the reference runner — also enforces the
+calibrated regression floors on the batched rows.  The floors were
+re-calibrated in ISSUE 7 on the current (slower) reference runner; they
+sit ~15-30% below quiet batched numbers but well above seed-level
+throughput, so a slide back toward the pre-optimization loop fails the
+gate.  (The scalar rows are informational: the ISSUE 7 qvstore/DRAM/
+fill-path work sped the scalar engine up too, so the batched-vs-scalar
+gap on these short cells is narrower than batched-vs-seed.)
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -42,7 +53,10 @@ PYTHIA_200K_LENGTH = 200_000
 WARMUP = 0.2
 PREFETCHERS = ("none", "spp", "pythia")
 
-#: Seed (pre-PR-2) throughput on the reference machine, records/s.
+#: Seed (pre-PR-2) throughput on the original reference machine,
+#: records/s.  Kept verbatim as the trajectory anchor even though the
+#: current reference runner is slower — speedup_vs_seed therefore
+#: understates the true win on like-for-like hardware.
 SEED_RECORDS_PER_S = {
     "none": 31_063,
     "spp": 16_290,
@@ -50,29 +64,47 @@ SEED_RECORDS_PER_S = {
     "pythia_200k": 11_375,
 }
 
-#: ISSUE 2 acceptance floor for the 200k-record Pythia cell, records/s.
-PYTHIA_200K_FLOOR = 18_500
+#: ISSUE 7 acceptance floor for the 200k-record Pythia cell on the
+#: batched backend, records/s (supersedes ISSUE 2's 18,500 which was
+#: calibrated on the faster original machine).
+PYTHIA_200K_FLOOR = 14_000
 
-#: Reference-machine regression floors (REPRO_PERF_STRICT=1 only):
-#: generous against noise, but a slide back toward seed throughput
-#: (see SEED_RECORDS_PER_S) still fails.
-REGRESSION_FLOORS = {"none": 40_000, "spp": 20_000, "pythia": 14_000}
+#: Reference-runner regression floors for the batched backend
+#: (REPRO_PERF_STRICT=1 only): generous against the +-20% noise of the
+#: single-CPU runner, but a slide back to scalar-loop throughput (see
+#: ``scalar_records_per_s`` in BENCH_perf.json) still fails.
+REGRESSION_FLOORS = {"none": 42_000, "spp": 19_000, "pythia": 16_000}
 
 #: Machine-independent sanity floor, records/s: catches a hot loop
 #: that has collapsed (e.g. an accidental O(n) re-scan) on any box.
 SANITY_FLOOR = 2_000
 
 
-def _throughput(prefetcher: str, length: int, repeats: int = 2) -> float:
+def _throughput(
+    prefetcher: str, length: int, repeats: int = 2, backend: str = "batched"
+) -> float:
     """Best-of-*repeats* records/s for one cell (fresh prefetcher each run)."""
     trace = registry.cached_trace(TRACE, length)
+    config = replace(registry.system("1c"), replay_backend=backend)
     best = 0.0
     for _ in range(repeats):
         pf = registry.create(prefetcher)
         start = time.perf_counter()
-        simulate(trace, prefetcher=pf, warmup_fraction=WARMUP)
+        simulate(trace, config=config, prefetcher=pf, warmup_fraction=WARMUP)
         best = max(best, length / (time.perf_counter() - start))
     return best
+
+
+def _measure(backend: str, repeats: int) -> dict[str, float]:
+    """All four tracked cells on one backend."""
+    rates = {
+        name: _throughput(name, LENGTH, repeats=repeats, backend=backend)
+        for name in PREFETCHERS
+    }
+    rates["pythia_200k"] = _throughput(
+        "pythia", PYTHIA_200K_LENGTH, repeats=repeats, backend=backend
+    )
+    return rates
 
 
 @pytest.mark.quick
@@ -84,33 +116,53 @@ def test_perf_smoke() -> None:
 
 def test_perf_throughput() -> None:
     """Measure the tracked cells; write BENCH_perf.json under perfbench."""
-    rates = {name: _throughput(name, LENGTH) for name in PREFETCHERS}
-    rates["pythia_200k"] = _throughput("pythia", PYTHIA_200K_LENGTH)
+    rates = _measure("batched", repeats=2)
+    # Scalar rows ride along for the trajectory (and as the honest
+    # denominator for the batched speedup); one repeat bounds bench time.
+    scalar_rates = _measure("scalar", repeats=1)
 
     payload = {
         "bench": "perf_throughput",
-        "schema": 1,
+        "schema": 2,
         "cell": {
             "trace": TRACE,
             "length": LENGTH,
             "pythia_200k_length": PYTHIA_200K_LENGTH,
             "warmup_fraction": WARMUP,
             "system": "1c",
+            "backend": "batched",
         },
         "records_per_s": {k: round(v) for k, v in rates.items()},
+        "scalar_records_per_s": {k: round(v) for k, v in scalar_rates.items()},
         "seed_records_per_s": SEED_RECORDS_PER_S,
         "speedup_vs_seed": {
             k: round(rates[k] / SEED_RECORDS_PER_S[k], 2) for k in rates
+        },
+        "speedup_vs_scalar": {
+            k: round(rates[k] / scalar_rates[k], 2) for k in rates
         },
         "pythia_200k_floor_records_per_s": PYTHIA_200K_FLOOR,
     }
     if os.environ.get("REPRO_WRITE_BENCH"):
         BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(json.dumps(payload["records_per_s"], indent=2, sort_keys=True))
+    print(
+        json.dumps(
+            {
+                "records_per_s": payload["records_per_s"],
+                "scalar_records_per_s": payload["scalar_records_per_s"],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
 
     for name, rate in rates.items():
         assert rate > SANITY_FLOOR, (
-            f"{name} throughput collapsed: {rate:,.0f} records/s"
+            f"{name} batched throughput collapsed: {rate:,.0f} records/s"
+        )
+    for name, rate in scalar_rates.items():
+        assert rate > SANITY_FLOOR, (
+            f"{name} scalar throughput collapsed: {rate:,.0f} records/s"
         )
     assert rates["none"] > rates["pythia"], (
         "the no-prefetch cell must out-run Pythia; the baseline path "
@@ -120,9 +172,10 @@ def test_perf_throughput() -> None:
     if os.environ.get("REPRO_PERF_STRICT"):
         for name, floor in REGRESSION_FLOORS.items():
             assert rates[name] > floor, (
-                f"{name} throughput regressed: {rates[name]:,.0f} records/s "
-                f"(floor {floor:,}, seed {SEED_RECORDS_PER_S[name]:,})"
+                f"{name} batched throughput regressed: {rates[name]:,.0f} "
+                f"records/s (floor {floor:,}, seed {SEED_RECORDS_PER_S[name]:,})"
             )
-        assert rates["pythia_200k"] > REGRESSION_FLOORS["pythia"], (
-            f"pythia 200k cell regressed: {rates['pythia_200k']:,.0f} records/s"
+        assert rates["pythia_200k"] > PYTHIA_200K_FLOOR, (
+            f"pythia 200k cell regressed: {rates['pythia_200k']:,.0f} records/s "
+            f"(floor {PYTHIA_200K_FLOOR:,})"
         )

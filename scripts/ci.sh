@@ -11,7 +11,10 @@
 # enforces only machine-independent sanity floors; export
 # REPRO_PERF_STRICT=1 on the calibrated reference runner to enforce the
 # regression floors too (BENCH_perf.json is rewritten by
-# `make perfbench`, not by CI).  The slow figure-regeneration suite
+# `make perfbench`, not by CI).  Since ISSUE 7 the strict floors gate
+# the batched replay backend — the Pythia floor is 16,000 records/s on
+# the 100k reference cell (up from the scalar-era 14,000), with scalar
+# rows kept in BENCH_perf.json for the trajectory.  The slow figure-regeneration suite
 # (`make bench`) is a separate, scheduled job.
 #
 # After the resume smoke the invariant checker (python -m

@@ -79,6 +79,7 @@ COVERAGE_TESTS = [
     # replay tiers stay out of the traced run.
     "tests/test_system.py",
     "tests/test_engine.py",
+    "tests/test_batch.py",
     "tests/test_cache.py",
     "tests/test_dram.py",
     "tests/test_mshr.py",

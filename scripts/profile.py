@@ -43,15 +43,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--warmup", type=float, default=0.2, help="warmup fraction")
     parser.add_argument("--top", type=int, default=25, help="rows per hotspot table")
     parser.add_argument(
+        "--backend",
+        choices=("batched", "scalar"),
+        default="batched",
+        help="replay backend to profile (hotspot tables differ a lot)",
+    )
+    parser.add_argument(
         "--out", default=None, help="also dump raw pstats to this file (snakeviz etc.)"
     )
     args = parser.parse_args(argv)
 
+    from dataclasses import replace
+
     from repro import registry
+    from repro.sim import batch
     from repro.sim.system import simulate
 
     trace = registry.cached_trace(args.trace, args.length)
-    system = registry.system(args.system)
+    system = replace(registry.system(args.system), replay_backend=args.backend)
 
     def run() -> None:
         simulate(
@@ -68,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         f"cell: trace={args.trace} prefetcher={args.prefetcher} "
         f"system={args.system} length={args.length} warmup={args.warmup}"
     )
+    print(f"backend: {args.backend} (epoch size {batch.EPOCH:,} records)")
     print(f"raw: {raw:.2f}s = {args.length / raw:,.0f} records/s (un-instrumented)\n")
 
     profile = cProfile.Profile()

@@ -134,6 +134,7 @@ def all_rule_names() -> list[str]:
 
 # Import the shipped rules so registration happens on package import.
 from repro.analysis.rules import (  # noqa: E402  (registration imports)
+    batching,
     checkpoints,
     determinism,
     fingerprints,
@@ -149,6 +150,7 @@ __all__ = [
     "IntrospectionRule",
     "all_rule_names",
     "register",
+    "batching",
     "checkpoints",
     "determinism",
     "fingerprints",

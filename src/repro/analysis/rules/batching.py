@@ -1,0 +1,64 @@
+"""Batching rule: the replay path must not materialize ``TraceRecord``s.
+
+ISSUE 7 rebuilt the default replay backend around batched epochs: each
+engine epoch decodes its trace slice once into preallocated NumPy
+struct-of-arrays columns (``repro.sim.batch``), and every downstream
+stage reads columns, not per-record objects.  A ``TraceRecord(...)``
+construction sneaking back into the replay packages silently
+re-introduces the per-record object layer the batched backend exists to
+remove — the scalar fallback keeps working, the differential harness
+stays green, and only the throughput bench (eventually) notices.
+
+The rule bans ``TraceRecord`` construction in the batched-path packages
+(``sim``, ``core``, ``prefetchers``) outside ``sim/trace.py`` itself,
+where the type is defined and the scalar decode path legitimately
+builds instances.  Trace *generation* and *ingestion*
+(``repro.workloads``) are producers, not replay stages, and stay free
+to construct records.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import AstRule, FileContext, register
+
+#: Packages (relative to ``repro``) on the batched replay path.
+RESTRICTED_PACKAGES = ("sim", "core", "prefetchers")
+
+#: The one module allowed to construct records: defines the type and
+#: the scalar-backend decode loop.
+ALLOWED_MODULE = "repro.sim.trace"
+
+
+@register
+class BatchingRule(AstRule):
+    name = "batching"
+    description = (
+        "ban TraceRecord construction on the batched replay path "
+        "(sim/core/prefetchers outside sim/trace.py)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*RESTRICTED_PACKAGES):
+            return
+        if ctx.module == ALLOWED_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            named = (
+                isinstance(func, ast.Name) and func.id == "TraceRecord"
+            ) or (isinstance(func, ast.Attribute) and func.attr == "TraceRecord")
+            if named:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"TraceRecord() constructed in {ctx.module!r}: the "
+                    "batched replay path reads struct-of-arrays columns "
+                    "(repro.sim.batch), not per-record objects; only "
+                    "sim/trace.py may build records",
+                )

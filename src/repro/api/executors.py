@@ -20,20 +20,48 @@ import os
 from concurrent import futures
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
-from repro.api.experiment import WorkCell
+from repro.api.experiment import Cell, WorkCell
 from repro.sim.system import SimulationResult
+
+#: Worker-global checkpoint plumbing, set up by :func:`_init_worker` when
+#: the parent ships a persistent store path.  ``None``/``0`` in the
+#: parent process and in pools without checkpointing, so
+#: :func:`execute_cell` behaves exactly as before there.
+_WORKER_STORE = None
+_WORKER_CHECKPOINT_EVERY = 0
+
+
+def _cell_checkpointable(cell: WorkCell) -> bool:
+    """Mirror of ``Session._checkpointable``'s cell-shape half: only
+    single-core cells have a resumable prefix, and only with telemetry
+    off (a resumed run cannot reconstruct skipped windows' rows)."""
+    return isinstance(cell, Cell) and cell.telemetry_window == 0
 
 
 def execute_cell(cell: WorkCell) -> SimulationResult:
     """Simulate one work unit (single-core cell or multi-core mix).
 
     Module-level (picklable) so process pools can ship it to workers;
-    dispatches to the cell's own :meth:`execute`.
+    dispatches to the cell's own :meth:`execute`.  In a worker whose
+    pool was configured with the persistent store path, checkpointable
+    cells open that store and resume from / write into its checkpoint
+    namespace, just as the serial in-session path does.
     """
+    store = _WORKER_STORE
+    if store is not None and _WORKER_CHECKPOINT_EVERY > 0 and _cell_checkpointable(cell):
+        return cell.execute(
+            checkpoints=store.checkpoints(cell.prefix_fingerprint()),
+            checkpoint_every=_WORKER_CHECKPOINT_EVERY,
+        )
     return cell.execute()
 
 
-def _init_worker(extra_prefetchers: dict, trace_files: dict | None = None) -> None:
+def _init_worker(
+    extra_prefetchers: dict,
+    trace_files: dict | None = None,
+    store_path: str | None = None,
+    checkpoint_every: int = 0,
+) -> None:
     """Replicate the parent's runtime registry registrations.
 
     Spawn/forkserver workers import a fresh :mod:`repro.registry` whose
@@ -41,12 +69,24 @@ def _init_worker(extra_prefetchers: dict, trace_files: dict | None = None) -> No
     without this, cells naming a runtime-registered prefetcher or a
     ``file/<alias>`` trace would fail in the worker.  (System specs need
     no replication — cells embed the resolved config.)
+
+    When *store_path* is given, the worker also opens the parent's
+    persistent :class:`~repro.api.store.ResultStore` so checkpointable
+    cells resume mid-trace instead of replaying from record zero —
+    checkpoint files are content-addressed and written atomically, so
+    concurrent workers sharing the directory are safe.
     """
     from repro import registry
 
     registry._EXTRA_PREFETCHERS.update(extra_prefetchers)
     if trace_files:
         registry._TRACE_FILES.update(trace_files)
+    if store_path is not None:
+        from repro.api.store import ResultStore
+
+        global _WORKER_STORE, _WORKER_CHECKPOINT_EVERY
+        _WORKER_STORE = ResultStore(path=store_path)
+        _WORKER_CHECKPOINT_EVERY = checkpoint_every
 
 
 @runtime_checkable
@@ -75,20 +115,61 @@ class ProcessPoolExecutor:
             the number of cells per batch).
         start_method: multiprocessing start method; the platform default
             (``fork`` on Linux) is used when ``None``.
+        store_path: path of a persistent
+            :class:`~repro.api.store.ResultStore` for workers to open;
+            with *checkpoint_every* > 0, checkpointable cells resume
+            from and snapshot into its checkpoint namespace.
+            :class:`~repro.api.session.Session` fills these in from its
+            own store when checkpointing is on, so they rarely need to
+            be set by hand.
+        checkpoint_every: checkpoint cadence in records (0 = off).
     """
 
     name = "process-pool"
 
-    def __init__(self, max_workers: int | None = None, start_method: str | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        store_path: str | os.PathLike | None = None,
+        checkpoint_every: int = 0,
+    ):
         self.max_workers = max_workers
         self.start_method = start_method
+        self.store_path = store_path
+        self.checkpoint_every = checkpoint_every
+
+    @property
+    def resumes_checkpoints(self) -> bool:
+        """Whether this pool's workers adopt/extend store checkpoints."""
+        return self.store_path is not None and self.checkpoint_every > 0
+
+    def _run_serial(self, cells: Sequence[WorkCell]) -> list[SimulationResult]:
+        """Degenerate-pool fallback that keeps checkpoint semantics."""
+        if not self.resumes_checkpoints:
+            return SerialExecutor().run_cells(cells)
+        from repro.api.store import ResultStore
+
+        store = ResultStore(path=self.store_path)
+        results = []
+        for cell in cells:
+            if _cell_checkpointable(cell):
+                results.append(
+                    cell.execute(
+                        checkpoints=store.checkpoints(cell.prefix_fingerprint()),
+                        checkpoint_every=self.checkpoint_every,
+                    )
+                )
+            else:
+                results.append(cell.execute())
+        return results
 
     def run_cells(self, cells: Sequence[WorkCell]) -> list[SimulationResult]:
         if not cells:
             return []
         workers = min(self.max_workers or os.cpu_count() or 1, len(cells))
         if workers <= 1:
-            return SerialExecutor().run_cells(cells)
+            return self._run_serial(cells)
         mp_context = None
         if self.start_method is not None:
             import multiprocessing
@@ -97,11 +178,19 @@ class ProcessPoolExecutor:
         from repro import registry
 
         chunksize = max(1, len(cells) // (workers * 4))
+        store_path = (
+            os.fspath(self.store_path) if self.store_path is not None else None
+        )
         with futures.ProcessPoolExecutor(
             max_workers=workers,
             mp_context=mp_context,
             initializer=_init_worker,
-            initargs=(dict(registry._EXTRA_PREFETCHERS), dict(registry._TRACE_FILES)),
+            initargs=(
+                dict(registry._EXTRA_PREFETCHERS),
+                dict(registry._TRACE_FILES),
+                store_path,
+                self.checkpoint_every,
+            ),
         ) as pool:
             return list(pool.map(execute_cell, cells, chunksize=chunksize))
 

@@ -78,8 +78,11 @@ class Session:
             prefix fingerprint and records consumed), and a later run of
             the same cell at a longer ``trace_length`` resumes from the
             longest compatible snapshot instead of re-simulating from
-            record zero.  Checkpointed cells execute in-session (not
-            through the executor), since worker processes have no store.
+            record zero.  With a persistent store and a
+            :class:`~repro.api.executors.ProcessPoolExecutor`, the store
+            path is shipped to the pool's workers so checkpointed cells
+            fan out too; under a :class:`SerialExecutor` they execute
+            in-session as before.
     """
 
     def __init__(
@@ -163,11 +166,23 @@ class Session:
             else:
                 pending.append((key, cell))
 
-        # Checkpointed cells run in-session (workers have no store);
-        # the rest fan out through the executor as before.
+        # Checkpointed cells run in-session unless the executor's
+        # workers can open the store themselves (a process pool
+        # configured with the persistent store's path — auto-filled
+        # below); then they fan out with everything else and resume
+        # from / snapshot into the shared checkpoint namespace.
+        executor = self.executor
+        if (
+            self.checkpoint_every > 0
+            and self.store.persistent
+            and getattr(executor, "store_path", False) is None
+        ):
+            executor.store_path = self.store.path
+            executor.checkpoint_every = self.checkpoint_every
+        pool_resumes = getattr(executor, "resumes_checkpoints", False)
         pooled: list[tuple[str, WorkCell]] = []
         for key, cell in pending:
-            if self._checkpointable(cell):
+            if self._checkpointable(cell) and not pool_resumes:
                 result = cell.execute(
                     checkpoints=self.store.checkpoints(cell.prefix_fingerprint()),
                     checkpoint_every=self.checkpoint_every,

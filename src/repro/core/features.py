@@ -233,7 +233,16 @@ class FeatureExtractor:
         path) advances exactly as :meth:`observe` would, so interleaving
         the two paths is safe; equivalence is pinned by tests.
         """
-        page = ctx.page
+        return self.observe_basic_cols(ctx.pc, ctx.page, ctx.offset)
+
+    def observe_basic_cols(self, pc: int, page: int, offset: int) -> tuple[int, int]:
+        """:meth:`observe_basic` on decoded scalars (the columnar path).
+
+        The batched replay kernel decodes page/offset vectorized per
+        epoch (:class:`repro.sim.trace.TraceColumns`), so this variant
+        takes them as arguments instead of re-deriving them from a
+        context object.  Same state advance, same encoding, same result.
+        """
         pages = self._pages
         history = pages.get(page)
         if history is None:
@@ -244,17 +253,16 @@ class FeatureExtractor:
         else:
             pages.move_to_end(page)
 
-        offset = ctx.offset
         last = history.last_offset
         delta = 0 if last < 0 else offset - last
         history.last_offset = offset
         deltas = history.deltas
         deltas.append(delta)
         history.offsets.append(offset)
-        self._last_pcs.append(ctx.pc)
+        self._last_pcs.append(pc)
 
         # encode_feature(PC_DELTA): _mix(pc, delta & 0x7F), unrolled.
-        acc = ((0x811C9DC5 ^ (ctx.pc & 0xFFFFFFFF)) * 0x01000193) & 0xFFFFFFFF
+        acc = ((0x811C9DC5 ^ (pc & 0xFFFFFFFF)) * 0x01000193) & 0xFFFFFFFF
         pc_delta = ((acc ^ (delta & 0x7F)) * 0x01000193) & 0xFFFFFFFF
         # encode_feature(LAST4_DELTAS): the folded delta sequence.
         fold = 0

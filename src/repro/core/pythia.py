@@ -69,12 +69,46 @@ class Pythia(Prefetcher):
     # -- Algorithm 1 --------------------------------------------------------
 
     def train(self, ctx: DemandContext) -> list[int]:
-        rewards = self.config.rewards
+        return self.train_cols(
+            ctx.pc,
+            ctx.line,
+            ctx.page,
+            ctx.offset,
+            ctx.cycle,
+            ctx.is_load,
+            ctx.bandwidth_utilization,
+            ctx.bandwidth_high,
+        )
+
+    def train_cols(
+        self,
+        pc: int,
+        line: int,
+        page: int,
+        offset: int,
+        cycle: int,
+        is_load: bool,
+        bandwidth_utilization: float,
+        bandwidth_high: bool,
+    ) -> list[int]:
+        """Algorithm 1 on decoded scalars — the one training implementation.
+
+        The batched replay kernel calls this directly with each record's
+        column values; the scalar path's :meth:`train` unpacks its
+        :class:`DemandContext` into the same arguments, so both backends
+        run byte-for-byte the same algorithm.  The ε-greedy selection and
+        the eviction-time SARSA step are inlined from
+        :meth:`SarsaAgent.select_action` / :meth:`SarsaAgent.record`
+        (keep in sync) — together they run once per trained record, and
+        the call overhead alone was a measurable slice of the profile.
+        """
+        config = self.config
+        rewards = config.rewards
         agent = self.agent
         rewards_assigned = self.rewards_assigned
 
         # (1) Reward a resident entry whose prefetch this demand vindicates.
-        entry = agent.eq.search(ctx.line)
+        entry = agent.eq._by_line.get(line)
         if entry is not None and entry.reward is None:
             if entry.filled:
                 entry.reward = rewards.accurate_timely
@@ -85,33 +119,65 @@ class Pythia(Prefetcher):
 
         # (2) Extract the state-vector.
         if self._basic_features:
-            state = self.extractor.observe_basic(ctx)
+            state = self.extractor.observe_basic_cols(pc, page, offset)
         else:
-            state = self._encode_state(self.extractor.observe(ctx))
+            state = self._encode_state(
+                self.extractor.observe(
+                    DemandContext(
+                        pc=pc,
+                        line=line,
+                        cycle=cycle,
+                        is_load=is_load,
+                        bandwidth_utilization=bandwidth_utilization,
+                        bandwidth_high=bandwidth_high,
+                    )
+                )
+            )
 
-        # (3) Select an action.
-        action = agent.select_action(state)
+        # (3) Select an action (SarsaAgent.select_action, inlined).
+        if agent._rng_random() <= agent._epsilon:
+            agent.explorations += 1
+            action = agent._rng.randrange(config.num_actions)
+        else:
+            action = agent.qvstore.best_action(state)[0]
         self.action_counts[action] += 1
-        offset_delta = self.config.actions[action]
+        offset_delta = config.actions[action]
 
         # (4) Generate the prefetch / classify degenerate actions.
         prefetches: list[int] = []
-        target_offset = ctx.offset + offset_delta
+        target_offset = offset + offset_delta
         if offset_delta == 0:
             new_entry = EqEntry(state, action, prefetch_line=None)
-            new_entry.reward = rewards.no_prefetch(ctx.bandwidth_high)
+            new_entry.reward = rewards.no_prefetch(bandwidth_high)
             rewards_assigned["no_prefetch"] += 1
         elif not 0 <= target_offset < LINES_PER_PAGE:
             new_entry = EqEntry(state, action, prefetch_line=None)
             new_entry.reward = rewards.coverage_loss
             rewards_assigned["coverage_loss"] += 1
         else:
-            line = make_line(ctx.page, target_offset)
-            new_entry = EqEntry(state, action, prefetch_line=line)
-            prefetches.append(line)
+            prefetch_line = make_line(page, target_offset)
+            new_entry = EqEntry(state, action, prefetch_line=prefetch_line)
+            prefetches.append(prefetch_line)
 
-        # (5) Insert; the agent handles eviction-time R_IN + SARSA update.
-        agent.record(new_entry, ctx.bandwidth_high)
+        # (5) Insert; eviction assigns R_IN + the SARSA update
+        # (SarsaAgent.record, inlined).
+        evicted = agent.eq.insert(new_entry)
+        if evicted is not None:
+            if evicted.reward is None:
+                evicted.reward = rewards.inaccurate(bandwidth_high)
+            head = agent.eq.head
+            if head is None:  # capacity 1: degenerate, bootstrap on itself
+                next_state, next_action = evicted.state, evicted.action
+            else:
+                next_state, next_action = head.state, head.action
+            agent.qvstore.sarsa_update(
+                evicted.state,
+                evicted.action,
+                evicted.reward,
+                next_state,
+                next_action,
+            )
+            agent.updates += 1
         return prefetches
 
     def _encode_state(self, obs: Observation) -> StateValues:

@@ -17,12 +17,14 @@ Two interchangeable implementations live here:
 * :class:`QVStore` — the original pure-Python nested-list store.  Kept
   as the dependency-free fallback and as the reference the fast path is
   pinned against (``tests/test_hotpath_equivalence.py``).
-* :class:`NumpyQVStore` — one preallocated ``float64`` table for the
-  whole store, vectorized ``q_values`` over all actions at once,
-  in-place SARSA updates, and a per-state Q-row cache invalidated by
-  per-row version counters.  This is the simulator's hot path: the two
-  implementations produce bit-identical Q-values by construction (same
-  summation order, same update arithmetic).
+* :class:`NumpyQVStore` — one preallocated flat cell buffer in array
+  layout for the whole store, scalar hot-path reads/updates, and a
+  per-state Q-row cache invalidated by per-row version counters (one
+  row reduction serves every action-select between learning updates).
+  This is the simulator's hot path: the two implementations produce
+  bit-identical Q-values by construction (same summation order, same
+  update arithmetic), and checkpoints serialize through the same NumPy
+  ``(features, planes, entries, actions)`` table as before.
 
 :func:`make_qvstore` selects between them via
 ``PythiaConfig.qvstore_impl`` (``"auto"`` prefers NumPy when installed).
@@ -30,7 +32,7 @@ Two interchangeable implementations live here:
 
 from __future__ import annotations
 
-from operator import itemgetter
+from operator import add as _add, itemgetter
 
 from repro.core.config import PythiaConfig
 from repro.core.tile_coding import plane_indices
@@ -178,11 +180,19 @@ class _NumpyVault:
         """Plane row indices for a feature *value* (memoized in the store)."""
         return self._store._plane_indices(value)
 
-    def q_row(self, value: int):
+    def q_row(self, value: int) -> list[float]:
         """Q(φ, A) for all actions: the sum of partial rows (Fig 5b)."""
-        return self._store._flat[self._store._vault_rows(self._feature, value)].sum(
-            axis=0
-        )
+        store = self._store
+        cells = store._cells
+        num_actions = store._num_actions
+        rows = store._vault_rows(self._feature, value)
+        base = rows[0] * num_actions
+        total = cells[base : base + num_actions]
+        for r in rows[1:]:
+            base = r * num_actions
+            for a in range(num_actions):
+                total[a] += cells[base + a]
+        return total
 
     def update(self, value: int, action: int, step: float) -> None:
         """Apply a TD step to every plane's partial Q for (value, action)."""
@@ -195,26 +205,38 @@ class _NumpyVault:
 
 
 class NumpyQVStore:
-    """NumPy-backed tile-coded Q-store: the simulator's fast path.
+    """Array-layout tile-coded Q-store: the simulator's fast path.
 
-    The whole store is one preallocated ``float64`` array of shape
-    ``(features, planes, entries, actions)``, viewed flat as
-    ``(features·planes·entries, actions)`` so one fancy-index gather
-    fetches every partial row a state needs.  ``q_values`` reduces the
-    gather with ``sum(axis=planes)`` then ``max(axis=features)`` —
-    the same left-to-right association as the pure-Python store, so the
-    two are bit-identical.
+    The whole store is one preallocated flat cell buffer laid out as
+    ``(features, planes, entries, actions)`` in row-major order — the
+    element index of ``(row, action)`` is ``row * num_actions + action``
+    with row id ``(f * planes + p) * entries + i``.  The live buffer is
+    a Python ``list`` of floats: every hot access is a single scalar
+    read or read-modify-write, and CPython list indexing beats both
+    ``ndarray.item()`` and small-array gathers at this geometry (the
+    name is kept for checkpoint-pickle compatibility; serialization
+    still round-trips through one NumPy ``float64`` table, which is why
+    the class requires NumPy).  Python floats are IEEE-754 doubles and
+    every reduction below keeps the reference store's left-to-right
+    association, so the two implementations stay bit-identical.
 
-    On top of the vectorized path sits a per-state Q-row cache: each
-    table row carries a version counter (bumped on update), and a cached
-    Q-row is served only while the versions of every row it was reduced
-    from are unchanged.  Loop-heavy traces revisit a small state set, so
-    most ``q_values`` calls are one dict probe plus an int-tuple compare.
+    On top sits a per-state cache holding everything derived from a
+    state value in one entry — flat row ids, element bases, a versions
+    itemgetter, and (when valid) the reduced Q-row with its memoized
+    argmax.  Each table row carries a version counter (bumped on
+    update), and a cached Q-row is served only while the versions of
+    every row it was reduced from are unchanged.  Loop-heavy traces
+    revisit a small state set, so most selections are one dict probe
+    plus an int-tuple compare — this is what "batch Q-table row reads
+    between learning updates" amounts to: one reduction is reused
+    across every select in the update-free stretch.  Reductions
+    themselves run through C-level ``map``: elementwise ``add`` keeps
+    the per-plane left-to-right summation, elementwise ``max`` keeps
+    the reference's keep-first tie-break, so bit-identity survives.
 
     Single-(state, action) reads (``q_value``, the SARSA bootstrap pair)
     and TD steps bypass the row machinery entirely: they touch exactly
-    ``features·planes`` scalars via flat element indices, which beats
-    even one vectorized gather at this table geometry.
+    ``features·planes`` scalars via flat element indices.
     """
 
     def __init__(self, config: PythiaConfig) -> None:
@@ -226,25 +248,23 @@ class NumpyQVStore:
         self._num_actions = config.num_actions
         self._num_planes = config.num_planes
         self._num_features = len(config.features)
+        num_rows = self._num_features * self._num_planes * self._entries
         init = config.initial_q / config.num_planes
-        self._table = _np.full(
-            (self._num_features, self._num_planes, self._entries, self._num_actions),
-            init,
-            dtype=_np.float64,
-        )
-        #: Flat (feature·plane·entry, action) view; row id of (f, p, i)
-        #: is ``(f * planes + p) * entries + i``.
-        self._flat = self._table.reshape(-1, self._num_actions)
-        #: Fully flat 1-D view for scalar reads/updates; the element
-        #: index of (row, action) is ``row * num_actions + action``.
-        self._ravel = self._table.reshape(-1)
+        #: The flat cell buffer (see class docstring for the layout).
+        self._cells: list[float] = [init] * (num_rows * self._num_actions)
         #: Per-row update counters backing cache invalidation.
-        self._versions: list[int] = [0] * (self._flat.shape[0])
+        self._versions: list[int] = [0] * num_rows
+        self._alpha = config.alpha
+        self._gamma = config.gamma
+        # The paper's basic geometry (2 features × 3 planes) gets fully
+        # unrolled reduction fast paths; anything else takes the generic
+        # loops below.  Both compute the same left-to-right reductions.
+        self._basic_geom = self._num_features == 2 and self._num_planes == 3
         self._index_cache: dict[int, tuple[int, ...]] = {}
-        #: state -> (row-id ndarray, row-base element ids, itemgetter)
-        self._state_cache: dict[StateValues, tuple] = {}
-        #: state -> [version key at reduce time, reduced Q-row, argmax]
-        self._q_cache: dict[StateValues, list] = {}
+        #: state -> [row ids, element bases, versions itemgetter,
+        #:           version key at reduce time (None = stale),
+        #:           reduced Q-row, memoized argmax (-1 = unknown)]
+        self._state_cache: dict[StateValues, list] = {}
         self.vaults = [_NumpyVault(self, f) for f in range(self._num_features)]
 
     # -- indexing ----------------------------------------------------------
@@ -267,93 +287,135 @@ class NumpyQVStore:
             for p, i in enumerate(self._plane_indices(value))
         ]
 
-    def _state_entry(self, state: StateValues) -> tuple:
+    def _state_entry(self, state: StateValues) -> list:
         entry = self._state_cache.get(state)
         if entry is None:
             rows: list[int] = []
             for f, value in enumerate(state):
                 rows.extend(self._vault_rows(f, value))
             bases = [r * self._num_actions for r in rows]
-            entry = (_np.array(rows), rows, bases, itemgetter(*rows))
+            entry = [rows, bases, itemgetter(*rows), None, None, -1]
             if len(self._state_cache) > _CACHE_LIMIT:
                 self._state_cache.clear()
-                self._q_cache.clear()
             self._state_cache[state] = entry
         return entry
+
+    def _reduce(self, entry: list, version_key) -> list[float]:
+        """Recompute *entry*'s Q-row and stamp it with *version_key*.
+
+        Per vault: slice the first plane's row, then elementwise-add the
+        remaining planes via C-level ``map`` (same left-to-right order as
+        the reference's per-element loop).  Across vaults: elementwise
+        ``max`` — Python's ``max`` returns its first argument on ties, so
+        carrying the accumulated row first preserves the reference's
+        strict-``>`` replace rule (including ``-0.0`` vs ``0.0``).
+        """
+        cells = self._cells
+        num_actions = self._num_actions
+        bases = entry[1]
+        if self._basic_geom:
+            n = num_actions
+            b0, b1, b2, b3, b4, b5 = bases
+            row1 = map(
+                _add,
+                map(_add, cells[b0 : b0 + n], cells[b1 : b1 + n]),
+                cells[b2 : b2 + n],
+            )
+            row2 = map(
+                _add,
+                map(_add, cells[b3 : b3 + n], cells[b4 : b4 + n]),
+                cells[b5 : b5 + n],
+            )
+            q = list(map(max, row1, row2))
+        else:
+            planes = self._num_planes
+            q = None
+            for f in range(0, len(bases), planes):
+                base = bases[f]
+                row = cells[base : base + num_actions]
+                for p in range(1, planes):
+                    b = bases[f + p]
+                    row = list(map(_add, row, cells[b : b + num_actions]))
+                q = row if q is None else list(map(max, q, row))
+        entry[3] = version_key
+        entry[4] = q
+        entry[5] = -1
+        return q
+
+    def _q_one(self, bases: list[int], action: int) -> float:
+        """Q(S, A) for one action from precomputed element bases."""
+        cells = self._cells
+        if self._basic_geom:
+            b0, b1, b2, b3, b4, b5 = bases
+            q1 = cells[b0 + action] + cells[b1 + action] + cells[b2 + action]
+            q2 = cells[b3 + action] + cells[b4 + action] + cells[b5 + action]
+            return q2 if q2 > q1 else q1
+        planes = self._num_planes
+        best = None
+        for f in range(0, len(bases), planes):
+            q = cells[bases[f] + action]
+            for p in range(1, planes):
+                q += cells[bases[f + p] + action]
+            if best is None or q > best:
+                best = q
+        return best
 
     # -- mutation ----------------------------------------------------------
 
     def _apply_step(self, rows: list[int], action: int, step: float) -> None:
         """In-place TD step on *rows* (distinct by construction).
 
-        Scalar read-modify-writes on the 1-D view: cheaper than one
-        fancy-indexed ``+=`` at features·planes ≈ 6 touched elements.
+        Scalar read-modify-writes on the flat cell list: exactly
+        features·planes ≈ 6 touched elements per SARSA step.
         """
-        ravel = self._ravel
+        cells = self._cells
         num_actions = self._num_actions
         versions = self._versions
         for r in rows:
             e = r * num_actions + action
-            ravel[e] = ravel.item(e) + step
+            cells[e] = cells[e] + step
             versions[r] += 1
 
     # -- queries -----------------------------------------------------------
 
-    def q_values(self, state: StateValues):
+    def q_values(self, state: StateValues) -> list[float]:
         """Q(S, A) for every action: max over vaults (Eqn 3)."""
         entry = self._state_entry(state)
-        version_key = entry[3](self._versions)
-        cached = self._q_cache.get(state)
-        if cached is not None and cached[0] == version_key:
-            return cached[1]
-        gathered = self._flat[entry[0]].reshape(
-            self._num_features, self._num_planes, self._num_actions
-        )
-        q = gathered.sum(axis=1)
-        q = q.max(axis=0) if self._num_features > 1 else q[0]
-        if len(self._q_cache) > _CACHE_LIMIT:
-            self._q_cache.clear()
-        self._q_cache[state] = [version_key, q, -1]
-        return q
+        version_key = entry[2](self._versions)
+        if entry[3] == version_key:
+            return entry[4]
+        return self._reduce(entry, version_key)
 
     def q_value(self, state: StateValues, action: int) -> float:
         """Q(S, A) for one action.
 
         Touches exactly the features·planes scalars that back the
         (state, action) pair — the SARSA bootstrap reads per record stay
-        off the vectorized row path entirely.  Summation and max order
+        off the row-reduction path entirely.  Summation and max order
         match the pure-Python store bit for bit.
         """
-        item = self._ravel.item
-        planes = self._num_planes
-        bases = self._state_entry(state)[2]
-        best = None
-        for f in range(0, len(bases), planes):
-            q = item(bases[f] + action)
-            for p in range(1, planes):
-                q += item(bases[f + p] + action)
-            if best is None or q > best:
-                best = q
-        return best
+        return self._q_one(self._state_entry(state)[1], action)
 
     def best_action(self, state: StateValues) -> tuple[int, float]:
         """Action index with the maximum Q-value, and that value.
 
-        ``argmax`` returns the first maximal index, matching the pure-
-        Python store's strict-``>`` scan; the index is memoized on the
-        cached Q-row so repeat selections of a stable state cost one
-        dict probe.
+        The scan keeps the first maximal index (the pure-Python store's
+        strict-``>`` rule, via ``max`` over indices keyed by the row, which
+        also keeps the first of equals); the index is memoized on the
+        cache entry so repeat selections of a stable state cost one dict
+        probe and one int-tuple compare.
         """
-        q = self.q_values(state)
-        cached = self._q_cache.get(state)
-        if cached is not None and cached[1] is q:
-            action = cached[2]
-            if action < 0:
-                action = int(q.argmax())
-                cached[2] = action
-        else:  # pragma: no cover - cache cleared between the two probes
-            action = int(q.argmax())
-        return action, q.item(action)
+        entry = self._state_entry(state)
+        version_key = entry[2](self._versions)
+        if entry[3] == version_key:
+            q = entry[4]
+        else:
+            q = self._reduce(entry, version_key)
+        action = entry[5]
+        if action < 0:
+            action = max(range(len(q)), key=q.__getitem__)
+            entry[5] = action
+        return action, q[action]
 
     def sarsa_update(
         self,
@@ -373,44 +435,56 @@ class NumpyQVStore:
         select/update, making this the difference between a cache that
         always hits and one that always misses.
         """
-        q_sa = self.q_value(state, action)
-        q_next = self.q_value(next_state, next_action)
-        td_error = reward + self.config.gamma * q_next - q_sa
-        step = self.config.alpha * td_error
         entry = self._state_entry(state)
-        cached = self._q_cache.get(state)
-        was_valid = cached is not None and cached[0] == entry[3](self._versions)
-        self._apply_step(entry[1], action, step)
+        bases = entry[1]
+        q_sa = self._q_one(bases, action)
+        if next_state == state:
+            q_next = self._q_one(bases, next_action)
+        else:
+            q_next = self._q_one(self._state_entry(next_state)[1], next_action)
+        td_error = reward + self._gamma * q_next - q_sa
+        step = self._alpha * td_error
+        was_valid = entry[3] == entry[2](self._versions)
+        cells = self._cells
+        versions = self._versions
+        for r, b in zip(entry[0], entry[1]):
+            e = b + action
+            cells[e] = cells[e] + step
+            versions[r] += 1
         if was_valid:
-            cached[1][action] = self.q_value(state, action)
-            cached[0] = entry[3](self._versions)
-            cached[2] = -1  # argmax may have moved; recompute lazily
+            entry[4][action] = self._q_one(bases, action)
+            entry[3] = entry[2](versions)
+            entry[5] = -1  # argmax may have moved; recompute lazily
         return td_error
 
     @property
     def storage_entries(self) -> int:
         """Total Q-value entries across vaults (Table 4 accounting)."""
-        return self._table.size
+        return len(self._cells)
 
     # -- serialization -----------------------------------------------------
 
     def __getstate__(self):
         """Pickle only the semantic state: the config and the Q-table.
 
-        ``_flat``/``_ravel`` are *views* of ``_table``; default pickling
-        would materialize them as three independent arrays, silently
-        severing the in-place update path after a restore.  The memo
-        caches hold ndarrays and ``itemgetter``s that are pure,
-        rebuildable accelerations, and the version counters only gate
-        those caches.  Restoring re-derives everything from
-        ``(config, table)`` with empty caches — Q-values, and therefore
-        simulated behaviour, are bit-identical.
+        The cell buffer is serialized as one NumPy ``float64`` table of
+        shape ``(features, planes, entries, actions)`` — the same
+        payload format as every previously-written checkpoint, so old
+        snapshots restore into the list-backed store unchanged (a
+        ``float64`` and a Python float are the same IEEE-754 double).
+        The memo caches hold pure, rebuildable accelerations, and the
+        version counters only gate those caches; restoring re-derives
+        everything from ``(config, table)`` with empty caches —
+        Q-values, and therefore simulated behaviour, are bit-identical.
         """
-        return {"config": self.config, "table": self._table}
+        table = _np.array(self._cells, dtype=_np.float64).reshape(
+            self._num_features, self._num_planes, self._entries, self._num_actions
+        )
+        return {"config": self.config, "table": table}
 
     def __setstate__(self, state) -> None:
         self.__init__(state["config"])
-        self._table[...] = state["table"]
+        self._cells[:] = state["table"].reshape(-1).tolist()
 
 
 def make_qvstore(config: PythiaConfig):

@@ -77,6 +77,37 @@ class Prefetcher(ABC):
         lines, and already-cached lines.
         """
 
+    def train_cols(
+        self,
+        pc: int,
+        line: int,
+        page: int,
+        offset: int,
+        cycle: int,
+        is_load: bool,
+        bandwidth_utilization: float,
+        bandwidth_high: bool,
+    ) -> list[int]:
+        """Columnar-path training entry: :meth:`train` on scalar fields.
+
+        The batched replay kernel (:mod:`repro.sim.batch`) already holds
+        each record's decoded fields as loop locals, so it trains through
+        this method instead of building a :class:`DemandContext` it would
+        immediately pick apart.  The default wraps :meth:`train` so every
+        prefetcher works under the batched backend unchanged; hot
+        prefetchers (Pythia) override it with a fused path that is pinned
+        bit-identical to ``train`` by the equivalence tests.
+        """
+        ctx = DemandContext(
+            pc=pc,
+            line=line,
+            cycle=cycle,
+            is_load=is_load,
+            bandwidth_utilization=bandwidth_utilization,
+            bandwidth_high=bandwidth_high,
+        )
+        return self.train(ctx)
+
     def on_prefetch_fill(self, line: int, cycle: int) -> None:
         """Called when a prefetch for *line* completes and fills the cache."""
 

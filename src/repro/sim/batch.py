@@ -1,0 +1,519 @@
+"""Batched-epoch replay kernel: the engine's columnar fast path.
+
+:func:`replay_span` replays a record span through one core + hierarchy
+exactly like the scalar loop in :mod:`repro.sim.engine` — same
+operations, on the same mutable state, in the same order — but
+restructured around per-epoch columns instead of per-record objects:
+
+* the trace slice is decoded once per epoch from the memoized
+  struct-of-arrays columns (:class:`repro.sim.trace.TraceColumns`);
+  page/offset address math and the per-level cache set indices are
+  vectorized NumPy sweeps, materialized as plain lists for the loop;
+* the sequential-feedback core — SARSA training, MSHR arbitration,
+  replacement — stays scalar (a record's training output changes the
+  cache/DRAM state the next record sees, so it cannot be reordered),
+  but the call graph around it is flattened: the core timing model,
+  the L1/L2/LLC demand lookups and demand fills, the MSHR reclaim, the
+  prefetch-issue filter, and the DRAM bandwidth-feedback read are all
+  inlined into one loop body, and the prefetcher is trained through
+  :meth:`~repro.prefetchers.base.Prefetcher.train_cols` on the decoded
+  scalars (no ``DemandContext`` allocation);
+* per-record counters (core cycle/instructions, prefetch issue totals)
+  live in loop locals and are flushed back to their objects at span
+  end — the engine only reads them at epoch boundaries, which are
+  exactly where this function returns.
+
+Bit-identity with the scalar path is a hard invariant, pinned by
+``tests/test_hotpath_equivalence.py`` across fresh, windowed, and
+checkpoint-resumed runs.  Every inlined block below mirrors a method of
+:mod:`repro.sim.cache`, :mod:`repro.sim.core`, :mod:`repro.sim.dram`,
+:mod:`repro.sim.hierarchy`, or :mod:`repro.sim.mshr` — when one of
+those changes, change the matching block here (the equivalence suite
+catches drift).
+
+The kernel handles every configuration except L1 prefetching (the
+multi-level Fig 8d experiments), for which the engine falls back to the
+scalar loop; both backends are semantically interchangeable, so the
+fallback is invisible outside throughput.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.sim.mshr import MshrEntry
+from repro.types import PAGE_SHIFT_LINES
+
+try:  # NumPy is optional; without it the engine stays on the scalar loop.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Records materialized per kernel epoch.  Aligned with the engine's
+#: ``_CONTROL_CHUNK`` so a controlled run's chunks decode in one epoch;
+#: bounds the transient footprint of the per-epoch column lists.
+EPOCH = 16_384
+
+
+def available() -> bool:
+    """True when the batched backend can run (NumPy importable)."""
+    return _np is not None
+
+
+def replay_span(hierarchy, core, cols, start, stop) -> None:
+    """Replay records ``[start, stop)`` — bit-identical to the scalar loop.
+
+    Args:
+        hierarchy: the run's :class:`~repro.sim.hierarchy.CacheHierarchy`
+            (must have no L1 prefetcher; the engine guards this).
+        core: the run's :class:`~repro.sim.core.CoreModel`.
+        cols: the trace's :class:`~repro.sim.trace.TraceColumns`.
+        start: first record index to replay.
+        stop: one past the last record index to replay.
+
+    Mutates *hierarchy* and *core* exactly as the scalar loop would;
+    there is no drain here — the engine drains at the same boundaries
+    for both backends.
+    """
+    # -- core model state (flushed back in the finally block) --------------
+    width = core._width
+    rob = core._rob_size
+    recip = 1.0 / width  # same value as the per-call 1.0/width division
+    cycle = core.cycle
+    instructions = core.instructions
+    stall_cycles = core.stall_cycles
+    outstanding = core._outstanding
+
+    # -- hierarchy hoists ---------------------------------------------------
+    config = hierarchy.config
+    prefetcher = hierarchy.prefetcher
+    train = hierarchy._train_l2
+    train_cols = prefetcher.train_cols
+    on_demand_hit_prefetched = prefetcher.on_demand_hit_prefetched
+    on_prefetch_dropped = prefetcher.on_prefetch_dropped
+    process_fills = hierarchy.process_fills
+    pending = hierarchy._pending_fills
+    inflight = hierarchy._inflight_prefetch
+    merged = hierarchy._merged_inflight
+    pf_issued = hierarchy.prefetches_issued
+    pf_dropped = hierarchy.prefetches_dropped
+    late_merges = hierarchy.late_prefetch_merges
+    max_degree = config.max_prefetch_degree
+    hi_thresh = config.high_bw_threshold
+    pshift = PAGE_SHIFT_LINES
+
+    l1, l2, llc = hierarchy.l1, hierarchy.l2, hierarchy.llc
+    l1_lat, l2_lat, llc_lat = l1.latency, l2.latency, llc.latency
+    l1_sets, l1_meta, l1_tags, l1_free = l1._sets, l1._meta, l1._tags, l1._free
+    l2_sets, l2_meta, l2_tags, l2_free = l2._sets, l2._meta, l2._tags, l2._free
+    llc_sets, llc_meta, llc_tags, llc_free = llc._sets, llc._meta, llc._tags, llc._free
+    l1_stats, l2_stats, llc_stats = l1.stats, l2.stats, llc.stats
+    l1_is_lru, l2_is_lru = l1._policy_is_lru, l2._policy_is_lru
+    llc_is_lru = llc._policy_is_lru
+    l1_policy, l2_policy, llc_policy = l1._policy, l2._policy, llc._policy
+    l1_nsets, l2_nsets, llc_nsets = l1.num_sets, l2.num_sets, llc.num_sets
+
+    mshr = hierarchy.mshr
+    mshr_heap = mshr._by_completion
+    mshr_entries = mshr._entries
+    mshr_capacity = mshr.capacity
+
+    dram = hierarchy.dram
+    dram_access = dram.access
+    dram_utilization = dram.utilization
+    dram_events = dram._events
+    util_window = dram.config.utilization_window
+    util_capacity = util_window * dram.config.channels
+
+    col_pc, col_line = cols.pc, cols.line
+    col_load, col_gap = cols.is_load, cols.gap
+    col_page, col_offset = cols.page, cols.offset
+
+    try:
+        for es in range(start, stop, EPOCH):
+            ee = es + EPOCH
+            if ee > stop:
+                ee = stop
+            line_slice = col_line[es:ee]
+            epoch = zip(
+                col_pc[es:ee].tolist(),
+                line_slice.tolist(),
+                col_load[es:ee].tolist(),
+                col_gap[es:ee].tolist(),
+                col_page[es:ee].tolist(),
+                col_offset[es:ee].tolist(),
+                (line_slice % l1_nsets).tolist(),
+                (line_slice % l2_nsets).tolist(),
+                (line_slice % llc_nsets).tolist(),
+            )
+            for pc, line, is_load, gap, page, offset, s1, s2, s3 in epoch:
+                # -- CoreModel.advance(gap), inlined -----------------------
+                if gap > 0:
+                    instructions += gap
+                    cycle += gap / width
+                    if outstanding:
+                        while outstanding and outstanding[0][1] <= cycle:
+                            outstanding.popleft()
+                        while outstanding:
+                            issued_at, wait_c = outstanding[0]
+                            if instructions - issued_at < rob:
+                                break
+                            if wait_c > cycle:
+                                stall_cycles += wait_c - cycle
+                                cycle = wait_c
+                            outstanding.popleft()
+                            while outstanding and outstanding[0][1] <= cycle:
+                                outstanding.popleft()
+
+                # -- CacheHierarchy.demand_access, inlined ------------------
+                now = int(cycle)
+                if pending and pending[0][0] <= now:
+                    process_fills(now)
+                if mshr_heap and mshr_heap[0][0] <= now:
+                    # MshrFile.reclaim, inlined.
+                    while mshr_heap and mshr_heap[0][0] <= now:
+                        m_comp, m_line = heappop(mshr_heap)
+                        m_entry = mshr_entries.get(m_line)
+                        if m_entry is not None and m_entry.completion == m_comp:
+                            del mshr_entries[m_line]
+
+                # L1 demand lookup (Cache.lookup, inlined).
+                l1._tick += 1
+                l1_stats.demand_accesses += 1
+                way = l1_tags[s1].get(line)
+                if way is not None:
+                    entry = l1_sets[s1][way]
+                    if l1_is_lru:
+                        l1_meta[s1][way] = l1._tick
+                    else:
+                        l1_policy.on_hit(l1_meta[s1], way, pc, l1._tick)
+                    l1_stats.demand_hits += 1
+                    if entry.prefetched and not entry.used:
+                        entry.used = True
+                        l1_stats.useful_prefetches += 1
+                    completion = now + l1_lat
+                else:
+                    l1_stats.demand_misses += 1
+                    if is_load:
+                        l1_stats.load_misses += 1
+
+                    # L1 miss: the prefetcher's training event.
+                    if train:
+                        # Dram.utilization fast path: the record-side
+                        # drain keeps the event head inside the window,
+                        # so the busy fraction is the rolling counter.
+                        if dram_events and dram_events[0][0] < now - util_window:
+                            util = dram_utilization(now)
+                        elif util_capacity > 0:
+                            util = dram._window_busy / util_capacity
+                            if util > 1.0:
+                                util = 1.0
+                        else:
+                            util = 0.0
+                        bw_high = util >= hi_thresh
+                        candidates = train_cols(
+                            pc, line, page, offset, now, is_load, util, bw_high
+                        )
+                        if candidates:
+                            # _issue_prefetches + _fetch_for_prefetch, inlined.
+                            if len(candidates) > 1:
+                                candidates = list(dict.fromkeys(candidates))
+                            issued = 0
+                            for pf in candidates:
+                                if issued >= max_degree:
+                                    break
+                                if pf < 0:
+                                    continue
+                                if pf >> pshift != page:
+                                    continue
+                                if pf in l2_tags[pf % l2_nsets]:
+                                    continue
+                                sp = pf % llc_nsets
+                                if pf in llc_tags[sp]:
+                                    continue
+                                if pf in inflight:
+                                    continue
+                                # LLC prefetch lookup (Cache.lookup, inlined).
+                                llc._tick += 1
+                                llc_stats.prefetch_accesses += 1
+                                wp = llc_tags[sp].get(pf)
+                                if wp is not None:
+                                    if llc_is_lru:
+                                        llc_meta[sp][wp] = llc._tick
+                                    else:
+                                        llc_policy.on_hit(
+                                            llc_meta[sp], wp, 0, llc._tick
+                                        )
+                                    llc_stats.prefetch_hits += 1
+                                    pf_comp = now + llc_lat
+                                elif mshr_entries.get(pf) is not None:
+                                    llc_stats.prefetch_misses += 1
+                                    pf_dropped += 1
+                                    on_prefetch_dropped(pf, now)
+                                    continue
+                                elif len(mshr_entries) >= mshr_capacity:
+                                    llc_stats.prefetch_misses += 1
+                                    pf_dropped += 1
+                                    on_prefetch_dropped(pf, now)
+                                    continue
+                                else:
+                                    llc_stats.prefetch_misses += 1
+                                    pf_comp = dram_access(pf, now + llc_lat, True)
+                                    # MshrFile.allocate, inlined.
+                                    mshr_entries[pf] = MshrEntry(pf, pf_comp, True)
+                                    heappush(mshr_heap, (pf_comp, pf))
+                                    mshr.allocations += 1
+                                heappush(pending, (pf_comp, pf))
+                                inflight[pf] = pf_comp
+                                issued += 1
+                                pf_issued += 1
+
+                    # L2 demand lookup (Cache.lookup, inlined).
+                    l2._tick += 1
+                    l2_stats.demand_accesses += 1
+                    way = l2_tags[s2].get(line)
+                    if way is not None:
+                        entry = l2_sets[s2][way]
+                        if l2_is_lru:
+                            l2_meta[s2][way] = l2._tick
+                        else:
+                            l2_policy.on_hit(l2_meta[s2], way, pc, l2._tick)
+                        l2_stats.demand_hits += 1
+                        if entry.prefetched and not entry.used:
+                            entry.used = True
+                            l2_stats.useful_prefetches += 1
+                            on_demand_hit_prefetched(line, now)
+                        completion = now + l2_lat
+                        fill_l1 = now
+                        fill_l2 = -1
+                    else:
+                        l2_stats.demand_misses += 1
+                        if is_load:
+                            l2_stats.load_misses += 1
+
+                        in_comp = inflight.get(line)
+                        if in_comp is not None:
+                            # Late in-flight prefetch: merge, wait the rest.
+                            late_merges += 1
+                            merged.add(line)
+                            llc_stats.demand_accesses += 1
+                            llc_stats.demand_hits += 1
+                            llc_stats.useful_prefetches += 1
+                            on_demand_hit_prefetched(line, now)
+                            base = now + llc_lat
+                            completion = in_comp if in_comp > base else base
+                            fill_l1 = completion
+                            fill_l2 = -1
+                        else:
+                            # LLC demand lookup (Cache.lookup, inlined).
+                            llc._tick += 1
+                            llc_stats.demand_accesses += 1
+                            way = llc_tags[s3].get(line)
+                            if way is not None:
+                                entry = llc_sets[s3][way]
+                                if llc_is_lru:
+                                    llc_meta[s3][way] = llc._tick
+                                else:
+                                    llc_policy.on_hit(
+                                        llc_meta[s3], way, pc, llc._tick
+                                    )
+                                llc_stats.demand_hits += 1
+                                if entry.prefetched and not entry.used:
+                                    entry.used = True
+                                    llc_stats.useful_prefetches += 1
+                                    on_demand_hit_prefetched(line, now)
+                                completion = now + llc_lat
+                                fill_l1 = now
+                                fill_l2 = now
+                            else:
+                                llc_stats.demand_misses += 1
+                                if is_load:
+                                    llc_stats.load_misses += 1
+                                m_entry = mshr_entries.get(line)
+                                if m_entry is not None:
+                                    # Merge into the outstanding miss.
+                                    base = now + llc_lat
+                                    m_comp = m_entry.completion
+                                    completion = m_comp if m_comp > base else base
+                                    fill_l1 = -1
+                                    fill_l2 = -1
+                                else:
+                                    if len(mshr_entries) >= mshr_capacity:
+                                        # Structural stall (scalar path kept:
+                                        # rare, and earliest_completion prunes
+                                        # the heap in ways worth not copying).
+                                        mshr.stalls += 1
+                                        wait_until = mshr.earliest_completion()
+                                        while (
+                                            mshr_heap
+                                            and mshr_heap[0][0] <= wait_until
+                                        ):
+                                            m_comp, m_line = heappop(mshr_heap)
+                                            m_entry = mshr_entries.get(m_line)
+                                            if (
+                                                m_entry is not None
+                                                and m_entry.completion == m_comp
+                                            ):
+                                                del mshr_entries[m_line]
+                                        if wait_until > now:
+                                            now = wait_until
+                                    completion = dram_access(
+                                        line, now + llc_lat, False
+                                    )
+                                    # MshrFile.allocate, inlined.
+                                    mshr_entries[line] = MshrEntry(
+                                        line, completion, False
+                                    )
+                                    heappush(mshr_heap, (completion, line))
+                                    mshr.allocations += 1
+
+                                    # LLC demand fill (Cache.fill, inlined).
+                                    llc._tick += 1
+                                    tags3 = llc_tags[s3]
+                                    way = tags3.get(line)
+                                    if way is not None:
+                                        entry = llc_sets[s3][way]
+                                        entry.prefetched = (
+                                            entry.prefetched and entry.used
+                                        )
+                                    else:
+                                        free3 = llc_free[s3]
+                                        meta3 = llc_meta[s3]
+                                        if free3:
+                                            way = heappop(free3)
+                                            entry = llc_sets[s3][way]
+                                        else:
+                                            way = (
+                                                meta3.index(min(meta3))
+                                                if llc_is_lru
+                                                else llc_policy.victim(meta3)
+                                            )
+                                            entry = llc_sets[s3][way]
+                                            llc_stats.evictions += 1
+                                            if entry.prefetched and not entry.used:
+                                                llc_stats.useless_evictions += 1
+                                            if not llc_is_lru:
+                                                llc_policy.on_evict(
+                                                    meta3, way, entry.used
+                                                )
+                                            del tags3[entry.tag]
+                                        tags3[line] = way
+                                        entry.tag = line
+                                        entry.valid = True
+                                        entry.prefetched = False
+                                        entry.used = True
+                                        entry.fill_cycle = completion
+                                        if llc_is_lru:
+                                            meta3[way] = llc._tick
+                                        else:
+                                            llc_policy.on_fill(
+                                                meta3, way, pc, False, llc._tick
+                                            )
+                                        llc_stats.fills += 1
+                                    fill_l1 = completion
+                                    fill_l2 = completion
+
+                        # L2 demand fill (Cache.fill, inlined).
+                        if fill_l2 >= 0:
+                            l2._tick += 1
+                            tags2 = l2_tags[s2]
+                            way = tags2.get(line)
+                            if way is not None:
+                                entry = l2_sets[s2][way]
+                                entry.prefetched = entry.prefetched and entry.used
+                            else:
+                                free2 = l2_free[s2]
+                                meta2 = l2_meta[s2]
+                                if free2:
+                                    way = heappop(free2)
+                                    entry = l2_sets[s2][way]
+                                else:
+                                    way = (
+                                        meta2.index(min(meta2))
+                                        if l2_is_lru
+                                        else l2_policy.victim(meta2)
+                                    )
+                                    entry = l2_sets[s2][way]
+                                    l2_stats.evictions += 1
+                                    if entry.prefetched and not entry.used:
+                                        l2_stats.useless_evictions += 1
+                                    if not l2_is_lru:
+                                        l2_policy.on_evict(meta2, way, entry.used)
+                                    del tags2[entry.tag]
+                                tags2[line] = way
+                                entry.tag = line
+                                entry.valid = True
+                                entry.prefetched = False
+                                entry.used = True
+                                entry.fill_cycle = fill_l2
+                                if l2_is_lru:
+                                    meta2[way] = l2._tick
+                                else:
+                                    l2_policy.on_fill(meta2, way, pc, False, l2._tick)
+                                l2_stats.fills += 1
+
+                    # L1 demand fill (Cache.fill, inlined).
+                    if fill_l1 >= 0:
+                        l1._tick += 1
+                        tags1 = l1_tags[s1]
+                        way = tags1.get(line)
+                        if way is not None:
+                            entry = l1_sets[s1][way]
+                            entry.prefetched = entry.prefetched and entry.used
+                        else:
+                            free1 = l1_free[s1]
+                            meta1 = l1_meta[s1]
+                            if free1:
+                                way = heappop(free1)
+                                entry = l1_sets[s1][way]
+                            else:
+                                way = (
+                                    meta1.index(min(meta1))
+                                    if l1_is_lru
+                                    else l1_policy.victim(meta1)
+                                )
+                                entry = l1_sets[s1][way]
+                                l1_stats.evictions += 1
+                                if entry.prefetched and not entry.used:
+                                    l1_stats.useless_evictions += 1
+                                if not l1_is_lru:
+                                    l1_policy.on_evict(meta1, way, entry.used)
+                                del tags1[entry.tag]
+                            tags1[line] = way
+                            entry.tag = line
+                            entry.valid = True
+                            entry.prefetched = False
+                            entry.used = True
+                            entry.fill_cycle = fill_l1
+                            if l1_is_lru:
+                                meta1[way] = l1._tick
+                            else:
+                                l1_policy.on_fill(meta1, way, pc, False, l1._tick)
+                            l1_stats.fills += 1
+
+                # -- CoreModel.issue_load(completion), inlined --------------
+                instructions += 1
+                cycle += recip
+                if outstanding:
+                    while outstanding and outstanding[0][1] <= cycle:
+                        outstanding.popleft()
+                if completion > cycle:
+                    outstanding.append((instructions, completion))
+                if outstanding:
+                    while outstanding:
+                        issued_at, wait_c = outstanding[0]
+                        if instructions - issued_at < rob:
+                            break
+                        if wait_c > cycle:
+                            stall_cycles += wait_c - cycle
+                            cycle = wait_c
+                        outstanding.popleft()
+                        while outstanding and outstanding[0][1] <= cycle:
+                            outstanding.popleft()
+    finally:
+        core.cycle = cycle
+        core.instructions = instructions
+        core.stall_cycles = stall_cycles
+        hierarchy.prefetches_issued = pf_issued
+        hierarchy.prefetches_dropped = pf_dropped
+        hierarchy.late_prefetch_merges = late_merges

@@ -208,6 +208,11 @@ class Cache:
         Returns the evicted line's bookkeeping (or ``None`` if an invalid
         way was used).  Filling a line already present only refreshes its
         metadata.
+
+        The replay hot paths inline this method — the batched epoch
+        kernel (:mod:`repro.sim.batch`) for demand fills and
+        :meth:`repro.sim.hierarchy.CacheHierarchy.process_fills` for
+        prefetch fills.  Change all three together.
         """
         self._tick += 1
         set_idx = line % self.num_sets

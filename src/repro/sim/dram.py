@@ -102,6 +102,9 @@ class Dram:
         # timestamp, plus the running busy sum of the retained window.
         self._events: deque[tuple[int, float]] = deque()
         self._window_busy = 0.0
+        self._window = config.utilization_window
+        self._util_capacity = config.utilization_window * config.channels
+        self._num_channels = config.channels
         self.total_requests = 0
         self.demand_requests = 0
         self.prefetch_requests = 0
@@ -120,8 +123,16 @@ class Dram:
         return sum(c.row_misses for c in self._channels)
 
     def access(self, line: int, now: int, is_prefetch: bool) -> int:
-        """Issue one cacheline request; returns its completion cycle."""
-        channel = self._channels[line % self.config.channels]
+        """Issue one cacheline request; returns its completion cycle.
+
+        The window-event recording and the Fig 14 bucket accounting are
+        fused in here (one request = one event): draining stale events
+        first means the head of the deque is always ≥ ``now - window``
+        afterwards, so the bucket charge below can read the utilization
+        straight off the rolling counter instead of going through
+        :meth:`utilization`'s stale-head rescan.
+        """
+        channel = self._channels[line % self._num_channels]
         completion, busy = channel.service(line, now, is_prefetch)
         self.total_requests += 1
         if is_prefetch:
@@ -129,24 +140,33 @@ class Dram:
         else:
             self.demand_requests += 1
         self.busy_cycles += busy
-        self._record(now, busy)
+        # Record the window event; each event is appended and popped
+        # exactly once, so accounting is amortized O(1) per request.
+        events = self._events
+        events.append((now, busy))
+        window_busy = self._window_busy + busy
+        cutoff = now - self._window
+        while events and events[0][0] < cutoff:
+            window_busy -= events.popleft()[1]
+        self._window_busy = window_busy
+        # Charge elapsed cycles to the current utilization quartile.
+        last = self._last_bucket_cycle
+        if now > last:
+            capacity = self._util_capacity
+            util = min(1.0, window_busy / capacity) if capacity > 0 else 0.0
+            if util < 0.25:
+                idx = 0
+            elif util < 0.5:
+                idx = 1
+            elif util < 0.75:
+                idx = 2
+            else:
+                idx = 3
+            self._bucket_cycles[idx] += now - last
+            self._last_bucket_cycle = now
         return completion
 
     # -- utilization feedback ------------------------------------------------
-
-    def _record(self, now: int, busy: float) -> None:
-        self._events.append((now, busy))
-        self._window_busy += busy
-        # Drain events that fell out of the window *before* the bucket
-        # accounting queries utilization: each event is appended and
-        # popped exactly once, so accounting is amortized O(1) per
-        # request instead of an O(window) re-sum per query, and the
-        # query below never rescans stale heads.
-        cutoff = now - self.config.utilization_window
-        events = self._events
-        while events and events[0][0] < cutoff:
-            self._window_busy -= events.popleft()[1]
-        self._advance_buckets(now)
 
     def utilization(self, now: int) -> float:
         """Data-bus busy fraction over the trailing window, capped at 1.
@@ -176,23 +196,6 @@ class Dram:
         return self.utilization(now) >= threshold
 
     # -- Fig 14 bandwidth-bucket accounting -----------------------------------
-
-    def _advance_buckets(self, now: int) -> None:
-        """Charge elapsed cycles to the current utilization quartile."""
-        if now <= self._last_bucket_cycle:
-            return
-        elapsed = now - self._last_bucket_cycle
-        util = self.utilization(now)
-        if util < 0.25:
-            idx = 0
-        elif util < 0.5:
-            idx = 1
-        elif util < 0.75:
-            idx = 2
-        else:
-            idx = 3
-        self._bucket_cycles[idx] += elapsed
-        self._last_bucket_cycle = now
 
     @property
     def bucket_cycles(self) -> tuple[float, float, float, float]:

@@ -53,12 +53,13 @@ from itertools import islice
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.prefetchers.base import Prefetcher, NoPrefetcher
+from repro.sim import batch
 from repro.sim.cache import Cache, CacheStats
 from repro.sim.config import SystemConfig
 from repro.sim.core import CoreModel
 from repro.sim.dram import Dram
 from repro.sim.hierarchy import CacheHierarchy
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.trace import Trace, TraceRecord, prefix_crc_bulk
 from repro.types import prefetch_accuracy
 
 #: Epoch size used only to service progress/cancellation callbacks when
@@ -547,6 +548,19 @@ class SimulationEngine:
         self.progress = progress
         self.cancel = cancel
 
+        backend = self.config.replay_backend
+        if backend not in ("batched", "scalar"):
+            raise ValueError(
+                f"unknown replay_backend {backend!r}; use batched|scalar"
+            )
+        # The batched kernel covers every configuration except L1
+        # prefetching; the fallback is semantically invisible (the two
+        # backends are bit-identical), so no error — just the slow loop.
+        self._use_batched = (
+            backend == "batched" and l1_prefetcher is None and batch.available()
+        )
+        self._cols = None
+
         self.position = 0
         self.resumed_from = 0
         self.timeline = Timeline(telemetry_window)
@@ -612,6 +626,10 @@ class SimulationEngine:
         ):
             raise ValueError("post-warmup state carries no warmup mark")
         self.hierarchy, self.core = state.restore()
+        if self.hierarchy.l1_prefetcher is not None:
+            # A restored hierarchy may carry an L1 prefetcher this engine
+            # was not built with; the batched kernel does not train it.
+            self._use_batched = False
         self.position = state.records
         self.resumed_from = state.records
         self._crc = state.prefix_stamp
@@ -639,7 +657,7 @@ class SimulationEngine:
         return ((split,),)
 
     def _prefix_stamp(self, stop: int) -> int:
-        return _prefix_crc(self.trace.records, stop)
+        return prefix_crc_bulk(self.trace.records, stop)
 
     def _try_resume(self) -> None:
         """Adopt the longest compatible stored checkpoint, if any."""
@@ -723,10 +741,12 @@ class SimulationEngine:
     def _replay_to(self, target: int) -> None:
         """Advance replay to *target* records, honoring epoch boundaries.
 
-        With no telemetry, checkpointing, or callbacks this is a single
-        hoisted-method loop over one ``islice`` view — the PR 2 hot
-        path, unchanged.  Boundaries never touch simulation state, so
-        chunked and unchunked replay are bit-identical by construction.
+        The per-chunk replay is either the batched columnar kernel
+        (:func:`repro.sim.batch.replay_span`, the default backend) or
+        the scalar hoisted-method loop over one ``islice`` view — the
+        PR 2 hot path, kept as the reference fallback.  The two are
+        bit-identical, and boundaries never touch simulation state, so
+        chunked and unchunked replay agree by construction either way.
         """
         records = self.trace.records
         window = self.telemetry_window
@@ -734,6 +754,9 @@ class SimulationEngine:
         checkpointing = self.checkpoints is not None
         controlled = self.progress is not None or self.cancel is not None
         hierarchy, core = self.hierarchy, self.core
+        batched = self._use_batched
+        if batched and self._cols is None:
+            self._cols = self.trace.columns()
         while self.position < target:
             if self.cancel is not None and self.cancel():
                 raise SimulationCancelled(self.position)
@@ -746,15 +769,18 @@ class SimulationEngine:
             elif boundary == target and not window and controlled:
                 boundary = min(boundary, start + _CONTROL_CHUNK)
 
-            advance = core.advance
-            demand_access = hierarchy.demand_access
-            issue_load = core.issue_load
-            for record in islice(records, start, boundary):
-                advance(record.gap)
-                issue_load(demand_access(record, int(core.cycle)))
+            if batched:
+                batch.replay_span(hierarchy, core, self._cols, start, boundary)
+            else:
+                advance = core.advance
+                demand_access = hierarchy.demand_access
+                issue_load = core.issue_load
+                for record in islice(records, start, boundary):
+                    advance(record.gap)
+                    issue_load(demand_access(record, int(core.cycle)))
 
             if checkpointing:
-                self._crc = _prefix_crc(records, boundary, self._crc, start)
+                self._crc = prefix_crc_bulk(records, boundary, self._crc, start)
             self.position = boundary
             if window and (
                 boundary % window == 0

@@ -80,19 +80,137 @@ class CacheHierarchy:
     # -- prefetch fill processing ---------------------------------------------
 
     def process_fills(self, now: int) -> None:
-        """Apply all prefetch fills whose data has arrived by cycle *now*."""
+        """Apply all prefetch fills whose data has arrived by cycle *now*.
+
+        The LLC and L2 fills are inlined from :meth:`Cache.fill` (keep
+        the two in sync): every fill event runs two of them with ``pc=0``
+        and the ``as_prefetch`` flavor, and on prefetch-heavy traces the
+        method's call overhead and flavor branches were a measurable
+        slice of the replay profile.  Observable behaviour — stats,
+        replacement metadata, tick order, the useless-eviction callback
+        firing between the two fills — is identical.
+        """
         pending = self._pending_fills
+        if not pending or pending[0][0] > now:
+            return
+        heappop = heapq.heappop
+        inflight_pop = self._inflight_prefetch.pop
+        merged = self._merged_inflight
+        prefetcher = self.prefetcher
+        on_useless = prefetcher.on_prefetch_useless
+        on_fill = prefetcher.on_prefetch_fill
+        llc = self.llc
+        l2 = self.l2
+        llc_stats = llc.stats
+        l2_stats = l2.stats
+        llc_sets, llc_meta, llc_tags, llc_free = (
+            llc._sets, llc._meta, llc._tags, llc._free,
+        )
+        l2_sets, l2_meta, l2_tags, l2_free = (
+            l2._sets, l2._meta, l2._tags, l2._free,
+        )
+        llc_nsets = llc.num_sets
+        l2_nsets = l2.num_sets
+        llc_is_lru = llc._policy_is_lru
+        l2_is_lru = l2._policy_is_lru
+        llc_policy = llc._policy
+        l2_policy = l2._policy
         while pending and pending[0][0] <= now:
-            completion, line = heapq.heappop(pending)
-            self._inflight_prefetch.pop(line, None)
+            completion, line = heappop(pending)
+            inflight_pop(line, None)
             # A line a demand already merged into fills as demand-owned.
-            as_prefetch = line not in self._merged_inflight
-            self._merged_inflight.discard(line)
-            evicted = self._llc_fill(line, 0, as_prefetch, completion)
-            if evicted is not None and evicted.prefetched and not evicted.used:
-                self.prefetcher.on_prefetch_useless(evicted.line, completion)
-            self._l2_fill(line, 0, as_prefetch, completion)
-            self.prefetcher.on_prefetch_fill(line, completion)
+            as_prefetch = line not in merged
+            merged.discard(line)
+
+            # LLC fill.  Only a full-set eviction of an unused prefetched
+            # line earns the useless callback (fired after the fill's
+            # bookkeeping completes, as the method-call path did).
+            llc._tick += 1
+            set_idx = line % llc_nsets
+            tags = llc_tags[set_idx]
+            way = tags.get(line)
+            useless_tag = -1
+            if way is not None:
+                if not as_prefetch:
+                    entry = llc_sets[set_idx][way]
+                    entry.prefetched = entry.prefetched and entry.used
+            else:
+                meta = llc_meta[set_idx]
+                free = llc_free[set_idx]
+                if free:
+                    way = heappop(free)
+                    entry = llc_sets[set_idx][way]
+                else:
+                    way = (
+                        meta.index(min(meta)) if llc_is_lru
+                        else llc_policy.victim(meta)
+                    )
+                    entry = llc_sets[set_idx][way]
+                    llc_stats.evictions += 1
+                    if entry.prefetched and not entry.used:
+                        llc_stats.useless_evictions += 1
+                        useless_tag = entry.tag
+                    if not llc_is_lru:
+                        llc_policy.on_evict(meta, way, entry.used)
+                    del tags[entry.tag]
+                tags[line] = way
+                entry.tag = line
+                entry.valid = True
+                entry.prefetched = as_prefetch
+                entry.used = not as_prefetch
+                entry.fill_cycle = completion
+                if llc_is_lru:
+                    meta[way] = llc._tick
+                else:
+                    llc_policy.on_fill(meta, way, 0, as_prefetch, llc._tick)
+                llc_stats.fills += 1
+                if as_prefetch:
+                    llc_stats.prefetch_fills += 1
+            if useless_tag >= 0:
+                on_useless(useless_tag, completion)
+
+            # L2 fill (same shape; the caller discards the eviction).
+            l2._tick += 1
+            set_idx = line % l2_nsets
+            tags = l2_tags[set_idx]
+            way = tags.get(line)
+            if way is not None:
+                if not as_prefetch:
+                    entry = l2_sets[set_idx][way]
+                    entry.prefetched = entry.prefetched and entry.used
+            else:
+                meta = l2_meta[set_idx]
+                free = l2_free[set_idx]
+                if free:
+                    way = heappop(free)
+                    entry = l2_sets[set_idx][way]
+                else:
+                    way = (
+                        meta.index(min(meta)) if l2_is_lru
+                        else l2_policy.victim(meta)
+                    )
+                    entry = l2_sets[set_idx][way]
+                    l2_stats.evictions += 1
+                    if entry.prefetched and not entry.used:
+                        l2_stats.useless_evictions += 1
+                    if not l2_is_lru:
+                        l2_policy.on_evict(meta, way, entry.used)
+                    del tags[entry.tag]
+                tags[line] = way
+                entry.tag = line
+                entry.valid = True
+                entry.prefetched = as_prefetch
+                entry.used = not as_prefetch
+                entry.fill_cycle = completion
+                if l2_is_lru:
+                    meta[way] = l2._tick
+                else:
+                    l2_policy.on_fill(meta, way, 0, as_prefetch, l2._tick)
+                l2_stats.fills += 1
+                if as_prefetch:
+                    l2_stats.prefetch_fills += 1
+
+            on_fill(line, completion)
 
     # -- demand path ------------------------------------------------------------
 

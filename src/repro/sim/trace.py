@@ -20,7 +20,12 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from repro.types import line_of
+from repro.types import LINES_PER_PAGE, PAGE_SHIFT_LINES, line_of
+
+try:  # NumPy is optional; the columnar decode is a batched-path accelerator.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +53,62 @@ class TraceRecord:
         return self.gap + 1
 
 
+class TraceColumns:
+    """NumPy struct-of-arrays decode of a trace's records.
+
+    The batched replay backend (:mod:`repro.sim.batch`) iterates column
+    slices instead of :class:`TraceRecord` objects: the record fields are
+    decoded **once** into preallocated ``int64`` arrays, the derived
+    address math (page number, in-page offset) is vectorized here, and
+    per-epoch the kernel materializes just its slice as Python lists
+    (``ndarray.tolist`` on a contiguous slice).  Columns are pure
+    functions of the record sequence, so sharing one instance across
+    runs (via :meth:`Trace.columns`) cannot leak state between them.
+    """
+
+    __slots__ = ("length", "pc", "line", "is_load", "gap", "page", "offset")
+
+    def __init__(self, records: Sequence[TraceRecord]) -> None:
+        if _np is None:  # pragma: no cover - exercised only without numpy
+            raise RuntimeError("TraceColumns requires numpy")
+        n = len(records)
+        self.length = n
+        pc = _np.empty(n, dtype=_np.int64)
+        line = _np.empty(n, dtype=_np.int64)
+        is_load = _np.empty(n, dtype=_np.bool_)
+        gap = _np.empty(n, dtype=_np.int64)
+        for i, r in enumerate(records):
+            pc[i] = r.pc
+            line[i] = r.line
+            is_load[i] = r.is_load
+            gap[i] = r.gap
+        self.pc = pc
+        self.line = line
+        self.is_load = is_load
+        self.gap = gap
+        # Vectorized address math: one shift/mask sweep replaces two
+        # Python-level ops per record per training event.
+        self.page = line >> PAGE_SHIFT_LINES
+        self.offset = line & (LINES_PER_PAGE - 1)
+
+
+def prefix_crc_bulk(
+    records: Sequence[TraceRecord], stop: int, crc: int = 0, start: int = 0
+) -> int:
+    """CRC32 over ``records[start:stop]`` from one joined byte blob.
+
+    Byte-compatible with :attr:`Trace.content_stamp` (CRC32 is a
+    streaming checksum: feeding the concatenation equals feeding the
+    chunks), but one ``zlib.crc32`` call per epoch instead of one per
+    record — the batched engine's checkpoint-stamp path.
+    """
+    blob = b"".join(
+        b"%x %x %d %d;" % (r.pc, r.line, r.is_load, r.gap)
+        for r in records[start:stop]
+    )
+    return zlib.crc32(blob, crc)
+
+
 class Trace:
     """An ordered, named sequence of memory-access records.
 
@@ -72,6 +133,7 @@ class Trace:
         self.suite = suite
         self._records: list[TraceRecord] = list(records)
         self._content_stamp: int | None = content_stamp
+        self._columns: TraceColumns | None = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -89,6 +151,18 @@ class Trace:
     def records(self) -> list[TraceRecord]:
         """The underlying record list (not a copy; treat as read-only)."""
         return self._records
+
+    def columns(self) -> TraceColumns:
+        """The columnar (struct-of-arrays) decode of this trace (memoized).
+
+        Records are treated as read-only after construction, so the
+        decode is computed at most once per trace instance and shared by
+        every engine replaying it (``registry.cached_trace`` keeps traces
+        alive across runs, making repeat replays decode-free).
+        """
+        if self._columns is None:
+            self._columns = TraceColumns(self._records)
+        return self._columns
 
     @property
     def total_instructions(self) -> int:

@@ -1,0 +1,14 @@
+"""Fixture: TraceRecord construction on the batched replay path
+(analyzed as repro.sim.* / repro.core.*)."""
+
+from repro.sim.trace import TraceRecord
+
+from repro.sim import trace
+
+
+def rebuild_record(pc: int, line: int) -> TraceRecord:
+    return TraceRecord(pc=pc, line=line, is_load=True, gap=1)
+
+
+def rebuild_qualified(pc: int, line: int):
+    return trace.TraceRecord(pc=pc, line=line, is_load=True, gap=1)

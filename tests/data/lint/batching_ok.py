@@ -1,0 +1,12 @@
+"""Fixture: batched-path code that touches TraceRecord without
+constructing it (annotations, isinstance) stays clean."""
+
+from repro.sim.trace import TraceRecord
+
+
+def pc_of(record: TraceRecord) -> int:
+    return record.pc
+
+
+def is_record(value: object) -> bool:
+    return isinstance(value, TraceRecord)

@@ -134,6 +134,37 @@ def test_layering_deep_path_banned_even_downhill():
 
 
 # ---------------------------------------------------------------------------
+# batching
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.quick
+def test_batching_fires_on_record_construction_in_replay_packages():
+    for module in ("repro.sim.badfixture", "repro.core.badfixture"):
+        report = run_fixture("batching_bad.py", module)
+        batching = [f for f in report.findings if f.rule == "batching"]
+        # Both the bare and the attribute-qualified construction fire.
+        assert len(batching) == 2
+        assert all("struct-of-arrays" in f.message for f in batching)
+
+
+@pytest.mark.quick
+def test_batching_allows_annotations_and_isinstance():
+    report = run_fixture("batching_ok.py", "repro.sim.okfixture")
+    assert "batching" not in rules_fired(report)
+
+
+@pytest.mark.quick
+def test_batching_scoped_to_replay_packages_and_trace_module():
+    # Producers (workloads) may build records...
+    report = run_fixture("batching_bad.py", "repro.workloads.generators")
+    assert "batching" not in rules_fired(report)
+    # ...and so may the defining module itself.
+    report = run_fixture("batching_bad.py", "repro.sim.trace")
+    assert "batching" not in rules_fired(report)
+
+
+# ---------------------------------------------------------------------------
 # pragmas and baseline
 # ---------------------------------------------------------------------------
 

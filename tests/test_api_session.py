@@ -353,6 +353,65 @@ def test_checkpointed_experiment_run_matches_executor_run(tmp_path):
     assert checkpointed.store.stats["checkpoint_puts"] > 0
 
 
+def test_pool_workers_adopt_store_checkpoints(tmp_path):
+    """A ProcessPoolExecutor session ships its store path to workers:
+    checkpointable cells fan out, snapshot into the shared namespace,
+    and a longer re-run resumes from them with results identical to a
+    fresh serial simulation."""
+    store = ResultStore(tmp_path / "pool-store")
+    pool = ProcessPoolExecutor(max_workers=2)
+    session = Session(
+        store=store, executor=pool, trace_length=800, checkpoint_every=400
+    )
+    short = (
+        session.experiment("pooled-ckpt")
+        .with_traces("spec06/lbm-1", "spec06/mcf-1")
+        .with_prefetchers("spp")
+        .with_warmup(records=200)
+    )
+    session.run(short)
+    # Session auto-configured the pool from its own store; the snapshot
+    # files were written by the workers, so look on disk rather than at
+    # this process's put counters.
+    assert pool.store_path == store.path
+    assert pool.resumes_checkpoints
+    ckpt_root = store.path / "checkpoints"
+    assert any(f.is_file() for f in ckpt_root.glob("**/*"))
+
+    before = {f: f.stat().st_mtime_ns for f in ckpt_root.glob("**/*") if f.is_file()}
+
+    extended_store = ResultStore(tmp_path / "pool-store")
+    extended = Session(
+        store=extended_store,
+        executor=ProcessPoolExecutor(max_workers=2),
+        trace_length=1600,
+        checkpoint_every=400,
+    )
+    long_run = (
+        extended.experiment("pooled-ckpt-ext")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("spp")
+        .with_warmup(records=200)
+    )
+    table_resumed = extended.run(long_run).table()
+    # Workers resumed from the short run's snapshots: snapshots past the
+    # short length appeared, and the pre-existing ones were not
+    # rewritten (a from-zero replay would overwrite every cadence —
+    # put_checkpoint replaces files unconditionally).
+    after = {f: f.stat().st_mtime_ns for f in ckpt_root.glob("**/*") if f.is_file()}
+    assert len(after) > len(before)
+    assert all(after[f] == mtime for f, mtime in before.items())
+
+    fresh = Session(store=ResultStore(tmp_path / "fresh"), trace_length=1600)
+    fresh_run = (
+        fresh.experiment("pooled-ckpt-fresh")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("spp")
+        .with_warmup(records=200)
+    )
+    assert table_resumed == fresh.run(fresh_run).table()
+
+
 def test_warmup_records_fingerprint_semantics():
     """warmup_records participates in fingerprints; fraction-only cells
     keep their historical payload (store survival)."""

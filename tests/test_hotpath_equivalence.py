@@ -30,6 +30,7 @@ import pytest
 
 from repro import registry
 from repro.core.config import PythiaConfig
+from repro.sim.config import SystemConfig
 from repro.core.features import (
     BASIC_FEATURES,
     FeatureExtractor,
@@ -223,13 +224,16 @@ class TestSimulationEquivalence:
             else:
                 assert got == value, f"{key}.{field_name}"
 
-    def test_quick_smoke_matrix_matches_preoptimization_reference(self):
+    @pytest.mark.parametrize("backend", ["batched", "scalar"])
+    def test_quick_smoke_matrix_matches_preoptimization_reference(self, backend):
         """Stats match the values captured before the hot-loop rework.
 
         The reference JSON was recorded from the seed implementation; a
         1e-6 relative drift budget is allowed, but in practice the fast
-        paths are bit-identical.
+        paths are bit-identical.  Both replay backends are pinned to the
+        same reference, so batched == scalar == seed.
         """
+        config = dataclasses.replace(SystemConfig(), replay_backend=backend)
         expected = json.loads(EXPECTED_FILE.read_text())
         for key, exp in expected.items():
             trace_name, pf_name = key.split("|")
@@ -237,6 +241,7 @@ class TestSimulationEquivalence:
             result = dataclasses.asdict(
                 simulate(
                     trace,
+                    config=config,
                     prefetcher=registry.create(pf_name),
                     warmup_fraction=0.2,
                 )
@@ -313,3 +318,115 @@ class TestSimulationEquivalence:
             assert second.resumed_from == 1400, key
             assert dataclasses.asdict(resumed) == dataclasses.asdict(fresh), key
             self._assert_matches_reference(key, exp, dataclasses.asdict(resumed))
+
+
+class TestBatchedBackendEquivalence:
+    """The ISSUE 7 batched epoch kernel is pinned to the scalar engine.
+
+    ``replay_backend`` is a non-semantic toggle: every trace family the
+    scenario engine can produce must simulate bit-identically under both
+    backends, and a checkpoint written by one run must resume into the
+    exact state a fresh replay reaches.
+    """
+
+    @staticmethod
+    def _config(backend):
+        return dataclasses.replace(SystemConfig(), replay_backend=backend)
+
+    @pytest.mark.parametrize("pf_name", ["pythia", "spp"])
+    @pytest.mark.parametrize(
+        "trace_name",
+        [
+            "spec06/lbm-1",
+            "spec06/mcf-1",
+            "synth/llist-small-1",
+            "synth/phase-adversarial-1",
+            SAMPLE_FILE_TRACE,
+        ],
+    )
+    def test_backends_bit_identical(self, trace_name, pf_name):
+        trace = registry.cached_trace(trace_name, 2000)
+        results = {}
+        for backend in ("batched", "scalar"):
+            results[backend] = dataclasses.asdict(
+                simulate(
+                    trace,
+                    config=self._config(backend),
+                    prefetcher=registry.create(pf_name),
+                    warmup_fraction=0.2,
+                )
+            )
+        assert results["batched"] == results["scalar"]
+
+    def test_backend_rejects_unknown_value(self):
+        trace = registry.cached_trace("spec06/lbm-1", 2000)
+        with pytest.raises(ValueError, match="replay_backend"):
+            simulate(trace, config=self._config("simd"))
+
+    def test_checkpoint_resume_100k_to_200k(self):
+        """The perfbench-scale extension: run 100k records under the
+        batched backend, checkpoint, then resume the checkpoint into a
+        200k replay.  The resumed result must equal both a fresh batched
+        and a fresh scalar 200k run bit for bit (the checkpoint payload
+        is backend-agnostic)."""
+        from repro.sim.engine import SimulationEngine
+
+        class Sink:
+            def __init__(self):
+                self.states = {}
+
+            def entries(self):
+                return sorted(self.states)
+
+            def has(self, records, drained_at):
+                return (records, drained_at) in self.states
+
+            def load(self, records, drained_at):
+                return self.states.get((records, drained_at))
+
+            def save(self, state):
+                self.states[(state.records, state.drained_at)] = state
+
+        warmup = 20_000
+        trace100 = registry.cached_trace("spec06/lbm-1", 100_000)
+        trace200 = registry.cached_trace("spec06/lbm-1", 200_000)
+
+        sink = Sink()
+        first = SimulationEngine(
+            trace100,
+            config=self._config("batched"),
+            prefetcher=registry.create("pythia"),
+            warmup_records=warmup,
+            checkpoints=sink,
+        )
+        first.run()
+        assert sink.has(100_000, (warmup,))
+
+        second = SimulationEngine(
+            trace200,
+            config=self._config("batched"),
+            prefetcher=registry.create("pythia"),
+            warmup_records=warmup,
+            checkpoints=sink,
+        )
+        resumed = dataclasses.asdict(second.run())
+        assert second.resumed_from == 100_000
+
+        fresh_batched = dataclasses.asdict(
+            simulate(
+                trace200,
+                config=self._config("batched"),
+                prefetcher=registry.create("pythia"),
+                warmup_records=warmup,
+            )
+        )
+        fresh_scalar = dataclasses.asdict(
+            simulate(
+                trace200,
+                config=self._config("scalar"),
+                prefetcher=registry.create("pythia"),
+                warmup_records=warmup,
+            )
+        )
+        assert resumed == fresh_batched
+        assert fresh_batched == fresh_scalar
