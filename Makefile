@@ -16,9 +16,16 @@
 #   make profile   - cProfile one cell; configure via PROFILE_ARGS, e.g.
 #                    PROFILE_ARGS="--prefetcher spp --length 50000".
 #   make lint      - the invariant checker (python -m repro.analysis):
-#                    determinism, fingerprint completeness, checkpoint
-#                    coverage, layering, hygiene over src/repro, gated
-#                    against scripts/lint_baseline.json.
+#                    per-file rules (determinism, layering, hygiene,
+#                    batching, exceptions), whole-program rules
+#                    (concurrency, hotpath), and introspection rules
+#                    (fingerprint, checkpoint) over src/repro,
+#                    benchmarks/, scripts/, and tests/, gated against
+#                    scripts/lint_baseline.json.  Warm reruns are
+#                    incremental via scripts/lint_cache.json.
+#   make lint-changed - same checker, but only over the files git
+#                    reports as modified/untracked (plus the cross-file
+#                    passes); the cache covers the rest.
 #   make coverage  - line coverage of src/repro/api + src/repro/workloads
 #                    (stdlib tracer, term-missing report) checked against
 #                    the floor in scripts/coverage_floor.json; re-record
@@ -28,7 +35,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: quick sweep-smoke resume-smoke test bench perfbench profile lint coverage all
+.PHONY: quick sweep-smoke resume-smoke test bench perfbench profile lint lint-changed coverage all
 
 quick:
 	$(PY) -m pytest -m quick -q
@@ -52,7 +59,10 @@ profile:
 	$(PY) scripts/profile.py $(PROFILE_ARGS)
 
 lint:
-	$(PY) -m repro.analysis src/repro
+	$(PY) -m repro.analysis
+
+lint-changed:
+	$(PY) -m repro.analysis --changed
 
 coverage:
 	$(PY) scripts/coverage.py

@@ -18,10 +18,14 @@
 # (`make bench`) is a separate, scheduled job.
 #
 # After the resume smoke the invariant checker (python -m
-# repro.analysis, `make lint`) gates the tree: determinism, fingerprint
-# completeness, checkpoint coverage, layering, and hygiene rules must
-# all come back clean modulo per-line pragmas and the committed
-# baseline (scripts/lint_baseline.json).
+# repro.analysis, `make lint`) gates the tree: the per-file rules
+# (determinism, layering, hygiene, batching, exceptions), the
+# whole-program rules (concurrency, hotpath), and the introspection
+# rules (fingerprint, checkpoint) must all come back clean over
+# src/repro + benchmarks + scripts + tests, modulo per-line pragmas and
+# the committed baseline (scripts/lint_baseline.json).  The checker's
+# summary line prints its wall time; warm reruns hit
+# scripts/lint_cache.json and re-parse nothing.
 #
 # The final step re-runs the API/workloads-facing suites under the
 # stdlib coverage tracer (scripts/coverage.py) and fails the build if
@@ -33,7 +37,7 @@ export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 python -m pytest benchmarks/test_sweep_smoke.py -q
 python -m pytest benchmarks/test_resume_smoke.py -q
-python -m repro.analysis src/repro
+python -m repro.analysis src/repro benchmarks scripts tests
 python -m pytest -m quick -q --ignore=benchmarks/test_sweep_smoke.py --ignore=benchmarks/test_resume_smoke.py
 python -m pytest tests -q -m "not quick"
 python -m pytest benchmarks/test_perf_throughput.py -q -m "not quick"

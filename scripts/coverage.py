@@ -62,6 +62,8 @@ FLOOR_MARGIN = 2.0
 #: (not "everything") so the traced run stays well under a minute.
 COVERAGE_TESTS = [
     "tests/test_analysis.py",
+    "tests/test_project_rules.py",
+    "tests/test_lint_cache.py",
     "tests/test_api_session.py",
     "tests/test_search.py",
     "tests/test_registry.py",

@@ -1,0 +1,236 @@
+"""Module-level call graph over a :class:`ProjectContext`.
+
+Edges connect qualified function names (``repro.api.experiment.Cell.
+execute`` → ``repro.registry.cached_trace``).  Call sites resolve
+through the project symbol table:
+
+* bare names — function-scoped import aliases first (``from repro
+  import registry`` inside a def), then module-level aliases, then the
+  module's own functions and classes (a class call targets its
+  ``__init__``);
+* ``alias.attr(...)`` — when ``alias`` names an imported module, the
+  attr resolves inside that module; when it names an imported or local
+  class, inside that class;
+* ``self.m(...)`` / ``cls.m(...)`` — the enclosing class, then its base
+  classes (shallow, by resolvable base names);
+* anything else (``obj.m(...)`` on an unknown receiver) falls back to
+  *every* function or method named ``m`` in the project — deliberately
+  over-approximate, so reachability-based rules err on the side of
+  reporting.
+
+Nested defs get an implicit edge from their enclosing function:
+defining a closure on a path makes the closure part of that path for
+reachability purposes, whether or not the analysis sees the call.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Iterable
+
+from repro.analysis.project import (
+    _FUNCTION_NODES,
+    FunctionInfo,
+    ProjectContext,
+    _walk_function_body,
+)
+
+
+class CallGraph:
+    """Resolved call edges plus reachability queries."""
+
+    def __init__(self, ctx: ProjectContext) -> None:
+        self.ctx = ctx
+        self.edges: dict[str, set[str]] = {}
+        #: method/function bare name → qualified names (fallback index)
+        self._by_name: dict[str, set[str]] = {}
+        for qual in ctx.functions:
+            self._by_name.setdefault(qual.rsplit(".", 1)[1], set()).add(qual)
+        for info in ctx.functions.values():
+            self.edges[info.qualname] = self._resolve_calls(info)
+
+    @classmethod
+    def build(cls, ctx: ProjectContext) -> "CallGraph":
+        return cls(ctx)
+
+    # -- edge resolution ---------------------------------------------------
+
+    def _resolve_calls(self, fn: FunctionInfo) -> set[str]:
+        targets: set[str] = set()
+        for node in _walk_function_body(fn.node):
+            if isinstance(node, _FUNCTION_NODES):
+                # Implicit edge to nested defs (closures used as
+                # callbacks, worker initializers, …).
+                targets.add(f"{fn.qualname}.{node.name}")
+            elif isinstance(node, ast.Call):
+                targets.update(self._resolve_callee(fn, node.func))
+        return {t for t in targets if t in self.ctx.functions}
+
+    def _resolve_callee(self, fn: FunctionInfo, func: ast.AST) -> set[str]:
+        if isinstance(func, ast.Name):
+            return self._resolve_dotted(fn, func.id)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            method = func.attr
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls"):
+                    resolved = self._resolve_self_method(fn, method)
+                    if resolved:
+                        return resolved
+                    return self._fallback(method)
+                if base.id not in fn.bound:
+                    # Module or class addressed by (import) name.
+                    target = self._lookup_alias(fn, base.id)
+                    if target is not None:
+                        resolved = self._resolve_in(target, method)
+                        if resolved:
+                            return resolved
+                return self._fallback(method)
+            # Chained receivers (``a.b.m()``): unknown object.
+            return self._fallback(method)
+        return set()
+
+    def _lookup_alias(self, fn: FunctionInfo, name: str) -> str | None:
+        minfo = self.ctx.modules[fn.module]
+        target = fn.imports.get(name) or minfo.imports.get(name)
+        if target is not None:
+            return target
+        if name in minfo.classes:
+            return f"{fn.module}.{name}"
+        return None
+
+    def _resolve_dotted(self, fn: FunctionInfo, name: str) -> set[str]:
+        """A bare-name call: ``helper()``, ``Cell()``, ``deque()``."""
+        target = self.ctx.resolve_name(fn, name)
+        if target is None:
+            return set()
+        if target in self.ctx.functions:
+            return {target}
+        return self._resolve_class_init(target) or self._resolve_as_symbol(target)
+
+    def _resolve_as_symbol(self, target: str) -> set[str]:
+        """Dotted import target: ``repro.registry.cached_trace``-style."""
+        owner, _, attr = target.rpartition(".")
+        minfo = self.ctx.modules.get(owner)
+        if minfo is None:
+            return set()
+        if attr in minfo.functions:
+            return {minfo.functions[attr]}
+        if attr in minfo.classes:
+            return self._resolve_class_init(f"{owner}.{attr}")
+        return set()
+
+    def _resolve_class_init(self, class_qual: str) -> set[str]:
+        owner, _, cname = class_qual.rpartition(".")
+        minfo = self.ctx.modules.get(owner)
+        if minfo is not None and cname in minfo.classes:
+            init = minfo.classes[cname].methods.get("__init__")
+            return {init} if init else set()
+        return set()
+
+    def _resolve_in(self, target: str, method: str) -> set[str]:
+        """Resolve ``target.method`` where target is a module or class."""
+        minfo = self.ctx.modules.get(target)
+        if minfo is not None:
+            if method in minfo.functions:
+                return {minfo.functions[method]}
+            if method in minfo.classes:
+                return self._resolve_class_init(f"{target}.{method}")
+            return set()
+        # A class addressed by dotted name (from-import or local).
+        owner, _, cname = target.rpartition(".")
+        cls_minfo = self.ctx.modules.get(owner)
+        if cls_minfo is not None and cname in cls_minfo.classes:
+            qual = cls_minfo.classes[cname].methods.get(method)
+            return {qual} if qual else set()
+        return set()
+
+    def _resolve_self_method(self, fn: FunctionInfo, method: str) -> set[str]:
+        """``self.m()`` in a method body: own class, then base classes."""
+        parts = fn.qualname.rsplit(".", 2)
+        if len(parts) < 3:
+            return set()
+        module, cname = parts[0], parts[1]
+        minfo = self.ctx.modules.get(module)
+        if minfo is None or cname not in minfo.classes:
+            return set()
+        pending = deque([(module, cname)])
+        seen: set[tuple[str, str]] = set()
+        while pending:
+            mod, cls = pending.popleft()
+            if (mod, cls) in seen:
+                continue
+            seen.add((mod, cls))
+            cinfo = self.ctx.modules.get(mod)
+            cinfo = cinfo.classes.get(cls) if cinfo else None
+            if cinfo is None:
+                continue
+            if method in cinfo.methods:
+                return {cinfo.methods[method]}
+            for base in cinfo.bases:
+                resolved = self._resolve_base(mod, base)
+                if resolved is not None:
+                    pending.append(resolved)
+        return set()
+
+    def _resolve_base(self, module: str, base: str) -> tuple[str, str] | None:
+        """Map a base-class name expression to ``(module, class)``."""
+        minfo = self.ctx.modules.get(module)
+        if minfo is None:
+            return None
+        head, _, tail = base.partition(".")
+        if not tail:
+            if base in minfo.classes:
+                return (module, base)
+            target = minfo.imports.get(base)
+            if target is not None:
+                owner, _, cname = target.rpartition(".")
+                if owner in self.ctx.modules:
+                    return (owner, cname)
+            return None
+        target = minfo.imports.get(head)
+        if target is not None and target in self.ctx.modules:
+            return (target, tail.rpartition(".")[2] or tail)
+        return None
+
+    def _fallback(self, method: str) -> set[str]:
+        """Unknown receiver: every project function with this name."""
+        return set(self._by_name.get(method, ()))
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable_from(
+        self, entries: Iterable[str]
+    ) -> dict[str, tuple[str, str | None]]:
+        """BFS closure: qualified name → ``(entry, caller)``.
+
+        ``entry`` is the entry point that first reached the function and
+        ``caller`` its immediate predecessor (``None`` for the entry
+        itself) — enough to render a why-chain in findings.
+        """
+        reached: dict[str, tuple[str, str | None]] = {}
+        queue: deque[str] = deque()
+        for entry in entries:
+            if entry in self.ctx.functions and entry not in reached:
+                reached[entry] = (entry, None)
+                queue.append(entry)
+        while queue:
+            current = queue.popleft()
+            entry, _ = reached[current]
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in reached:
+                    reached[callee] = (entry, current)
+                    queue.append(callee)
+        return reached
+
+    def chain(
+        self, reached: dict[str, tuple[str, str | None]], qualname: str
+    ) -> list[str]:
+        """Entry-to-function call chain for finding messages."""
+        links: list[str] = []
+        current: str | None = qualname
+        while current is not None:
+            links.append(current)
+            current = reached[current][1]
+        return list(reversed(links))

@@ -10,6 +10,23 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from pathlib import PurePath
+
+
+def repo_relative(path: str) -> str:
+    """Trim an absolute source path down to its ``src/repro/...`` tail.
+
+    Findings from different passes (per-file, whole-program,
+    introspection) must agree on path spelling so pragma lookups and
+    baseline keys match; this is the shared normal form.  Paths outside
+    a ``repro`` package pass through unchanged.
+    """
+    parts = PurePath(path).parts
+    if "repro" in parts:
+        idx = parts.index("repro")
+        prefix = ("src",) if idx > 0 and parts[idx - 1] == "src" else ()
+        return str(PurePath(*prefix, *parts[idx:]))
+    return path
 
 
 class Severity(enum.Enum):

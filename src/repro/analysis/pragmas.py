@@ -2,6 +2,9 @@
 
 A pragma suppresses findings of the named rule(s) on its own line, or —
 when it is the only content of a line — on the next code line below it.
+A standalone pragma placed above a decorated ``def``/``class`` governs
+the *decorated statement*, not the decorator line: decorator lines are
+skipped so the pragma excuses what it visually annotates.
 Multiple rules are comma-separated; ``# repro: ignore`` with no bracket
 suppresses every rule on that line (reserved for generated code).
 
@@ -12,6 +15,11 @@ Examples::
     # repro: ignore[layering, hygiene]
     from repro.api import Session
 
+    # repro: ignore[hygiene]
+    @functools.cache          # pragma governs the def below, not this
+    def lookup(key, cache={}):
+        ...
+
 Unused pragmas are themselves reported by the engine (rule
 ``unused-pragma``) so suppressions cannot silently outlive the code
 they excuse.
@@ -19,6 +27,7 @@ they excuse.
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -41,6 +50,26 @@ class Pragma:
         return not self.rules or rule in self.rules
 
 
+def _decorator_targets(source: str) -> dict[int, int]:
+    """Map every decorator line to the line of the statement it
+    decorates, so standalone pragmas can skip past decorators."""
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return {}
+    targets: dict[int, int] = {}
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if not decorators:
+            continue
+        first = min(d.lineno for d in decorators)
+        # Cover the whole decorator block (multi-line decorator calls
+        # included) up to — excluding — the def/class line itself.
+        for line in range(first, node.lineno):
+            targets[line] = node.lineno
+    return targets
+
+
 class PragmaIndex:
     """Pragmas of one file, addressable by the line they govern."""
 
@@ -52,6 +81,7 @@ class PragmaIndex:
             tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
         except (tokenize.TokenError, SyntaxError, IndentationError):
             return
+        decorator_targets: dict[int, int] | None = None
         for tok in tokens:
             if tok.type != tokenize.COMMENT:
                 continue
@@ -69,8 +99,32 @@ class PragmaIndex:
                 # Trailing comment: governs its own line.
                 self._by_line[lineno] = pragma
             else:
-                # Standalone comment line: governs the next line.
-                self._by_line[lineno + 1] = pragma
+                # Standalone comment line: governs the next line — or,
+                # when that line starts a decorator block, the decorated
+                # def/class statement the pragma reads as excusing.
+                governed = lineno + 1
+                if decorator_targets is None:
+                    decorator_targets = _decorator_targets(source)
+                governed = decorator_targets.get(governed, governed)
+                self._by_line[governed] = pragma
+
+    @classmethod
+    def from_entries(cls, entries: list[list]) -> "PragmaIndex":
+        """Rebuild from :meth:`entries` output without re-tokenizing —
+        the incremental cache's warm path."""
+        index = cls.__new__(cls)
+        index._by_line = {
+            governed: Pragma(line=line, rules=frozenset(rules))
+            for governed, line, rules in entries
+        }
+        return index
+
+    def entries(self) -> list[list]:
+        """JSON-serializable form: ``[governed, source line, rules]``."""
+        return [
+            [governed, pragma.line, sorted(pragma.rules)]
+            for governed, pragma in sorted(self._by_line.items())
+        ]
 
     def suppresses(self, line: int, rule: str) -> bool:
         """True if a pragma governs *line* for *rule* (marks it used)."""

@@ -1,9 +1,14 @@
 """Rule framework: base classes, registry, and the shipped rule set.
 
-Two pass kinds exist:
+Three pass kinds exist:
 
 * :class:`AstRule` — pure syntax: visits one file's AST and yields
   findings at source lines.  Cheap, runs per file, needs no imports.
+* :class:`ProjectRule` — whole-program: receives a
+  :class:`~repro.analysis.project.ProjectContext` (every file parsed,
+  symbols and call graph resolvable across modules) and yields findings
+  anywhere in the tree.  Runs once per invocation; invalidated by any
+  file change in the incremental cache.
 * :class:`IntrospectionRule` — imports the live package and inspects
   real objects (config dataclasses, registered prefetchers, the
   checkpoint object graph).  Runs once per invocation, anchored to the
@@ -12,6 +17,10 @@ Two pass kinds exist:
 Rules self-register via :func:`register`; ``python -m repro.analysis
 --list-rules`` renders the registry.  Adding a rule is: subclass one of
 the bases in a new module here, decorate it, import the module below.
+
+Every rule carries a ``version`` integer folded into the incremental
+cache's ruleset signature — bump it when a rule's semantics change so
+cached verdicts from the old semantics are discarded.
 """
 
 from __future__ import annotations
@@ -19,9 +28,12 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
 
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.project import ProjectContext
 
 
 @dataclass
@@ -57,6 +69,8 @@ class AstRule:
     name: str = ""
     description: str = ""
     severity: Severity = Severity.ERROR
+    #: Cache-invalidation counter: bump on any semantic change.
+    version: int = 1
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -65,6 +79,35 @@ class AstRule:
         return Finding(
             path=ctx.path,
             line=getattr(node, "lineno", 1),
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule:
+    """Base for whole-program rules over a :class:`ProjectContext`.
+
+    ``check`` receives the parsed project — symbol tables, the
+    mutable-global write index, and (via
+    :class:`~repro.analysis.callgraph.CallGraph`) call resolution — and
+    yields findings anchored anywhere in the tree.  Pragmas and the
+    baseline address them exactly like AST findings.
+    """
+
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    #: Cache-invalidation counter: bump on any semantic change.
+    version: int = 1
+
+    def check(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
             rule=self.name,
             message=message,
             severity=self.severity,
@@ -82,6 +125,8 @@ class IntrospectionRule:
     name: str = ""
     description: str = ""
     severity: Severity = Severity.ERROR
+    #: Cache-invalidation counter: bump on any semantic change.
+    version: int = 1
 
     def check(self) -> Iterator[Finding]:
         raise NotImplementedError
@@ -103,17 +148,13 @@ class IntrospectionRule:
         )
 
 
-def _repo_relative(path: str) -> str:
-    """Trim an absolute source path down to its ``src/repro/...`` tail."""
-    parts = Path(path).parts
-    if "repro" in parts:
-        idx = parts.index("repro")
-        prefix = ("src",) if idx > 0 and parts[idx - 1] == "src" else ()
-        return str(Path(*prefix, *parts[idx:]))
-    return path
+# Path normal form shared by every pass (kept under its historical
+# private name for callers inside this package).
+from repro.analysis.findings import repo_relative as _repo_relative  # noqa: E402
 
 
 AST_RULES: dict[str, Type[AstRule]] = {}
+PROJECT_RULES: dict[str, Type[ProjectRule]] = {}
 INTROSPECTION_RULES: dict[str, Type[IntrospectionRule]] = {}
 
 
@@ -121,7 +162,12 @@ def register(cls):
     """Class decorator: add a rule to the registry by its ``name``."""
     if not cls.name:
         raise ValueError(f"rule {cls.__name__} has no name")
-    target = AST_RULES if issubclass(cls, AstRule) else INTROSPECTION_RULES
+    if issubclass(cls, AstRule):
+        target = AST_RULES
+    elif issubclass(cls, ProjectRule):
+        target = PROJECT_RULES
+    else:
+        target = INTROSPECTION_RULES
     if cls.name in target:
         raise ValueError(f"duplicate rule name {cls.name!r}")
     target[cls.name] = cls
@@ -129,15 +175,29 @@ def register(cls):
 
 
 def all_rule_names() -> list[str]:
-    return sorted({*AST_RULES, *INTROSPECTION_RULES})
+    return sorted({*AST_RULES, *PROJECT_RULES, *INTROSPECTION_RULES})
+
+
+def rule_versions() -> list[tuple[str, int]]:
+    """``(name, version)`` for every registered rule, sorted — the raw
+    material of the incremental cache's ruleset signature."""
+    pairs = [
+        (name, cls.version)
+        for registry in (AST_RULES, PROJECT_RULES, INTROSPECTION_RULES)
+        for name, cls in registry.items()
+    ]
+    return sorted(pairs)
 
 
 # Import the shipped rules so registration happens on package import.
 from repro.analysis.rules import (  # noqa: E402  (registration imports)
     batching,
     checkpoints,
+    concurrency,
     determinism,
+    exceptions,
     fingerprints,
+    hotpath,
     hygiene,
     layering,
 )
@@ -145,15 +205,21 @@ from repro.analysis.rules import (  # noqa: E402  (registration imports)
 __all__ = [
     "AST_RULES",
     "INTROSPECTION_RULES",
+    "PROJECT_RULES",
     "AstRule",
     "FileContext",
     "IntrospectionRule",
+    "ProjectRule",
     "all_rule_names",
     "register",
+    "rule_versions",
     "batching",
     "checkpoints",
+    "concurrency",
     "determinism",
+    "exceptions",
     "fingerprints",
+    "hotpath",
     "hygiene",
     "layering",
 ]

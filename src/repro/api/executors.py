@@ -78,15 +78,19 @@ def _init_worker(
     """
     from repro import registry
 
-    registry._EXTRA_PREFETCHERS.update(extra_prefetchers)
+    # Safe: each spawned worker mutates only its *own* fresh interpreter's
+    # registry tables — that replication is this initializer's entire job.
+    registry._EXTRA_PREFETCHERS.update(extra_prefetchers)  # repro: ignore[concurrency]
     if trace_files:
-        registry._TRACE_FILES.update(trace_files)
+        registry._TRACE_FILES.update(trace_files)  # repro: ignore[concurrency]
     if store_path is not None:
         from repro.api.store import ResultStore
 
         global _WORKER_STORE, _WORKER_CHECKPOINT_EVERY
-        _WORKER_STORE = ResultStore(path=store_path)
-        _WORKER_CHECKPOINT_EVERY = checkpoint_every
+        # Safe: worker-local by design — one store handle per worker
+        # process, set once at pool start before any task runs.
+        _WORKER_STORE = ResultStore(path=store_path)  # repro: ignore[concurrency]
+        _WORKER_CHECKPOINT_EVERY = checkpoint_every  # repro: ignore[concurrency]
 
 
 @runtime_checkable

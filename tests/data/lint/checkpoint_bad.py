@@ -1,0 +1,43 @@
+"""Checkpoint object graphs that cannot round-trip.
+
+Loaded via importlib; ``graphs()`` feeds ``CheckpointCoverageRule`` as
+injected graphs.  The partial ``__getstate__`` drops slot ``b``, the
+``__setstate__``-less class cannot restore, and the lambda member does
+not pickle at all.
+"""
+
+
+class PartialGetstate:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a, self.b = 1, 2
+
+    def __getstate__(self):
+        return {"a": self.a}
+
+    def __setstate__(self, state):
+        self.a = state["a"]
+
+
+class NoSetstate:
+    __slots__ = ("a",)
+
+    def __init__(self):
+        self.a = 1
+
+    def __getstate__(self):
+        return {"a": self.a}
+
+
+class Unpicklable:
+    def __init__(self):
+        self.hook = lambda: None
+
+
+def graphs():
+    return [
+        ("partial", PartialGetstate()),
+        ("nosetstate", NoSetstate()),
+        ("lambda", Unpicklable()),
+    ]

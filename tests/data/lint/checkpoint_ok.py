@@ -1,0 +1,16 @@
+"""Checkpoint-clean object graph: the twin of ``checkpoint_bad.py``.
+
+Slots fully covered by default pickling, containers of slotted
+members, everything round-trips.
+"""
+
+
+class SlottedGood:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a, self.b = 1, 2
+
+
+def graphs():
+    return [("good", (SlottedGood(), [1, 2], {"k": SlottedGood()}))]

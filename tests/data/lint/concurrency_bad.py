@@ -1,0 +1,25 @@
+"""Deliberate concurrency violations.
+
+Analyzed as ``repro.api.badfixture`` via ``ProjectContext.from_sources``:
+every module-level write below sits in a function reachable from a
+worker entry point (``_init_worker`` directly, ``helper`` through
+``SweepCell.execute``), so each one must fire.
+"""
+
+_SHARED_COUNTER = 0
+_SHARED_TABLE = {}
+
+
+def _init_worker(config):
+    global _SHARED_COUNTER
+    _SHARED_COUNTER = 0
+    _SHARED_TABLE.update(config)
+
+
+def helper(value):
+    _SHARED_TABLE["latest"] = value
+
+
+class SweepCell:
+    def execute(self):
+        helper(1)

@@ -1,0 +1,22 @@
+"""Concurrency-clean twin of ``concurrency_bad.py``.
+
+Module state is assigned only at import time (read-only afterwards),
+and everything the worker entry points touch is function-local.
+"""
+
+LIMIT = 8
+_TABLE = {"a": 1}
+
+
+def _init_worker(config):
+    local = dict(config)
+    return local
+
+
+def lookup(key):
+    return _TABLE.get(key, LIMIT)
+
+
+class SweepCell:
+    def execute(self):
+        return lookup("a")

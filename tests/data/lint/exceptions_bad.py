@@ -1,0 +1,42 @@
+"""Deliberate exception-swallowing handlers.
+
+Analyzed as ``repro.sim.badfixture``: every handler below either
+catches broadly or names a sensitive type, and none re-raises or uses
+a bound exception — all five must fire.  (The fixture is never
+imported, so the undefined ``SimulationCancelled`` name is inert.)
+"""
+
+
+def swallow_bare(task):
+    try:
+        task()
+    except:  # noqa: E722
+        return None
+
+
+def swallow_broad(task):
+    try:
+        task()
+    except Exception:
+        return None
+
+
+def swallow_sensitive(task):
+    try:
+        task()
+    except SimulationCancelled:  # noqa: F821
+        return None
+
+
+def swallow_keyboard(task):
+    try:
+        task()
+    except (KeyboardInterrupt, ValueError):
+        return None
+
+
+def bound_but_unused(task):
+    try:
+        task()
+    except Exception as exc:  # noqa: F841
+        return None

@@ -1,0 +1,34 @@
+"""Compliant handlers: the clean twin of ``exceptions_bad.py``.
+
+Narrow catches never fire; broad catches are fine when they re-raise
+(bare or wrapped) or actually use the bound exception.
+"""
+
+
+def narrow(task):
+    try:
+        task()
+    except (ValueError, KeyError):
+        return None
+
+
+def reraise(task):
+    try:
+        task()
+    except Exception:
+        raise
+
+
+def wrap(task):
+    try:
+        task()
+    except Exception as exc:
+        raise RuntimeError("task failed") from exc
+
+
+def record(task, log):
+    try:
+        task()
+    except Exception as exc:
+        log.append(exc)
+        return None

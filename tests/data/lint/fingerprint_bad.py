@@ -1,0 +1,23 @@
+"""Config shapes that defeat fingerprint canonicalization.
+
+Loaded via importlib and handed to ``FingerprintCompletenessRule``
+as injected roots: the callable, the set, and the ``Any`` field must
+each be flagged; the tagged non-semantic hook must not; the plain
+class must be rejected as a non-dataclass root.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class BadCfg:
+    score_fn: Callable[[int], float] = max
+    tags: set = field(default_factory=set)
+    blob: Any = None
+    # Tagged non-semantic: exempt even though a callable.
+    hook: Callable[[], None] = field(default=print, metadata={"semantic": False})
+
+
+class NotADataclassCfg:
+    pass

@@ -1,0 +1,23 @@
+"""Fingerprint-stable config tree: the clean twin of
+``fingerprint_bad.py``.
+
+Every field is a canonicalizable scalar, tuple, dict, optional, nested
+config dataclass, or explicitly tagged non-semantic.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NestedCfg:
+    depth: int = 3
+
+
+@dataclass(frozen=True)
+class GoodCfg:
+    name: str = "x"
+    weights: tuple[float, ...] = (1.0,)
+    nested: NestedCfg = field(default_factory=NestedCfg)
+    table: dict[str, int] = field(default_factory=dict)
+    maybe: int | None = None
+    impl: str = field(default="auto", metadata={"semantic": False})

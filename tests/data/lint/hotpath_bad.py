@@ -1,0 +1,36 @@
+"""Deliberate hot-loop impurities.
+
+Analyzed via ``ProjectContext.from_sources`` with ``replay`` injected
+into the hot registry: every per-iteration allocation / resolution
+class the rule knows about appears once inside the loop body.
+"""
+
+_MODE = "fast"
+
+
+def set_mode(mode):
+    global _MODE
+    _MODE = mode
+
+
+class Entry:
+    def __init__(self, line):
+        self.line = line
+
+
+def replay(records):
+    total = 0
+    for rec in records:
+        try:
+            total += rec
+        except ValueError:
+            pass
+        buckets = {}
+        tags = [rec]
+        entry = Entry(rec)
+        scratch = list(tags)
+        bump = lambda x: x + 1  # noqa: E731
+        squares = [x * x for x in tags]
+        if _MODE:
+            total += len(squares)
+    return total, buckets, entry, scratch, bump

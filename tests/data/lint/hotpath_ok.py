@@ -1,0 +1,29 @@
+"""Hot-loop discipline: the clean twin of ``hotpath_bad.py``.
+
+Everything the loop touches is hoisted to a local above it; the only
+shapes inside the body are the deliberate exemptions — tuple displays,
+calls through hoisted local aliases, plain project-function calls, and
+loads of single-assignment module constants.
+"""
+
+TICK_SCALE = 2
+
+
+def helper(x):
+    return x + 1
+
+
+def replay(records):
+    scale = TICK_SCALE
+    bump = helper
+    total = 0
+    scratch = []
+    append = scratch.append
+    key = None
+    for rec in records:
+        key = (rec, scale)
+        total += bump(rec)
+        total += helper(rec)
+        total += TICK_SCALE
+        append(total)
+    return total, key

@@ -1,0 +1,28 @@
+"""Hygiene-clean twin of ``hygiene_bad.py``.
+
+Immutable defaults everywhere (None-and-construct-inside for the
+mutable cases), and the hot-module dataclass carries ``slots=True`` —
+analyzed as ``repro.sim.cache`` this must produce zero findings.
+"""
+
+from dataclasses import dataclass
+
+
+def accumulate(values=(), into=None):
+    store = [] if into is None else into
+    store.extend(values)
+    return store
+
+
+def tally(counts=None):
+    return dict(counts or {})
+
+
+@dataclass(slots=True)
+class PerRecordThing:
+    address: int = 0
+    hits: int = 0
+
+
+class SlottedByHand:
+    __slots__ = ("a", "b")

@@ -1,0 +1,21 @@
+"""Layering-clean twin of ``layering_bad.py``.
+
+Analyzed as ``repro.sim.okfixture`` (rank 3): module-level imports go
+only sideways or down the DAG, and the one upward reference uses the
+sanctioned function-scoped escape hatch.
+"""
+
+import repro.types
+from repro.core import qvstore  # noqa: F401
+from repro.sim import cache  # noqa: F401
+
+
+def lazy_upward_hop():
+    # Function-scoped upward import: legal by design.
+    from repro.api.store import ResultStore
+
+    return ResultStore(path=None)
+
+
+def use(line):
+    return repro.types.__name__, line

@@ -183,6 +183,52 @@ def test_unused_pragma_is_reported():
 
 
 @pytest.mark.quick
+def test_standalone_pragma_above_decorators_governs_the_def(tmp_path):
+    # The pragma rides above the decorator stack but must govern the
+    # decorated statement, not the decorator line.
+    source = (
+        "import functools\n"
+        "\n"
+        "# repro: ignore[hygiene]\n"
+        "@functools.lru_cache\n"
+        "@functools.wraps(print)\n"
+        "def collect(into=[]):\n"
+        "    return into\n"
+    )
+    index = PragmaIndex(source)
+    assert index.suppresses(6, "hygiene")  # the def line
+    assert not index.suppresses(4, "hygiene")  # not the decorator
+
+    fixture = tmp_path / "decorated.py"
+    fixture.write_text(source)
+    report = run([fixture], module_override="repro.sim.fixture", introspect=False)
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+@pytest.mark.quick
+def test_pragma_entries_round_trip():
+    # The cache's warm path rebuilds indexes from serialized entries;
+    # suppression and unused-pragma bookkeeping must survive the trip.
+    source = (
+        "x = eval('1')  # repro: ignore[hygiene]\n"
+        "# repro: ignore[determinism]\n"
+        "y = 2\n"
+    )
+    index = PragmaIndex(source)
+    rebuilt = PragmaIndex.from_entries(index.entries())
+    assert rebuilt.suppresses(1, "hygiene")
+    assert rebuilt.suppresses(3, "determinism")
+    assert not rebuilt.suppresses(2, "determinism")
+    # `suppresses` marks pragmas used; a fresh rebuild is all-unused.
+    untouched = PragmaIndex.from_entries(index.entries())
+    assert {tuple(sorted(p.rules)) for p in untouched.unused()} == {
+        ("determinism",),
+        ("hygiene",),
+    }
+
+
+@pytest.mark.quick
 def test_pragma_examples_in_docstrings_are_inert():
     index = PragmaIndex('"""docs: # repro: ignore[determinism]"""\nx = 1\n')
     assert not index.suppresses(1, "determinism")
