@@ -9,6 +9,11 @@
 #   make resume-smoke - checkpointed-resume smoke: extend a 100k Pythia
 #                    cell to 200k from its stored checkpoint, pinned
 #                    bit-identical to a fresh run (quick tier).
+#   make stress-smoke - store concurrency suite: the multiprocess x
+#                    multithread stress harness plus the locking /
+#                    eviction-race / single-flight regression tests
+#                    (tests/test_store_concurrency.py, quick tier; runs
+#                    in CI right after the resume smoke).
 #   make test      - full unit suite (tests/), ~1 min.
 #   make bench     - figure/table regeneration suite (benchmarks/), slow.
 #   make perfbench - tracked throughput bench; rewrites BENCH_perf.json
@@ -35,7 +40,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: quick sweep-smoke resume-smoke test bench perfbench profile lint lint-changed coverage all
+.PHONY: quick sweep-smoke resume-smoke stress-smoke test bench perfbench profile lint lint-changed coverage all
 
 quick:
 	$(PY) -m pytest -m quick -q
@@ -45,6 +50,9 @@ sweep-smoke:
 
 resume-smoke:
 	$(PY) -m pytest benchmarks/test_resume_smoke.py -q
+
+stress-smoke:
+	$(PY) -m pytest tests/test_store_concurrency.py -q
 
 test:
 	$(PY) -m pytest tests -q

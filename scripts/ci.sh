@@ -4,7 +4,10 @@
 # Tier 1 (every push): the sweep smoke (tiny grid search + 2-core mix
 # through both executors, `make sweep-smoke`), the resume smoke
 # (checkpointed 100k -> 200k extension of a Pythia cell, pinned
-# bit-identical to a fresh run, `make resume-smoke`), then the
+# bit-identical to a fresh run, `make resume-smoke`), the store
+# concurrency suite (`make stress-smoke`: the ISSUE 9 multiprocess x
+# multithread stress harness plus the locking/eviction-race regression
+# tests, tests/test_store_concurrency.py), then the
 # sub-minute `quick` smoke tier — Session API end-to-end on small
 # traces plus the perf smoke — followed by the full unit suite and the
 # tracked throughput bench.  By default the bench
@@ -37,8 +40,9 @@ export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 python -m pytest benchmarks/test_sweep_smoke.py -q
 python -m pytest benchmarks/test_resume_smoke.py -q
+python -m pytest tests/test_store_concurrency.py -q
 python -m repro.analysis src/repro benchmarks scripts tests
-python -m pytest -m quick -q --ignore=benchmarks/test_sweep_smoke.py --ignore=benchmarks/test_resume_smoke.py
+python -m pytest -m quick -q --ignore=benchmarks/test_sweep_smoke.py --ignore=benchmarks/test_resume_smoke.py --ignore=tests/test_store_concurrency.py
 python -m pytest tests -q -m "not quick"
 python -m pytest benchmarks/test_perf_throughput.py -q -m "not quick"
 python scripts/coverage.py

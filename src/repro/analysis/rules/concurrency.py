@@ -23,6 +23,15 @@ The rule also enforces the store's write discipline: inside
 ``pickle.dump``, ``os.replace``) may appear only in the designated
 atomic-write helpers, so every persisted artifact goes through the one
 tmp-file + atomic-rename path that concurrent writers can share.
+
+Finally it guards the session's single-flight registry: ``Session``
+methods share ``self._inflight`` across request threads, so every
+mutation of it (subscript assignment, ``pop``/``clear``/``update``,
+rebinding) must sit lexically inside a ``with self._lock`` block.
+``__init__`` is exempt — construction happens before the instance can
+be shared.  The attribute set is small and explicit
+(:data:`GUARDED_SESSION_STATE`); grow it when the session gains more
+thread-shared state.
 """
 
 from __future__ import annotations
@@ -51,6 +60,20 @@ ATOMIC_HELPERS = frozenset(
 #: that open for writing, and module functions that replace files.
 _WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
 _REPLACE_FUNCS = frozenset({"replace", "rename"})
+
+#: Session attributes shared across request threads: every mutation
+#: must hold the session lock.  Reads are deliberately out of scope —
+#: the registry's read-then-claim races are closed by the claim
+#: protocol itself, not by the lock.
+GUARDED_SESSION_STATE = frozenset({"_inflight"})
+
+#: Lock attributes whose ``with self.<lock>`` blocks satisfy the guard.
+_SESSION_LOCKS = frozenset({"_lock"})
+
+#: Mutating mapping methods on a guarded attribute.
+_MUTATING_METHODS = frozenset(
+    {"pop", "popitem", "clear", "update", "setdefault", "__setitem__"}
+)
 
 
 def entry_points(ctx: ProjectContext) -> list[str]:
@@ -86,13 +109,15 @@ class ConcurrencyRule(ProjectRule):
     description = (
         "module-level state must not be written by functions reachable "
         "from worker entry points; store file writes go through the "
-        "atomic-write helpers"
+        "atomic-write helpers; session single-flight state mutates only "
+        "under the session lock"
     )
-    version = 1
+    version = 2
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
         yield from self._check_reachable_writes(project)
         yield from self._check_store_writes(project)
+        yield from self._check_guarded_session_state(project)
 
     # -- reachable mutable-global writes -----------------------------------
 
@@ -157,6 +182,28 @@ class ConcurrencyRule(ProjectRule):
                         "never observe torn files",
                     )
 
+    # -- session single-flight guard ---------------------------------------
+
+    def _check_guarded_session_state(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for qual, fn in project.functions.items():
+            if "Session." not in qual or qual.endswith(".__init__"):
+                continue
+            guarded = _lock_guarded_nodes(fn.node)
+            for node in _walk_function_body(fn.node):
+                attr = _guarded_mutation(node)
+                if attr is None or node in guarded:
+                    continue
+                yield self.finding(
+                    fn.path,
+                    node.lineno,
+                    f"mutation of thread-shared 'self.{attr}' in {qual!r} "
+                    "outside a 'with self._lock' block: the single-flight "
+                    "registry is shared by every thread running this "
+                    "session — take the session lock around the mutation",
+                )
+
     @staticmethod
     def _raw_write_label(call: ast.Call) -> str | None:
         func = call.func
@@ -177,3 +224,68 @@ class ConcurrencyRule(ProjectRule):
             if func.value.id == "os":
                 return f"os.{func.attr}()"
         return None
+
+
+def _is_guarded_self_attr(expr: ast.expr) -> str | None:
+    """``self.<attr>`` where *attr* is guarded session state, else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in GUARDED_SESSION_STATE
+    ):
+        return expr.attr
+    return None
+
+
+def _is_session_lock(expr: ast.expr) -> bool:
+    """``self._lock`` (any registered session lock attribute)."""
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in _SESSION_LOCKS
+    )
+
+
+def _lock_guarded_nodes(fn_node: ast.AST) -> set[ast.AST]:
+    """Every AST node lexically inside a ``with self._lock`` block."""
+    guarded: set[ast.AST] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+            _is_session_lock(item.context_expr) for item in node.items
+        ):
+            for stmt in node.body:
+                guarded.add(stmt)
+                guarded.update(ast.walk(stmt))
+    return guarded
+
+
+def _guarded_mutation(node: ast.AST) -> str | None:
+    """The guarded attribute *node* mutates, or ``None``.
+
+    Covers subscript assignment/deletion, augmented assignment,
+    rebinding of the attribute itself, and the mutating mapping
+    methods (``pop``/``clear``/``update``/``setdefault``/…).
+    """
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+            if isinstance(node, ast.AugAssign)
+            else node.targets
+        )
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                attr = _is_guarded_self_attr(target.value)
+                if attr is not None:
+                    return attr
+            attr = _is_guarded_self_attr(target)
+            if attr is not None:
+                return attr
+        return None
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATING_METHODS:
+            return _is_guarded_self_attr(node.func.value)
+    return None

@@ -12,6 +12,19 @@ Two backends ship today:
   :class:`repro.api.experiment.Cell`) and trace generation is
   stable-seeded, so worker processes reproduce exactly what the serial
   path computes.
+
+Concurrency contract: ``run_cells`` is safe to call concurrently from
+multiple threads on one executor instance — each call builds (and tears
+down) its own worker pool and touches no executor state beyond reading
+the configuration attributes.  Those attributes (``store_path``,
+``checkpoint_every``) are written exactly once, by
+:class:`~repro.api.session.Session`'s auto-configuration under the
+session lock, before any concurrent ``run_cells`` can observe them.
+Worker-side state (:data:`_WORKER_STORE`) is per-process by
+construction: each pool worker initializes its own interpreter's copy
+in ``_init_worker`` before any task runs, and
+:class:`~repro.api.store.ResultStore` is itself safe for the many
+workers sharing one directory.
 """
 
 from __future__ import annotations
@@ -49,6 +62,10 @@ def execute_cell(cell: WorkCell) -> SimulationResult:
     """
     store = _WORKER_STORE
     if store is not None and _WORKER_CHECKPOINT_EVERY > 0 and _cell_checkpointable(cell):
+        # Checkpoint adoption tolerates concurrent eviction: a snapshot
+        # listed by the namespace may vanish before load() (another
+        # worker's size-cap eviction), and the engine then falls back
+        # to the next-longest compatible snapshot or a fresh run.
         return cell.execute(
             checkpoints=store.checkpoints(cell.prefix_fingerprint()),
             checkpoint_every=_WORKER_CHECKPOINT_EVERY,

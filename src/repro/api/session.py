@@ -22,11 +22,23 @@ independent cells run), and per-session defaults (trace length, warmup)
 Everything is keyed by complete fingerprints, so two configs that differ
 in *any* outcome-affecting field (L2 geometry, warmup fraction, Pythia
 hyperparameters, ...) can never share a cache entry.
+
+Concurrency contract: one :class:`Session` may be shared by any number
+of threads (the ``repro.serve`` arc's request handlers).  Concurrent
+:meth:`Session.run` / :meth:`Session.run_one` calls are **single-flight
+deduplicated** — an in-flight registry keyed by cell fingerprint
+guarantees that two simultaneous requests for the same cell simulate it
+exactly once, with every caller receiving the one result (store
+``puts`` stays 1).  The registry and every other piece of session-shared
+mutable state (the executor auto-configuration) are guarded by the
+session lock; the ``concurrency`` lint rule machine-checks that no
+mutation of the registry escapes the lock.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import threading
+from typing import Callable, Sequence
 
 from repro.api.executors import Executor, SerialExecutor
 from repro.api.experiment import (
@@ -58,6 +70,23 @@ def _telemetry_missing(cell: WorkCell, cached: SimulationResult) -> bool:
     if not window:
         return False
     return cached.timeline is None or cached.timeline.get("window") != window
+
+
+class _InflightCell:
+    """Single-flight registry entry: one simulation other callers await.
+
+    The owning thread simulates, stores the result here, and sets
+    ``done``; waiters block on the event and adopt ``result``.  A
+    ``None`` result after ``done`` means the owner failed (its exception
+    propagates in *its* thread) — waiters retry rather than inheriting
+    an error they did not cause.
+    """
+
+    __slots__ = ("done", "result")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: SimulationResult | None = None
 
 
 class Session:
@@ -98,6 +127,14 @@ class Session:
         self.trace_length = trace_length
         self.warmup_fraction = warmup_fraction
         self.checkpoint_every = checkpoint_every
+        #: Guards every piece of session-shared mutable state below —
+        #: the single-flight registry and the one-shot executor
+        #: auto-configuration.  The ``concurrency`` lint rule enforces
+        #: that ``_inflight`` is only ever mutated under this lock.
+        self._lock = threading.RLock()
+        #: Cell fingerprint → in-flight simulation other threads join
+        #: instead of re-simulating (single-flight deduplication).
+        self._inflight: dict[str, _InflightCell] = {}
 
     # ---- building blocks -------------------------------------------------
 
@@ -123,12 +160,89 @@ class Session:
 
         return GridSearch(name=name, session=self)
 
+    # ---- single-flight deduplication ------------------------------------
+
+    def _claim(self, key: str) -> tuple[_InflightCell, bool]:
+        """Join or open the in-flight entry for *key*.
+
+        Returns ``(entry, owner)``: the owner registered a fresh entry
+        and must simulate (then :meth:`_resolve`); a non-owner waits on
+        the existing entry instead of duplicating the simulation.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _InflightCell()
+            self._inflight[key] = flight
+            return flight, True
+
+    def _resolve(
+        self, key: str, flight: _InflightCell, result: SimulationResult | None
+    ) -> None:
+        """Publish the owner's outcome and release the claim on *key*."""
+        with self._lock:
+            self._inflight.pop(key, None)
+        flight.result = result
+        flight.done.set()
+
+    def _execute_cell(self, cell: WorkCell) -> SimulationResult:
+        """Simulate one cell in-session, checkpoint-aware."""
+        if self._checkpointable(cell):
+            return cell.execute(
+                checkpoints=self.store.checkpoints(cell.prefix_fingerprint()),
+                checkpoint_every=self.checkpoint_every,
+            )
+        return cell.execute()
+
+    def _fetch_or_simulate(
+        self,
+        key: str,
+        cell: WorkCell,
+        simulate: Callable[[], SimulationResult],
+    ) -> SimulationResult:
+        """Store hit, joined in-flight simulation, or owned simulation.
+
+        The claim is taken *before* the store lookup: an owner that
+        claims and then hits the store resolves instantly, while the
+        claim-first ordering closes the race where another thread's
+        simulation completes (store put, registry removal) between our
+        miss and our claim — whoever claims after a resolve always
+        re-reads the store and sees the put.  Waiters whose owner
+        failed, or whose result lacks the telemetry this cell needs,
+        loop and try again rather than erroring.
+        """
+        while True:
+            flight, owner = self._claim(key)
+            if not owner:
+                flight.done.wait()
+                result = flight.result
+                if result is not None and not _telemetry_missing(cell, result):
+                    return result
+                continue
+            try:
+                cached = self.store.get(key)
+                if cached is not None and not _telemetry_missing(cell, cached):
+                    self._resolve(key, flight, cached)
+                    return cached
+                result = simulate()
+                self.store.put(key, result, meta=canonical(cell))
+            except BaseException:
+                self._resolve(key, flight, None)
+                raise
+            self._resolve(key, flight, result)
+            return result
+
     # ---- experiment execution -------------------------------------------
 
     def run(self, experiment: Experiment) -> ResultSet:
         """Run an experiment: cached cells come from the store, missing
         cells go through the executor (in parallel when it is one), and
         every record is paired with its same-fingerprint-scheme baseline.
+
+        Safe to call from multiple threads on one session: every cell is
+        single-flight deduplicated, so overlapping concurrent runs
+        simulate each distinct fingerprint once and share the result.
         """
         cells = experiment.cells()
         keyed = [
@@ -157,46 +271,78 @@ class Session:
             baseline_keys[key] = baseline_key
             register(baseline_key, baseline)
 
-        results: dict[str, SimulationResult] = {}
-        pending: list[tuple[str, WorkCell]] = []
-        for key, cell in work.items():
-            cached = self.store.get(key)
-            if cached is not None and not _telemetry_missing(cell, cached):
-                results[key] = cached
-            else:
-                pending.append((key, cell))
-
         # Checkpointed cells run in-session unless the executor's
         # workers can open the store themselves (a process pool
         # configured with the persistent store's path — auto-filled
         # below); then they fan out with everything else and resume
-        # from / snapshot into the shared checkpoint namespace.
+        # from / snapshot into the shared checkpoint namespace.  The
+        # one-shot auto-configuration mutates the (session-shared)
+        # executor, so it runs under the session lock.
         executor = self.executor
-        if (
-            self.checkpoint_every > 0
-            and self.store.persistent
-            and getattr(executor, "store_path", False) is None
-        ):
-            executor.store_path = self.store.path
-            executor.checkpoint_every = self.checkpoint_every
-        pool_resumes = getattr(executor, "resumes_checkpoints", False)
-        pooled: list[tuple[str, WorkCell]] = []
-        for key, cell in pending:
-            if self._checkpointable(cell) and not pool_resumes:
-                result = cell.execute(
-                    checkpoints=self.store.checkpoints(cell.prefix_fingerprint()),
-                    checkpoint_every=self.checkpoint_every,
-                )
-                self.store.put(key, result, meta=canonical(cell))
-                results[key] = result
-            else:
-                pooled.append((key, cell))
+        with self._lock:
+            if (
+                self.checkpoint_every > 0
+                and self.store.persistent
+                and getattr(executor, "store_path", False) is None
+            ):
+                executor.store_path = self.store.path
+                executor.checkpoint_every = self.checkpoint_every
+            pool_resumes = getattr(executor, "resumes_checkpoints", False)
 
-        if pooled:
-            outputs = self.executor.run_cells([cell for _, cell in pooled])
-            for (key, cell), output in zip(pooled, outputs):
-                self.store.put(key, output, meta=canonical(cell))
-                results[key] = output
+        # Partition the work: store hits resolve immediately; claimed
+        # misses ("owned") are ours to simulate; cells already in
+        # flight on another thread ("joined") are awaited at the end,
+        # *after* our own simulations, so concurrent overlapping runs
+        # can never deadlock on each other.
+        results: dict[str, SimulationResult] = {}
+        owned: list[tuple[str, WorkCell, _InflightCell]] = []
+        joined: list[tuple[str, WorkCell, _InflightCell]] = []
+        for key, cell in work.items():
+            flight, is_owner = self._claim(key)
+            if not is_owner:
+                joined.append((key, cell, flight))
+                continue
+            cached = self.store.get(key)
+            if cached is not None and not _telemetry_missing(cell, cached):
+                self._resolve(key, flight, cached)
+                results[key] = cached
+            else:
+                owned.append((key, cell, flight))
+
+        try:
+            pooled: list[tuple[str, WorkCell, _InflightCell]] = []
+            for key, cell, flight in owned:
+                if self._checkpointable(cell) and not pool_resumes:
+                    result = self._execute_cell(cell)
+                    self.store.put(key, result, meta=canonical(cell))
+                    self._resolve(key, flight, result)
+                    results[key] = result
+                else:
+                    pooled.append((key, cell, flight))
+            if pooled:
+                outputs = executor.run_cells([cell for _, cell, _ in pooled])
+                for (key, cell, flight), output in zip(pooled, outputs):
+                    self.store.put(key, output, meta=canonical(cell))
+                    self._resolve(key, flight, output)
+                    results[key] = output
+        except BaseException:
+            # Release every claim this run still holds so concurrent
+            # callers waiting on our cells retry instead of hanging.
+            for key, _, flight in owned:
+                if not flight.done.is_set():
+                    self._resolve(key, flight, None)
+            raise
+
+        for key, cell, flight in joined:
+            flight.done.wait()
+            result = flight.result
+            if result is None or _telemetry_missing(cell, result):
+                # The other thread's owner failed or produced a result
+                # without our telemetry rows: fetch-or-simulate ourselves.
+                result = self._fetch_or_simulate(
+                    key, cell, lambda cell=cell: self._execute_cell(cell)
+                )
+            results[key] = result
 
         records = [
             cell.record(results[key], results[baseline_keys[key]])
@@ -206,8 +352,8 @@ class Session:
             records,
             stats={
                 "cells": len(work),
-                "simulated": len(pending),
-                "cached": len(work) - len(pending),
+                "simulated": len(owned),
+                "cached": len(work) - len(owned),
             },
         )
 
@@ -293,20 +439,14 @@ class Session:
         prefix fingerprint and simulates only the remaining records.  A
         cached result recorded without the telemetry the cell now
         requests is re-simulated (bit-identically) to obtain the rows.
+        Single-flight: a concurrent run of the same cell (from this or
+        any other thread sharing the session) joins the in-flight
+        simulation instead of duplicating it.
         """
         key = cell.fingerprint()
-        cached = self.store.get(key)
-        if cached is not None and not _telemetry_missing(cell, cached):
-            return cached
-        if self._checkpointable(cell):
-            result = cell.execute(
-                checkpoints=self.store.checkpoints(cell.prefix_fingerprint()),
-                checkpoint_every=self.checkpoint_every,
-            )
-        else:
-            result = cell.execute()
-        self.store.put(key, result, meta=canonical(cell))
-        return result
+        return self._fetch_or_simulate(
+            key, cell, lambda: self._execute_cell(cell)
+        )
 
     # ---- multi-core mixes -------------------------------------------------
 

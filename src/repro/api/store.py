@@ -26,6 +26,25 @@ resumes from the 100k snapshot instead of re-simulating from record
 zero.  Checkpoints are pickled (they carry live simulator state), can be
 large, and are therefore governed by a size cap with oldest-first
 eviction rather than kept forever.
+
+Concurrency contract (see README "Concurrency contract"):
+
+* **Threads in one process** — every public method is safe to call from
+  any number of threads on one store instance.  A per-store
+  :class:`threading.RLock` guards the memory layers and the stat
+  counters; :attr:`stats` returns a consistent snapshot taken under it.
+  Disk I/O happens outside the lock, so slow writes never serialize
+  unrelated lookups.
+* **Processes on one box** — single-file writes are crash-safe
+  tmp-file + fsync + atomic-rename (tmp names carry pid *and* thread
+  id, so writers never collide); multi-step critical sections that
+  scan-then-mutate the tree (checkpoint eviction, disk-footprint
+  re-sync, :meth:`clear`) additionally hold an advisory ``fcntl`` lock
+  on a per-store ``.lock`` file.
+* **Shared NFS** — atomic rename holds, but advisory locking may not;
+  the file lock degrades to best-effort and eviction accounting
+  self-heals via re-scan, so the worst case is transient over-cap
+  footprint, never corruption.
 """
 
 from __future__ import annotations
@@ -38,6 +57,11 @@ import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.sim.system import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -49,37 +73,139 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default ceiling on the on-disk (or in-memory) checkpoint footprint.
 DEFAULT_CHECKPOINT_CAP = 256 * 1024 * 1024
 
-#: Serializes this process's writers.  ``os.replace`` already makes the
-#: final rename atomic across processes; the lock additionally keeps
-#: same-process threads (the coming ``repro.serve`` arc) from racing on
-#: the shared tmp-file name.
-_STORE_WRITE_LOCK = threading.Lock()
+
+def _tmp_name(path: Path) -> Path:
+    """A writer-unique sibling tmp path.
+
+    The suffix carries pid *and* thread id so concurrent writers —
+    pool workers, serve-layer threads, parallel pytest — can stage
+    the same artifact simultaneously without sharing a tmp file.
+    """
+    return path.with_suffix(f".tmp.{os.getpid()}-{threading.get_ident()}")
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a completed rename survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - unopenable parent directory
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync-less filesystem
+        # Directory fsync is unsupported on some filesystems; the
+        # rename itself is still atomic, only crash-durability narrows.
+        return
+    finally:
+        os.close(fd)
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    """Write *text* to *path* via tmp-file + atomic rename.
+    """Write *text* to *path* crash-safely: tmp file, fsync, rename.
 
     Every persisted store artifact must go through one of the
     ``_atomic_write_*`` helpers — the ``concurrency`` lint rule rejects
-    raw file writes anywhere else in this module.
+    raw file writes anywhere else in this module.  The tmp name is
+    writer-unique (pid + thread id) and the data is fsync'd before the
+    atomic rename, so a reader never observes a torn file and a crash
+    between write and rename leaves only a sweepable ``*.tmp.*`` orphan.
     """
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    with _STORE_WRITE_LOCK:
-        tmp.write_text(text)
+    tmp = _tmp_name(path)
+    try:
+        with tmp.open("w") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path)
+    except FileNotFoundError:
+        # A concurrent clear() swept our tmp file mid-write.  The store
+        # was being emptied, so this artifact would have been dropped a
+        # moment later anyway — losing the write is the correct outcome,
+        # and everything persisted here is re-derivable.
+        tmp.unlink(missing_ok=True)
+        return
+    except BaseException:  # pragma: no cover - failed mid-write cleanup
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
 
 
 def _atomic_write_pickle(path: Path, obj: Any) -> None:
-    """Pickle *obj* to *path* via tmp-file + atomic rename."""
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    with _STORE_WRITE_LOCK:
+    """Pickle *obj* to *path* crash-safely: tmp file, fsync, rename."""
+    tmp = _tmp_name(path)
+    try:
         with tmp.open("wb") as f:
             pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path)
+    except FileNotFoundError:
+        # Swept by a concurrent clear() mid-write; see
+        # _atomic_write_text — dropping the write is correct.
+        tmp.unlink(missing_ok=True)
+        return
+    except BaseException:  # pragma: no cover - failed mid-write cleanup
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+class _CrossProcessLock:
+    """Advisory inter-process lock on a per-store ``.lock`` file.
+
+    Guards multi-step critical sections (scan → decide → unlink) that
+    atomic single-file renames cannot make safe on their own.  POSIX
+    record locks are per-process, so intra-process exclusion comes from
+    the store's own ``RLock`` — callers always acquire that first — and
+    a depth counter makes re-entry by the owning process a no-op.
+
+    Degrades to a no-op for memory-only stores, on platforms without
+    ``fcntl``, and on filesystems that refuse advisory locks (NFS with
+    locking disabled): the store's algorithms only rely on the lock to
+    *narrow* scan-vs-unlink races, never for correctness of the data
+    files themselves.
+    """
+
+    def __init__(self, path: Path | None) -> None:
+        self._path = path
+        self._fd: int | None = None
+        self._depth = 0
+
+    def __enter__(self) -> "_CrossProcessLock":
+        self._depth += 1
+        if self._depth > 1 or self._path is None or fcntl is None:
+            return self
+        try:
+            fd = os.open(self._path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:  # pragma: no cover - unwritable store root
+            return self
+        try:
+            fcntl.lockf(fd, fcntl.LOCK_EX)
+        except OSError:  # pragma: no cover - lockless filesystem (NFS)
+            # Filesystem refuses advisory locks: best-effort mode.
+            os.close(fd)
+            return self
+        self._fd = fd
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            try:
+                fcntl.lockf(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
 
 
 class ResultStore:
     """Fingerprint → :class:`SimulationResult` map with a disk layer.
+
+    Safe for concurrent use by threads in one process and by processes
+    sharing the same directory (see the module docstring for the exact
+    contract).
 
     Args:
         path: on-disk root (``None`` for a memory-only store).
@@ -97,6 +223,15 @@ class ResultStore:
         self.path = Path(path).expanduser() if path is not None else None
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
+        #: Per-store reentrant lock guarding the memory layers and every
+        #: stat counter.  Reentrant because multi-step operations
+        #: (``put_checkpoint`` → cap enforcement) nest critical sections.
+        self._lock = threading.RLock()
+        #: Advisory cross-process lock for scan-then-mutate sections.
+        #: Lock order is always ``self._lock`` before ``self._dir_lock``.
+        self._dir_lock = _CrossProcessLock(
+            self.path / ".lock" if self.path is not None else None
+        )
         self._memory: dict[str, SimulationResult] = {}
         self.hits = 0
         self.misses = 0
@@ -108,7 +243,8 @@ class ResultStore:
         self._ckpt_memory_bytes = 0
         #: Cached on-disk checkpoint footprint; None until first scan.
         #: Maintained incrementally so saves stay O(1) in filesystem
-        #: calls; re-synced from a real scan whenever eviction runs.
+        #: calls; re-synced from a real scan whenever eviction runs or
+        #: a concurrent writer makes the running total suspect.
         self._ckpt_disk_bytes: int | None = None
         self.checkpoint_hits = 0
         self.checkpoint_misses = 0
@@ -118,9 +254,14 @@ class ResultStore:
     @classmethod
     def default(cls) -> "ResultStore":
         """The per-user persistent store (``$REPRO_CACHE_DIR`` or
-        ``~/.cache/repro-pythia``)."""
+        ``~/.cache/repro-pythia``).
+
+        A set-but-empty ``REPRO_CACHE_DIR`` falls back to the home
+        cache too: treating ``""`` as a path would silently root the
+        store at the current working directory.
+        """
         root = os.environ.get(CACHE_DIR_ENV)
-        if root is None:
+        if not root:
             root = Path.home() / ".cache" / "repro-pythia"
         return cls(root)
 
@@ -134,10 +275,11 @@ class ResultStore:
 
     def get(self, key: str) -> SimulationResult | None:
         """Look up a result; memory first, then disk."""
-        result = self._memory.get(key)
-        if result is not None:
-            self.hits += 1
-            return result
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                self.hits += 1
+                return result
         if self.path is not None:
             try:
                 payload = json.loads(self._file(key).read_text())
@@ -147,10 +289,14 @@ class ResultStore:
                 # entries are all misses, not errors.
                 result = None
             if result is not None:
-                self._memory[key] = result
-                self.hits += 1
+                with self._lock:
+                    # First adopter wins so repeated lookups keep
+                    # returning one shared object.
+                    result = self._memory.setdefault(key, result)
+                    self.hits += 1
                 return result
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def put(self, key: str, result: SimulationResult, meta: Any = None) -> None:
@@ -159,8 +305,9 @@ class ResultStore:
         *meta* (e.g. the cell's canonical description) is stored next to
         the result for debuggability; it is never read back.
         """
-        self._memory[key] = result
-        self.puts += 1
+        with self._lock:
+            self._memory[key] = result
+            self.puts += 1
         if self.path is None:
             return
         file = self._file(key)
@@ -173,43 +320,56 @@ class ResultStore:
         _atomic_write_text(file, json.dumps(payload, sort_keys=True))
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         return self.path is not None and self._file(key).exists()
 
     def __len__(self) -> int:
         if self.path is None:
-            return len(self._memory)
+            with self._lock:
+                return len(self._memory)
         return sum(1 for _ in self.path.glob("*/*.json"))
 
     @property
     def stats(self) -> dict[str, int]:
-        """Lifetime counters: result and checkpoint hits/misses/puts."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "puts": self.puts,
-            "checkpoint_hits": self.checkpoint_hits,
-            "checkpoint_misses": self.checkpoint_misses,
-            "checkpoint_puts": self.checkpoint_puts,
-            "checkpoint_evictions": self.checkpoint_evictions,
-        }
+        """Lifetime counters: result and checkpoint hits/misses/puts.
+
+        Taken under the store lock, so the returned dict is a mutually
+        consistent snapshot even while other threads are mid-operation.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "checkpoint_hits": self.checkpoint_hits,
+                "checkpoint_misses": self.checkpoint_misses,
+                "checkpoint_puts": self.checkpoint_puts,
+                "checkpoint_evictions": self.checkpoint_evictions,
+            }
 
     def clear(self, memory_only: bool = False) -> None:
         """Drop cached results and checkpoints (disk too unless *memory_only*)."""
-        self._memory.clear()
-        self._ckpt_memory.clear()
-        self._ckpt_memory_bytes = 0
-        self._ckpt_disk_bytes = None
-        if memory_only or self.path is None:
-            return
-        for file in self.path.glob("*/*.json"):
-            file.unlink(missing_ok=True)
-        # Sweep tmp files orphaned by writers that died mid-put.
-        for file in self.path.glob("*/*.tmp.*"):
-            file.unlink(missing_ok=True)
-        for file in self._checkpoint_root.glob("*/*/*"):
-            file.unlink(missing_ok=True)
+        with self._lock:
+            self._memory.clear()
+            self._ckpt_memory.clear()
+            self._ckpt_memory_bytes = 0
+            self._ckpt_disk_bytes = None
+            if memory_only or self.path is None:
+                return
+            # Hold both locks across the sweep: a concurrent writer in
+            # another process keeps its rename atomic regardless, but
+            # the dir lock keeps two concurrent clears (or a clear vs.
+            # an eviction scan) from interleaving their tree walks.
+            with self._dir_lock:
+                for file in self.path.glob("*/*.json"):
+                    file.unlink(missing_ok=True)
+                # Sweep tmp files orphaned by writers that died mid-put.
+                for file in self.path.glob("*/*.tmp.*"):
+                    file.unlink(missing_ok=True)
+                for file in self._checkpoint_root.glob("*/*/*"):
+                    file.unlink(missing_ok=True)
 
     # ---- checkpoint namespace -------------------------------------------
     #
@@ -254,24 +414,38 @@ class ResultStore:
         return CheckpointNamespace(self, prefix)
 
     def checkpoint_entries(self, prefix: str) -> list[tuple[int, tuple[int, ...]]]:
-        """Available snapshots for *prefix*: ``(records, drained_at)``."""
-        found = {
-            (records, drained_at)
-            for (entry_prefix, records, drained_at) in self._ckpt_memory
-            if entry_prefix == prefix
-        }
+        """Available snapshots for *prefix*: ``(records, drained_at)``.
+
+        A listed entry is advisory, not a guarantee: a concurrent
+        writer may evict it between this listing and a later
+        :meth:`get_checkpoint`, which then reports a miss — resume
+        paths must fall back to the next candidate (the engine's
+        ``_try_resume`` does).
+        """
+        with self._lock:
+            found = {
+                (records, drained_at)
+                for (entry_prefix, records, drained_at) in self._ckpt_memory
+                if entry_prefix == prefix
+            }
         if self.path is not None:
             directory = self._checkpoint_root / prefix[:2] / prefix
-            if directory.is_dir():
-                for file in directory.iterdir():
-                    parsed = self._parse_checkpoint_name(file.name)
-                    if parsed is not None:
-                        found.add(parsed)
+            try:
+                names = [file.name for file in directory.iterdir()]
+            except OSError:
+                # Directory never created, or removed by a concurrent
+                # clear()/eviction mid-listing: nothing on disk.
+                names = []
+            for name in names:
+                parsed = self._parse_checkpoint_name(name)
+                if parsed is not None:
+                    found.add(parsed)
         return sorted(found)
 
     def has_checkpoint(self, prefix: str, records: int, drained_at: tuple) -> bool:
-        if (prefix, records, drained_at) in self._ckpt_memory:
-            return True
+        with self._lock:
+            if (prefix, records, drained_at) in self._ckpt_memory:
+                return True
         return (
             self.path is not None
             and self._checkpoint_file(prefix, records, drained_at).exists()
@@ -283,43 +457,60 @@ class ResultStore:
         """Load one snapshot; memory first, then disk."""
         from repro.sim.engine import EngineState
 
-        state = self._ckpt_memory.get((prefix, records, drained_at))
-        if state is not None:
-            self.checkpoint_hits += 1
-            return state
+        with self._lock:
+            state = self._ckpt_memory.get((prefix, records, drained_at))
+            if state is not None:
+                self.checkpoint_hits += 1
+                return state
         if self.path is not None:
             try:
                 with self._checkpoint_file(prefix, records, drained_at).open("rb") as f:
                     state = pickle.load(f)
             except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-                # Missing, truncated, or written by an incompatible
-                # version — a miss, not an error.
+                # Missing, evicted-between-list-and-load, truncated, or
+                # written by an incompatible version — a miss, not an
+                # error.
                 state = None
             if isinstance(state, EngineState):
-                self.checkpoint_hits += 1
+                with self._lock:
+                    self.checkpoint_hits += 1
                 return state
-        self.checkpoint_misses += 1
+        with self._lock:
+            self.checkpoint_misses += 1
         return None
 
     def put_checkpoint(self, prefix: str, state: "EngineState") -> None:
         """Persist one snapshot, then enforce the namespace size cap."""
         key = (prefix, state.records, state.drained_at)
-        previous = self._ckpt_memory.pop(key, None)
-        if previous is not None:
-            self._ckpt_memory_bytes -= previous.size_bytes
-        self._ckpt_memory[key] = state
-        self._ckpt_memory_bytes += state.size_bytes
-        self.checkpoint_puts += 1
+        with self._lock:
+            previous = self._ckpt_memory.pop(key, None)
+            if previous is not None:
+                self._ckpt_memory_bytes -= previous.size_bytes
+            self._ckpt_memory[key] = state
+            self._ckpt_memory_bytes += state.size_bytes
+            self.checkpoint_puts += 1
         if self.path is not None:
             file = self._checkpoint_file(prefix, state.records, state.drained_at)
             file.parent.mkdir(parents=True, exist_ok=True)
             replaced = _stat_or_none(file)
             _atomic_write_pickle(file, state)
             written = _stat_or_none(file)
-            if self._ckpt_disk_bytes is not None and written is not None:
-                self._ckpt_disk_bytes += written.st_size - (
-                    replaced.st_size if replaced is not None else 0
-                )
+            with self._lock:
+                if self._ckpt_disk_bytes is not None:
+                    if written is None:
+                        # The freshly-written file already vanished — a
+                        # concurrent evictor beat us to it and the
+                        # incremental total is now suspect.  Drop the
+                        # cache so the next cap check does a real scan.
+                        self._ckpt_disk_bytes = None
+                    else:
+                        delta = written.st_size - (
+                            replaced.st_size if replaced is not None else 0
+                        )
+                        # Clamp: a concurrent eviction of `replaced`
+                        # would otherwise drift the total permanently
+                        # negative.
+                        self._ckpt_disk_bytes = max(0, self._ckpt_disk_bytes + delta)
         self._enforce_checkpoint_cap()
 
     def _enforce_checkpoint_cap(self) -> None:
@@ -328,38 +519,44 @@ class ResultStore:
         The memory layer evicts by insertion order; the disk layer by
         file mtime, tracked through a cached running total so the
         common no-eviction save never rescans the tree.  Eviction never
-        touches the result layer.
+        touches the result layer.  The disk half runs under both the
+        store lock and the cross-process file lock: scan → decide →
+        unlink is a multi-step section two evictors must not interleave.
         """
         cap = self.checkpoint_cap_bytes
-        while self._ckpt_memory_bytes > cap and self._ckpt_memory:
-            key = next(iter(self._ckpt_memory))
-            self._ckpt_memory_bytes -= self._ckpt_memory.pop(key).size_bytes
-            self.checkpoint_evictions += 1
-        if self.path is None:
-            return
-        if self._ckpt_disk_bytes is None:
-            self._ckpt_disk_bytes = sum(
-                stat.st_size
-                for file in self._checkpoint_root.glob("*/*/*.ckpt")
-                if (stat := _stat_or_none(file)) is not None
-            )
-        if self._ckpt_disk_bytes <= cap:
-            return
-        # Over cap: do the real scan (concurrent writers may have
-        # drifted the cached total), re-sync, and evict oldest-first.
-        files = [
-            (stat.st_mtime_ns, stat.st_size, file)
-            for file in self._checkpoint_root.glob("*/*/*.ckpt")
-            if (stat := _stat_or_none(file)) is not None
-        ]
-        total = sum(size for _, size, _ in files)
-        for _, size, file in sorted(files):
-            if total <= cap:
-                break
-            file.unlink(missing_ok=True)
-            total -= size
-            self.checkpoint_evictions += 1
-        self._ckpt_disk_bytes = total
+        with self._lock:
+            while self._ckpt_memory_bytes > cap and self._ckpt_memory:
+                key = next(iter(self._ckpt_memory))
+                self._ckpt_memory_bytes -= self._ckpt_memory.pop(key).size_bytes
+                self.checkpoint_evictions += 1
+            if self.path is None:
+                return
+            if self._ckpt_disk_bytes is not None and self._ckpt_disk_bytes <= cap:
+                return
+            with self._dir_lock:
+                if self._ckpt_disk_bytes is None:
+                    self._ckpt_disk_bytes = sum(
+                        stat.st_size
+                        for file in self._checkpoint_root.glob("*/*/*.ckpt")
+                        if (stat := _stat_or_none(file)) is not None
+                    )
+                if self._ckpt_disk_bytes <= cap:
+                    return
+                # Over cap: do the real scan (concurrent writers may have
+                # drifted the cached total), re-sync, and evict oldest-first.
+                files = [
+                    (stat.st_mtime_ns, stat.st_size, file)
+                    for file in self._checkpoint_root.glob("*/*/*.ckpt")
+                    if (stat := _stat_or_none(file)) is not None
+                ]
+                total = sum(size for _, size, _ in files)
+                for _, size, file in sorted(files):
+                    if total <= cap:
+                        break
+                    file.unlink(missing_ok=True)
+                    total -= size
+                    self.checkpoint_evictions += 1
+                self._ckpt_disk_bytes = max(0, total)
 
 
 def _stat_or_none(file: Path):

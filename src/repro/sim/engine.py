@@ -660,15 +660,31 @@ class SimulationEngine:
         return prefix_crc_bulk(self.trace.records, stop)
 
     def _try_resume(self) -> None:
-        """Adopt the longest compatible stored checkpoint, if any."""
-        entries = sorted(self.checkpoints.entries(), reverse=True)
+        """Adopt the longest compatible stored checkpoint, if any.
+
+        Listed entries are advisory: a concurrent writer sharing the
+        store may evict a snapshot between ``entries()`` and ``load()``
+        (the size-capped namespace evicts oldest-first), so a vanished
+        or unreadable candidate is never fatal — the loop falls back to
+        the next-longest compatible snapshot, and ultimately to a fresh
+        run from record zero.
+        """
+        try:
+            entries = sorted(self.checkpoints.entries(), reverse=True)
+        except OSError:
+            # The namespace directory itself raced with a concurrent
+            # clear(); resume has nothing to offer, run fresh.
+            return
         split = self.warmup_split
         for records, drained_at in entries:
             if records <= 0 or records > self.total:
                 continue
             if drained_at not in self._compatible_drains(records):
                 continue
-            state = self.checkpoints.load(records, drained_at)
+            try:
+                state = self.checkpoints.load(records, drained_at)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                state = None
             if state is None:
                 continue
             if state.mark is None and (drained_at or records > split):

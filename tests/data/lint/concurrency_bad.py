@@ -3,7 +3,9 @@
 Analyzed as ``repro.api.badfixture`` via ``ProjectContext.from_sources``:
 every module-level write below sits in a function reachable from a
 worker entry point (``_init_worker`` directly, ``helper`` through
-``SweepCell.execute``), so each one must fire.
+``SweepCell.execute``), so each one must fire.  The ``Session`` class
+mutates its thread-shared single-flight registry outside the session
+lock, so both mutations fire the guarded-state check.
 """
 
 _SHARED_COUNTER = 0
@@ -23,3 +25,9 @@ def helper(value):
 class SweepCell:
     def execute(self):
         helper(1)
+
+
+class Session:
+    def claim(self, key):
+        self._inflight[key] = object()  # unguarded subscript write
+        return self._inflight.pop(key, None)  # unguarded pop

@@ -1,8 +1,12 @@
 """Concurrency-clean twin of ``concurrency_bad.py``.
 
 Module state is assigned only at import time (read-only afterwards),
-and everything the worker entry points touch is function-local.
+everything the worker entry points touch is function-local, and the
+``Session`` class only mutates its single-flight registry inside
+``with self._lock`` (``__init__`` construction is exempt by design).
 """
+
+import threading
 
 LIMIT = 8
 _TABLE = {"a": 1}
@@ -20,3 +24,17 @@ def lookup(key):
 class SweepCell:
     def execute(self):
         return lookup("a")
+
+
+class Session:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._inflight = {}  # construction precedes sharing
+
+    def claim(self, key):
+        with self._lock:
+            self._inflight[key] = object()
+            return self._inflight.pop(key, None)
+
+    def peek(self, key):
+        return self._inflight.get(key)  # reads are out of scope

@@ -485,3 +485,140 @@ def test_mix_warmup_records_honored():
     unwarmed = store_session.run(base.with_warmup(records=600))[0]
     # Different warmup splits measure different regions.
     assert warmed.result.instructions != unwarmed.result.instructions
+
+
+# ---- single-flight deduplication ------------------------------------------
+
+
+class _GatedExecutor:
+    """Serial executor that parks inside run_cells until released, so a
+    test can hold one thread mid-simulation while another joins it."""
+
+    def __init__(self):
+        import threading
+
+        self.calls = 0
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def run_cells(self, cells):
+        self.calls += 1
+        self.entered.set()
+        assert self.release.wait(timeout=60)
+        return SerialExecutor().run_cells(cells)
+
+
+def test_single_flight_two_threads_simulate_once():
+    """ISSUE 9 acceptance: two threads running the identical cell
+    against one Session produce exactly one simulation (store puts == 1)
+    and two identical ResultSets."""
+    import threading
+
+    store = ResultStore()
+    gate = _GatedExecutor()
+    shared = Session(store=store, executor=gate, trace_length=LENGTH)
+    ex = (
+        shared.experiment("dedup")
+        .with_traces("spec06/lbm-1")
+        .with_prefetchers("none")  # its own baseline: one fingerprint
+    )
+
+    outcomes: dict[int, object] = {}
+
+    def run(slot):
+        outcomes[slot] = shared.run(ex)
+
+    first = threading.Thread(target=run, args=(0,))
+    first.start()
+    assert gate.entered.wait(timeout=60)  # thread 0 owns the simulation
+    second = threading.Thread(target=run, args=(1,))
+    second.start()
+    # Thread 1 joins the in-flight cell rather than simulating; only
+    # after the gate opens can either finish.
+    gate.release.set()
+    first.join(timeout=60)
+    second.join(timeout=60)
+    assert not first.is_alive() and not second.is_alive()
+
+    assert gate.calls == 1  # one executor batch total
+    assert store.stats["puts"] == 1  # exactly one simulation stored
+    a, b = outcomes[0][0], outcomes[1][0]
+    assert a.result == b.result
+    assert a.baseline == b.baseline
+
+
+def test_single_flight_run_one_threads_share_result():
+    """run_one from many threads dedups through the same registry."""
+    import threading
+
+    store = ResultStore()
+    shared = Session(store=store, trace_length=LENGTH)
+    barrier = threading.Barrier(4)
+    records = []
+
+    def run():
+        barrier.wait()
+        records.append(shared.run_one("spec06/lbm-1", "stride"))
+
+    threads = [threading.Thread(target=run) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert len(records) == 4
+    # stride cell + its baseline: exactly two simulations ever ran,
+    # however the four threads interleaved.
+    assert store.stats["puts"] == 2
+    assert all(r.result == records[0].result for r in records)
+
+
+def test_single_flight_owner_failure_lets_waiter_retry(monkeypatch):
+    """A waiter must not inherit the owner's failure: it retries and
+    simulates the cell itself."""
+    import threading
+
+    from repro.api import experiment as experiment_module
+
+    store = ResultStore()
+    shared = Session(store=store, trace_length=LENGTH)
+
+    real_execute = experiment_module.Cell.execute
+    entered = threading.Event()
+    release = threading.Event()
+    fail_first = {"armed": True}
+
+    def flaky(self, checkpoints=None, checkpoint_every=0):
+        if fail_first["armed"]:
+            fail_first["armed"] = False
+            entered.set()
+            assert release.wait(timeout=60)
+            raise RuntimeError("owner died mid-simulation")
+        return real_execute(
+            self, checkpoints=checkpoints, checkpoint_every=checkpoint_every
+        )
+
+    monkeypatch.setattr(experiment_module.Cell, "execute", flaky)
+
+    outcome = {}
+
+    def owner():
+        try:
+            shared.run_one("spec06/lbm-1", "none")
+        except RuntimeError as exc:
+            outcome["owner"] = exc
+
+    def waiter():
+        entered.wait(timeout=60)
+        outcome["waiter"] = shared.run_one("spec06/lbm-1", "none")
+
+    threads = [threading.Thread(target=owner), threading.Thread(target=waiter)]
+    for t in threads:
+        t.start()
+    # Let the waiter reach the in-flight registry, then fail the owner.
+    release.set()
+    for t in threads:
+        t.join(timeout=120)
+
+    assert isinstance(outcome["owner"], RuntimeError)  # error propagated
+    assert outcome["waiter"].result.instructions > 0  # waiter recovered
+    assert store.stats["puts"] == 1  # the retry's simulation

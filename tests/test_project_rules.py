@@ -208,7 +208,11 @@ def test_entry_point_suffix_matching():
 @pytest.mark.quick
 def test_concurrency_fires_on_reachable_writes():
     project = fixture_project("concurrency_bad.py", "repro.api.badfixture")
-    findings = list(ConcurrencyRule().check(project))
+    findings = [
+        f
+        for f in ConcurrencyRule().check(project)
+        if "module-level state" in f.message
+    ]
     assert len(findings) == 3
     names = {f.message.split("'")[1] for f in findings}
     assert names == {
@@ -221,9 +225,65 @@ def test_concurrency_fires_on_reachable_writes():
 
 
 @pytest.mark.quick
+def test_concurrency_fires_on_unguarded_single_flight_mutations():
+    """Session methods mutating the in-flight registry outside the
+    session lock fire once per mutation site."""
+    project = fixture_project("concurrency_bad.py", "repro.api.badfixture")
+    findings = [
+        f
+        for f in ConcurrencyRule().check(project)
+        if "thread-shared" in f.message
+    ]
+    assert len(findings) == 2
+    assert all("self._inflight" in f.message for f in findings)
+    assert all("with self._lock" in f.message for f in findings)
+
+
+@pytest.mark.quick
 def test_concurrency_clean_on_import_time_and_local_state():
     project = fixture_project("concurrency_ok.py", "repro.api.okfixture")
     assert list(ConcurrencyRule().check(project)) == []
+
+
+@pytest.mark.quick
+def test_concurrency_guard_covers_all_mutation_shapes():
+    """Subscript assignment, del, rebinding, and mutating mapping
+    methods all require the lock; __init__ and plain reads never do."""
+    project = ProjectContext.from_sources(
+        {
+            "repro.api.session": (
+                "class Session:\n"
+                "    def __init__(self):\n"
+                "        self._inflight = {}\n"  # exempt: construction
+                "    def a(self, k):\n"
+                "        self._inflight[k] = 1\n"  # fires
+                "    def b(self, k):\n"
+                "        del self._inflight[k]\n"  # fires
+                "    def c(self):\n"
+                "        self._inflight = {}\n"  # fires: rebind
+                "    def d(self, k):\n"
+                "        self._inflight.update({k: 1})\n"  # fires
+                "    def e(self, k):\n"
+                "        with self._lock:\n"
+                "            self._inflight.pop(k, None)\n"  # guarded
+                "    def f(self, k):\n"
+                "        return self._inflight.get(k)\n"  # read only
+            )
+        }
+    )
+    findings = [
+        f
+        for f in ConcurrencyRule().check(project)
+        if "thread-shared" in f.message
+    ]
+    assert len(findings) == 4
+    offenders = {f.message.split("in '")[1].split("'")[0] for f in findings}
+    assert offenders == {
+        "repro.api.session.Session.a",
+        "repro.api.session.Session.b",
+        "repro.api.session.Session.c",
+        "repro.api.session.Session.d",
+    }
 
 
 @pytest.mark.quick
