@@ -10,7 +10,12 @@ the repo root so perf changes are visible in review diffs.
 Since ISSUE 7 every cell is measured on both replay backends: the
 batched-epoch engine (the default, ``records_per_s``) and the scalar
 per-record loop it must stay bit-identical to
-(``scalar_records_per_s``, kept for the trajectory).  Schema 2.
+(``scalar_records_per_s``, kept for the trajectory).  ISSUE 10 adds
+``native_records_per_s`` — the compiled C kernel — when a C compiler
+is present (the rows are ``null`` otherwise, with a visible notice, so
+the bench degrades exactly like the engine does).  The native SPP row
+is informational only: the kernel does not support SPP, so that cell
+pins the per-cell fallback at batched-level throughput.  Schema 3.
 
 The ``SEED_RECORDS_PER_S`` constants are the pre-PR-2 seed throughput
 measured un-instrumented on an otherwise-idle machine (commit
@@ -75,6 +80,17 @@ PYTHIA_200K_FLOOR = 14_000
 #: ``scalar_records_per_s`` in BENCH_perf.json) still fails.
 REGRESSION_FLOORS = {"none": 42_000, "spp": 19_000, "pythia": 16_000}
 
+#: Reference-runner regression floors for the native backend
+#: (REPRO_PERF_STRICT=1 and a C compiler present).  The quiet numbers
+#: sit 3-4x above these — but even at floor level the compiled kernel
+#: is well clear of ISSUE 10's >=45k acceptance bar and of any
+#: batched-level slide.  No SPP floor: that cell falls back to batched.
+NATIVE_REGRESSION_FLOORS = {"none": 150_000, "pythia": 90_000, "pythia_200k": 90_000}
+
+#: ISSUE 10 acceptance ratio: native pythia @ 100k must hold at least
+#: this multiple of the batched row on the reference runner.
+NATIVE_MIN_SPEEDUP_VS_BATCHED = 2.0
+
 #: Machine-independent sanity floor, records/s: catches a hot loop
 #: that has collapsed (e.g. an accidental O(n) re-scan) on any box.
 SANITY_FLOOR = 2_000
@@ -116,14 +132,24 @@ def test_perf_smoke() -> None:
 
 def test_perf_throughput() -> None:
     """Measure the tracked cells; write BENCH_perf.json under perfbench."""
+    from repro.sim import _native
+
     rates = _measure("batched", repeats=2)
     # Scalar rows ride along for the trajectory (and as the honest
     # denominator for the batched speedup); one repeat bounds bench time.
     scalar_rates = _measure("scalar", repeats=1)
+    native_rates = None
+    if _native.available():
+        native_rates = _measure("native", repeats=2)
+    else:
+        print(
+            "NOTICE: native replay kernel unavailable (no C compiler?); "
+            "native_records_per_s rows omitted and native floors skipped"
+        )
 
     payload = {
         "bench": "perf_throughput",
-        "schema": 2,
+        "schema": 3,
         "cell": {
             "trace": TRACE,
             "length": LENGTH,
@@ -134,6 +160,11 @@ def test_perf_throughput() -> None:
         },
         "records_per_s": {k: round(v) for k, v in rates.items()},
         "scalar_records_per_s": {k: round(v) for k, v in scalar_rates.items()},
+        "native_records_per_s": (
+            {k: round(v) for k, v in native_rates.items()}
+            if native_rates is not None
+            else None
+        ),
         "seed_records_per_s": SEED_RECORDS_PER_S,
         "speedup_vs_seed": {
             k: round(rates[k] / SEED_RECORDS_PER_S[k], 2) for k in rates
@@ -141,6 +172,11 @@ def test_perf_throughput() -> None:
         "speedup_vs_scalar": {
             k: round(rates[k] / scalar_rates[k], 2) for k in rates
         },
+        "native_speedup_vs_batched": (
+            {k: round(native_rates[k] / rates[k], 2) for k in native_rates}
+            if native_rates is not None
+            else None
+        ),
         "pythia_200k_floor_records_per_s": PYTHIA_200K_FLOOR,
     }
     if os.environ.get("REPRO_WRITE_BENCH"):
@@ -150,6 +186,7 @@ def test_perf_throughput() -> None:
             {
                 "records_per_s": payload["records_per_s"],
                 "scalar_records_per_s": payload["scalar_records_per_s"],
+                "native_records_per_s": payload["native_records_per_s"],
             },
             indent=2,
             sort_keys=True,
@@ -169,6 +206,12 @@ def test_perf_throughput() -> None:
         "has picked up prefetcher-sized overhead"
     )
 
+    if native_rates is not None:
+        for name, rate in native_rates.items():
+            assert rate > SANITY_FLOOR, (
+                f"{name} native throughput collapsed: {rate:,.0f} records/s"
+            )
+
     if os.environ.get("REPRO_PERF_STRICT"):
         for name, floor in REGRESSION_FLOORS.items():
             assert rates[name] > floor, (
@@ -179,3 +222,14 @@ def test_perf_throughput() -> None:
             f"pythia 200k cell regressed: {rates['pythia_200k']:,.0f} records/s "
             f"(floor {PYTHIA_200K_FLOOR:,})"
         )
+        if native_rates is not None:
+            for name, floor in NATIVE_REGRESSION_FLOORS.items():
+                assert native_rates[name] > floor, (
+                    f"{name} native throughput regressed: "
+                    f"{native_rates[name]:,.0f} records/s (floor {floor:,})"
+                )
+            ratio = native_rates["pythia"] / rates["pythia"]
+            assert ratio >= NATIVE_MIN_SPEEDUP_VS_BATCHED, (
+                f"native pythia is only {ratio:.2f}x batched "
+                f"(acceptance requires >={NATIVE_MIN_SPEEDUP_VS_BATCHED}x)"
+            )

@@ -17,7 +17,12 @@
 # `make perfbench`, not by CI).  Since ISSUE 7 the strict floors gate
 # the batched replay backend — the Pythia floor is 16,000 records/s on
 # the 100k reference cell (up from the scalar-era 14,000), with scalar
-# rows kept in BENCH_perf.json for the trajectory.  The slow figure-regeneration suite
+# rows kept in BENCH_perf.json for the trajectory.  ISSUE 10 adds the
+# native compiled-kernel floors (pythia 90,000 records/s on the 100k
+# cell and >=2x the batched row): they gate only when a C compiler is
+# on PATH — without one the bench prints a visible NOTICE, omits the
+# native rows, and the rest of the suite must still pass on the
+# batched fallback.  The slow figure-regeneration suite
 # (`make bench`) is a separate, scheduled job.
 #
 # After the resume smoke the invariant checker (python -m
@@ -37,6 +42,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+if command -v "${CC:-cc}" >/dev/null 2>&1; then
+    echo "ci: C compiler present — native replay kernel floors will gate the perf bench"
+else
+    echo "ci: NOTICE: no C compiler on PATH — native kernel floors skipped (batched fallback covers the suite)"
+fi
 
 python -m pytest benchmarks/test_sweep_smoke.py -q
 python -m pytest benchmarks/test_resume_smoke.py -q

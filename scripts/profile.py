@@ -44,7 +44,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--top", type=int, default=25, help="rows per hotspot table")
     parser.add_argument(
         "--backend",
-        choices=("batched", "scalar"),
+        choices=("native", "batched", "scalar"),
         default="batched",
         help="replay backend to profile (hotspot tables differ a lot)",
     )
@@ -61,6 +61,19 @@ def main(argv: list[str] | None = None) -> int:
 
     trace = registry.cached_trace(args.trace, args.length)
     system = replace(registry.system(args.system), replay_backend=args.backend)
+
+    if args.backend == "native":
+        # Surface the build-cache behaviour up front: a rebuild in the
+        # timed region would corrupt the raw throughput figure.
+        from repro.sim import _native
+        from repro.sim._native import build as native_build
+
+        if _native.available():
+            so = native_build.build()
+            state = "rebuilt" if native_build.was_rebuilt() else "cached"
+            print(f"native kernel: {state} ({so})")
+        else:
+            print("native kernel: unavailable (falling back to batched)")
 
     def run() -> None:
         simulate(

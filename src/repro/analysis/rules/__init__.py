@@ -200,6 +200,7 @@ from repro.analysis.rules import (  # noqa: E402  (registration imports)
     hotpath,
     hygiene,
     layering,
+    native,
 )
 
 __all__ = [
@@ -222,4 +223,5 @@ __all__ = [
     "hotpath",
     "hygiene",
     "layering",
+    "native",
 ]

@@ -462,6 +462,35 @@ class NumpyQVStore:
         """Total Q-value entries across vaults (Table 4 accounting)."""
         return len(self._cells)
 
+    # -- buffer export (native replay backend) -----------------------------
+
+    def export_table(self):
+        """Copy the flat cell buffer out as one ``float64`` array.
+
+        The layout is the flat ``_cells`` order (row-major over
+        features x planes x entries x actions) — the exact element
+        indexing ``_q_one``/``sarsa_update`` use, so a kernel that
+        reads/writes the buffer with the same bases arithmetic sees the
+        same doubles.
+        """
+        return _np.array(self._cells, dtype=_np.float64)
+
+    def import_table(self, table) -> None:
+        """Replace the cell buffer with *table* (flat ``float64``).
+
+        Drops the memoized state rows: their cached Q-reductions were
+        computed against the old cells and the version counters cannot
+        know what an external writer touched.  Everything re-derives
+        lazily, so Q-values after import are pure functions of *table*.
+        """
+        cells = table.tolist()
+        if len(cells) != len(self._cells):
+            raise ValueError(
+                f"table has {len(cells)} cells; store holds {len(self._cells)}"
+            )
+        self._cells[:] = cells
+        self._state_cache.clear()
+
     # -- serialization -----------------------------------------------------
 
     def __getstate__(self):

@@ -111,12 +111,15 @@ class SystemConfig:
     #: Bandwidth-utilization fraction above which the system reports "high
     #: bandwidth usage" to prefetchers (Pythia's system-level feedback).
     high_bw_threshold: float = 0.5
-    #: Replay-loop implementation: ``"batched"`` (columnar epoch kernel,
-    #: :mod:`repro.sim.batch`; falls back to scalar when it cannot apply)
-    #: or ``"scalar"`` (the reference per-record loop).  The two are
-    #: bit-identical (pinned by ``tests/test_hotpath_equivalence.py``),
-    #: so the toggle is excluded from result fingerprints — like
-    #: ``PythiaConfig.qvstore_impl``, it is purely a speed knob.
+    #: Replay-loop implementation: ``"native"`` (compiled C kernel,
+    #: :mod:`repro.sim._native`; falls back to batched without a C
+    #: compiler or on unsupported configurations), ``"batched"``
+    #: (columnar epoch kernel, :mod:`repro.sim.batch`; falls back to
+    #: scalar when it cannot apply) or ``"scalar"`` (the reference
+    #: per-record loop).  All three are bit-identical (pinned by
+    #: ``tests/test_hotpath_equivalence.py``), so the toggle is excluded
+    #: from result fingerprints — like ``PythiaConfig.qvstore_impl``,
+    #: it is purely a speed knob.
     replay_backend: str = field(default="batched", metadata={"semantic": False})
 
     def scaled_llc(self, factor: float) -> "SystemConfig":

@@ -53,7 +53,7 @@ from itertools import islice
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.prefetchers.base import Prefetcher, NoPrefetcher
-from repro.sim import batch
+from repro.sim import _native, batch
 from repro.sim.cache import Cache, CacheStats
 from repro.sim.config import SystemConfig
 from repro.sim.core import CoreModel
@@ -549,17 +549,25 @@ class SimulationEngine:
         self.cancel = cancel
 
         backend = self.config.replay_backend
-        if backend not in ("batched", "scalar"):
+        if backend not in ("native", "batched", "scalar"):
             raise ValueError(
-                f"unknown replay_backend {backend!r}; use batched|scalar"
+                f"unknown replay_backend {backend!r}; use native|batched|scalar"
             )
         # The batched kernel covers every configuration except L1
         # prefetching; the fallback is semantically invisible (the two
         # backends are bit-identical), so no error — just the slow loop.
+        # The native kernel narrows further (no compiler, unsupported
+        # policies/prefetchers) and falls back to batched the same way.
         self._use_batched = (
-            backend == "batched" and l1_prefetcher is None and batch.available()
+            backend != "scalar" and l1_prefetcher is None and batch.available()
+        )
+        self._use_native = (
+            backend == "native"
+            and self._use_batched
+            and _native.usable(self.hierarchy)
         )
         self._cols = None
+        self._stamp = None
 
         self.position = 0
         self.resumed_from = 0
@@ -630,6 +638,11 @@ class SimulationEngine:
             # A restored hierarchy may carry an L1 prefetcher this engine
             # was not built with; the batched kernel does not train it.
             self._use_batched = False
+            self._use_native = False
+        elif self._use_native and not _native.usable(self.hierarchy):
+            # The restored hierarchy, not the one __init__ probed, is
+            # what replays — re-check it against the kernel's limits.
+            self._use_native = False
         self.position = state.records
         self.resumed_from = state.records
         self._crc = state.prefix_stamp
@@ -757,10 +770,12 @@ class SimulationEngine:
     def _replay_to(self, target: int) -> None:
         """Advance replay to *target* records, honoring epoch boundaries.
 
-        The per-chunk replay is either the batched columnar kernel
-        (:func:`repro.sim.batch.replay_span`, the default backend) or
+        The per-chunk replay is the native compiled kernel
+        (:func:`repro.sim._native.replay_span`, when selected and
+        usable), the batched columnar kernel
+        (:func:`repro.sim.batch.replay_span`, the default backend), or
         the scalar hoisted-method loop over one ``islice`` view — the
-        PR 2 hot path, kept as the reference fallback.  The two are
+        PR 2 hot path, kept as the reference fallback.  All three are
         bit-identical, and boundaries never touch simulation state, so
         chunked and unchunked replay agree by construction either way.
         """
@@ -771,8 +786,10 @@ class SimulationEngine:
         controlled = self.progress is not None or self.cancel is not None
         hierarchy, core = self.hierarchy, self.core
         batched = self._use_batched
+        native = self._use_native
         if batched and self._cols is None:
             self._cols = self.trace.columns()
+            self._stamp = self.trace.content_stamp
         while self.position < target:
             if self.cancel is not None and self.cancel():
                 raise SimulationCancelled(self.position)
@@ -785,8 +802,16 @@ class SimulationEngine:
             elif boundary == target and not window and controlled:
                 boundary = min(boundary, start + _CONTROL_CHUNK)
 
-            if batched:
-                batch.replay_span(hierarchy, core, self._cols, start, boundary)
+            if native:
+                _native.replay_span(
+                    hierarchy, core, self._cols, start, boundary,
+                    stamp=self._stamp,
+                )
+            elif batched:
+                batch.replay_span(
+                    hierarchy, core, self._cols, start, boundary,
+                    stamp=self._stamp,
+                )
             else:
                 advance = core.advance
                 demand_access = hierarchy.demand_access

@@ -1,0 +1,14 @@
+"""Fixture: ctypes leaks outside ``repro.sim._native``.
+
+Analyzed as ``repro.sim.badfixture`` — both import forms of ``ctypes``
+must fire the ``native`` rule.
+"""
+
+import ctypes
+from ctypes import c_int64
+
+
+def raw_ffi_call(lib_path):
+    lib = ctypes.CDLL(lib_path)
+    lib.some_entry.restype = c_int64
+    return lib.some_entry()

@@ -1,0 +1,15 @@
+"""Native-clean twin of ``native_bad.py``.
+
+The identical ``ctypes`` usage is legal when the module lives inside
+``repro.sim._native`` (analyzed as ``repro.sim._native.okfixture``);
+everything else goes through the package's public helpers.
+"""
+
+import ctypes
+from ctypes import c_int64
+
+
+def bound_entry(lib_path):
+    lib = ctypes.CDLL(lib_path)
+    lib.some_entry.restype = c_int64
+    return lib.some_entry()

@@ -165,6 +165,68 @@ def test_batching_scoped_to_replay_packages_and_trace_module():
 
 
 # ---------------------------------------------------------------------------
+# native
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.quick
+def test_native_fires_on_ctypes_outside_the_native_package():
+    report = run_fixture("native_bad.py", "repro.sim.badfixture")
+    native = [f for f in report.findings if f.rule == "native"]
+    # Both the bare import and the from-import fire.
+    assert len(native) == 2
+    assert all("repro.sim._native" in f.message for f in native)
+
+
+@pytest.mark.quick
+def test_native_allows_ctypes_inside_the_native_package():
+    report = run_fixture("native_ok.py", "repro.sim._native.okfixture")
+    assert "native" not in rules_fired(report)
+
+
+@pytest.mark.quick
+def test_native_crc_pin_detects_kernel_drift(tmp_path):
+    kernel = tmp_path / "kernel.c"
+    kernel.write_bytes(b"int kernel(void) { return 0; }\n")
+    import zlib
+
+    crc = zlib.crc32(kernel.read_bytes()) & 0xFFFFFFFF
+    build = tmp_path / "build.py"
+
+    build.write_text(f"KERNEL_SOURCE_CRC = 0x{crc:08X}\n")
+    report = run(
+        [build], module_override="repro.sim._native.build", introspect=False
+    )
+    assert "native" not in rules_fired(report)
+
+    build.write_text(f"KERNEL_SOURCE_CRC = 0x{crc ^ 1:08X}\n")
+    report = run(
+        [build], module_override="repro.sim._native.build", introspect=False
+    )
+    messages = [f.message for f in report.findings if f.rule == "native"]
+    assert any("stale-binding guard" in m for m in messages)
+
+    build.write_text("OTHER = 1\n")
+    report = run(
+        [build], module_override="repro.sim._native.build", introspect=False
+    )
+    messages = [f.message for f in report.findings if f.rule == "native"]
+    assert any("must pin KERNEL_SOURCE_CRC" in m for m in messages)
+
+
+@pytest.mark.quick
+def test_native_crc_pin_matches_the_committed_kernel():
+    # The real build module's pinned constant must match the shipped
+    # kernel.c — this is the check CI relies on.
+    report = run(
+        [SRC_REPRO / "sim" / "_native" / "build.py"],
+        module_override="repro.sim._native.build",
+        introspect=False,
+    )
+    assert "native" not in rules_fired(report)
+
+
+# ---------------------------------------------------------------------------
 # pragmas and baseline
 # ---------------------------------------------------------------------------
 

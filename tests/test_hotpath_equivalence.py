@@ -430,3 +430,143 @@ class TestBatchedBackendEquivalence:
         )
         assert resumed == fresh_batched
         assert fresh_batched == fresh_scalar
+
+
+class TestNativeBackendEquivalence:
+    """The ISSUE 10 compiled C kernel is pinned to batched and scalar.
+
+    ``replay_backend="native"`` must be invisible in results: every
+    trace family simulates bit-identically under all three backends
+    (fresh and telemetry-windowed), and checkpoints cross backends in
+    both directions — a native run resumes a batched snapshot and vice
+    versa, landing on the exact same state.  The whole class skips when
+    no C compiler is available (the engine then falls back to batched;
+    ``tests/test_native_build.py`` pins that path).
+    """
+
+    @staticmethod
+    def _config(backend):
+        return dataclasses.replace(SystemConfig(), replay_backend=backend)
+
+    @pytest.fixture(autouse=True)
+    def _native_kernel(self, monkeypatch):
+        from repro.sim import _native
+        from repro.sim._native import bridge
+
+        if not _native.available():
+            pytest.skip("no C compiler: native replay backend unavailable")
+        # Small traces must exercise the C kernel, not the short-span
+        # delegation back to the batched backend.
+        monkeypatch.setattr(bridge, "MIN_NATIVE_SPAN", 0)
+
+    @pytest.mark.parametrize("pf_name", ["pythia", "spp"])
+    @pytest.mark.parametrize(
+        "trace_name",
+        [
+            "spec06/lbm-1",
+            "spec06/mcf-1",
+            "synth/llist-small-1",
+            "synth/phase-adversarial-1",
+            SAMPLE_FILE_TRACE,
+        ],
+    )
+    def test_backends_bit_identical(self, trace_name, pf_name):
+        # spp is deliberately in the matrix: the native kernel does not
+        # support it, so those cells pin the per-cell fallback to
+        # batched rather than the C path itself.
+        trace = registry.cached_trace(trace_name, 2000)
+        results = {}
+        for backend in ("native", "batched", "scalar"):
+            results[backend] = dataclasses.asdict(
+                simulate(
+                    trace,
+                    config=self._config(backend),
+                    prefetcher=registry.create(pf_name),
+                    warmup_fraction=0.2,
+                )
+            )
+        assert results["native"] == results["batched"]
+        assert results["batched"] == results["scalar"]
+
+    def test_windowed_runs_bit_identical(self):
+        trace = registry.cached_trace("spec06/lbm-1", 2000)
+        results = {}
+        for backend in ("native", "batched", "scalar"):
+            results[backend] = dataclasses.asdict(
+                simulate(
+                    trace,
+                    config=self._config(backend),
+                    prefetcher=registry.create("pythia"),
+                    warmup_fraction=0.2,
+                    telemetry_window=500,
+                )
+            )
+        # Full comparison including the telemetry timeline.
+        assert results["native"] == results["batched"]
+        assert results["batched"] == results["scalar"]
+
+    def test_checkpoint_resume_crosses_backends(self):
+        """100k→200k resume crossing backends, both directions.
+
+        A checkpoint written by a native 100k run must resume under the
+        batched backend (and vice versa) into the exact state of a
+        fresh 200k run — the snapshot payload is backend-agnostic.
+        ``TestBatchedBackendEquivalence`` pins fresh batched == fresh
+        scalar at this scale, so equality here chains to all three.
+        """
+        from repro.sim.engine import SimulationEngine
+
+        class Sink:
+            def __init__(self):
+                self.states = {}
+
+            def entries(self):
+                return sorted(self.states)
+
+            def has(self, records, drained_at):
+                return (records, drained_at) in self.states
+
+            def load(self, records, drained_at):
+                return self.states.get((records, drained_at))
+
+            def save(self, state):
+                self.states[(state.records, state.drained_at)] = state
+
+        warmup = 20_000
+        trace100 = registry.cached_trace("spec06/lbm-1", 100_000)
+        trace200 = registry.cached_trace("spec06/lbm-1", 200_000)
+
+        fresh = {}
+        for backend in ("native", "batched"):
+            fresh[backend] = dataclasses.asdict(
+                simulate(
+                    trace200,
+                    config=self._config(backend),
+                    prefetcher=registry.create("pythia"),
+                    warmup_records=warmup,
+                )
+            )
+        assert fresh["native"] == fresh["batched"]
+
+        for writer, resumer in (("native", "batched"), ("batched", "native")):
+            sink = Sink()
+            first = SimulationEngine(
+                trace100,
+                config=self._config(writer),
+                prefetcher=registry.create("pythia"),
+                warmup_records=warmup,
+                checkpoints=sink,
+            )
+            first.run()
+            assert sink.has(100_000, (warmup,))
+
+            second = SimulationEngine(
+                trace200,
+                config=self._config(resumer),
+                prefetcher=registry.create("pythia"),
+                warmup_records=warmup,
+                checkpoints=sink,
+            )
+            resumed = dataclasses.asdict(second.run())
+            assert second.resumed_from == 100_000, (writer, resumer)
+            assert resumed == fresh["native"], (writer, resumer)

@@ -1,0 +1,132 @@
+"""Build-layer tests for the native replay kernel (ISSUE 10).
+
+Pins the build cache's contracts rather than simulation semantics
+(``tests/test_hotpath_equivalence.py`` owns bit-identity):
+
+* the shared-object cache is keyed by the C source's CRC, so editing
+  the source forces a rebuild and an untouched source is a cache hit;
+* with no C compiler reachable, ``replay_backend="native"`` degrades
+  transparently to the batched backend — the full ``Session`` path
+  still runs and produces the batched result, with one logged notice;
+* a corrupt cached ``.so`` is discarded and rebuilt, not fatal.
+
+Every test resets the package's latched build/load state on the way in
+and out so outcomes cannot leak between tests (or into other files).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import registry
+from repro.sim import _native
+from repro.sim._native import build
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+
+pytestmark = pytest.mark.quick
+
+
+@pytest.fixture(autouse=True)
+def fresh_native_state(tmp_path, monkeypatch):
+    """Isolate the build cache and un-latch load state around each test."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+    _native.reset()
+    yield
+    _native.reset()
+
+
+def _config(backend: str) -> SystemConfig:
+    return dataclasses.replace(SystemConfig(), replay_backend=backend)
+
+
+TINY_KERNEL = b"""
+#include <stdint.h>
+int64_t repro_abi_sizeof(void) { return -1; }
+int64_t repro_replay_span(void *args) { (void)args; return -2; }
+"""
+
+
+def test_build_caches_by_source_crc(tmp_path):
+    if build.compiler() is None:
+        pytest.skip("no C compiler on PATH")
+    src = tmp_path / "tiny.c"
+    out = tmp_path / "out"
+    src.write_bytes(TINY_KERNEL)
+
+    first = build.build(source=src, directory=out)
+    assert first is not None and first.exists()
+    assert build.was_rebuilt()
+
+    # Unchanged source: cache hit, no recompile.
+    again = build.build(source=src, directory=out)
+    assert again == first
+    assert not build.was_rebuilt()
+
+    # Edited source: new CRC, new object file, recompiled.
+    src.write_bytes(TINY_KERNEL + b"/* edited */\n")
+    changed = build.build(source=src, directory=out)
+    assert changed is not None and changed.exists()
+    assert changed != first
+    assert build.was_rebuilt()
+
+
+def test_corrupt_cached_object_is_rebuilt():
+    if build.compiler() is None:
+        pytest.skip("no C compiler on PATH")
+    so = build.build()
+    assert so is not None
+    # Truncate the cached object so dlopen fails; load() must discard
+    # it and compile a fresh one instead of latching a failure.
+    so.write_bytes(b"not an ELF object")
+    assert _native.available()
+    assert build.was_rebuilt()
+
+
+def test_abi_mismatch_falls_back(monkeypatch, tmp_path):
+    if build.compiler() is None:
+        pytest.skip("no C compiler on PATH")
+    # A kernel that loads but reports the wrong struct size must be
+    # rejected by the bridge's ABI check, not trusted.
+    src = tmp_path / "tiny.c"
+    src.write_bytes(TINY_KERNEL)
+    monkeypatch.setattr(build, "kernel_source_path", lambda: src)
+    assert not _native.available()
+
+
+def test_no_compiler_falls_back_to_batched(monkeypatch, caplog):
+    # Mask the compiler: $CC wins over `cc` and points nowhere.
+    monkeypatch.setenv("CC", "no-such-compiler-for-test")
+    assert build.compiler() is None
+    with caplog.at_level("INFO", logger="repro.sim.native"):
+        assert not _native.available()
+    assert any("no C compiler" in r.message for r in caplog.records)
+
+    trace = registry.cached_trace("spec06/lbm-1", 2000)
+    native = simulate(
+        trace,
+        config=_config("native"),
+        prefetcher=registry.create("pythia"),
+        warmup_fraction=0.2,
+    )
+    batched = simulate(
+        trace,
+        config=_config("batched"),
+        prefetcher=registry.create("pythia"),
+        warmup_fraction=0.2,
+    )
+    assert dataclasses.asdict(native) == dataclasses.asdict(batched)
+
+
+def test_no_compiler_session_runs_transparently(monkeypatch, tmp_path):
+    """The acceptance path: a full ``Session`` cell with
+    ``replay_backend="native"`` and no compiler anywhere."""
+    from repro.api import ResultStore, Session
+
+    monkeypatch.setenv("CC", "no-such-compiler-for-test")
+    session = Session(store=ResultStore(path=None), trace_length=2000)
+    record = session.run_one("spec06/lbm-1", "pythia", system=_config("native"))
+    reference = session.run_one("spec06/lbm-1", "pythia", system=_config("batched"))
+    assert dataclasses.asdict(record.result) == dataclasses.asdict(reference.result)
